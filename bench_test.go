@@ -1,0 +1,536 @@
+package filemig
+
+// The benchmark harness: one benchmark per table and figure of the paper,
+// plus the DESIGN.md ablations. Each benchmark regenerates its table or
+// figure from a shared, deterministically generated fixture and reports
+// the headline reproduction metric alongside the timing (via
+// b.ReportMetric), so `go test -bench=.` doubles as the experiment
+// harness behind EXPERIMENTS.md.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"filemig/internal/core"
+	"filemig/internal/device"
+	"filemig/internal/migration"
+	"filemig/internal/mss"
+	"filemig/internal/stats"
+	"filemig/internal/trace"
+	"filemig/internal/units"
+	"filemig/internal/workload"
+)
+
+// benchScale keeps the full suite laptop-sized (~9k files, ~35k requests
+// over the full 731-day calendar). Raise to 1.0 to regenerate the paper's
+// absolute counts.
+const benchScale = 0.01
+
+var benchFixture struct {
+	sync.Once
+	pipe *Pipeline
+	accs []migration.Access
+	err  error
+}
+
+func fixture(b *testing.B) (*Pipeline, []migration.Access) {
+	benchFixture.Do(func() {
+		benchFixture.pipe, benchFixture.err = Run(Config{Scale: benchScale, Seed: 1993})
+		if benchFixture.err == nil {
+			benchFixture.accs = benchFixture.pipe.Accesses()
+		}
+	})
+	if benchFixture.err != nil {
+		b.Fatalf("fixture: %v", benchFixture.err)
+	}
+	return benchFixture.pipe, benchFixture.accs
+}
+
+// analyze runs a fresh full analysis pass; the per-figure benchmarks call
+// it so each measures the real cost of regenerating its result.
+func analyze(p *Pipeline) *core.Report {
+	a := core.New(core.Options{Start: p.Workload.Config.Start, Days: p.Workload.Config.Days})
+	a.AddAll(p.Records)
+	return a.Report()
+}
+
+// --- Tables ---
+
+func BenchmarkTable1MediaComparison(b *testing.B) {
+	var crossover units.Bytes
+	for i := 0; i < b.N; i++ {
+		rows := device.Table1()
+		if len(rows) != 3 {
+			b.Fatal("table 1 incomplete")
+		}
+		crossover = device.CrossoverSize(&device.OpticalJukebox, &device.SiloTape3480,
+			units.Bytes(200*units.MB))
+	}
+	b.ReportMetric(crossover.MB(), "crossoverMB")
+}
+
+func BenchmarkTable2TraceCodec(b *testing.B) {
+	p, _ := fixture(b)
+	n := len(p.Records)
+	if n > 20000 {
+		n = 20000
+	}
+	recs := p.Records[:n]
+	var buf bytes.Buffer
+	if err := trace.WriteAll(&buf, recs); err != nil {
+		b.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	b.SetBytes(int64(len(encoded)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := trace.ReadAll(bytes.NewReader(encoded))
+		if err != nil || len(got) != n {
+			b.Fatalf("decode: %v (%d records)", err, len(got))
+		}
+	}
+}
+
+func BenchmarkTable3OverallStats(b *testing.B) {
+	p, _ := fixture(b)
+	var readShare float64
+	for i := 0; i < b.N; i++ {
+		r := analyze(p)
+		total := r.Table3.Total()
+		readShare = float64(r.Table3.OpTotal(trace.Read).Refs) / float64(total.Refs)
+	}
+	b.ReportMetric(100*readShare, "readShare%") // paper: 66%
+}
+
+func BenchmarkTable4FileStore(b *testing.B) {
+	p, _ := fixture(b)
+	r := analyze(p)
+	var avgMB float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		avgMB = r.Table4.AvgFileSize.MB()
+		_ = core.RenderTable4(r.Table4)
+	}
+	b.ReportMetric(avgMB, "avgFileMB") // paper: 25 MB
+}
+
+// --- Figures ---
+
+func BenchmarkFigure1Pyramid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := device.HierarchyInvariant(device.Hierarchy()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure2Topology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(mss.Topology()) < 5 {
+			b.Fatal("topology incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure3LatencyCDF(b *testing.B) {
+	p, _ := fixture(b)
+	r := analyze(p)
+	var diskMedian float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.RenderFigure3(r)
+		diskMedian = r.Figure3[device.ClassDisk].Median()
+	}
+	b.ReportMetric(diskMedian, "diskMedianSec") // paper: 4 s
+}
+
+func BenchmarkFigure4HourOfDay(b *testing.B) {
+	p, _ := fixture(b)
+	r := analyze(p)
+	var swing float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		peak, trough := 0.0, 1e18
+		for h := 0; h < 24; h++ {
+			rate := r.Figure4.ReadRate(h)
+			if rate > peak {
+				peak = rate
+			}
+			if rate < trough {
+				trough = rate
+			}
+		}
+		swing = peak / trough
+	}
+	b.ReportMetric(swing, "readPeakTrough") // strongly diurnal
+}
+
+func BenchmarkFigure5DayOfWeek(b *testing.B) {
+	p, _ := fixture(b)
+	r := analyze(p)
+	var dip float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		weekday := (r.Figure5.ReadRate(2) + r.Figure5.ReadRate(3) + r.Figure5.ReadRate(4)) / 3
+		weekend := (r.Figure5.ReadRate(0) + r.Figure5.ReadRate(6)) / 2
+		dip = weekend / weekday
+	}
+	b.ReportMetric(dip, "weekendOverWeekday") // paper: well under 1
+}
+
+func BenchmarkFigure6WeeklyTrend(b *testing.B) {
+	p, _ := fixture(b)
+	r := analyze(p)
+	var growth float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		weeks := r.Figure6.Weeks
+		q := len(weeks) / 4
+		first, last := 0.0, 0.0
+		for j := 0; j < q; j++ {
+			first += weeks[j].ReadGBh
+			last += weeks[len(weeks)-1-j].ReadGBh
+		}
+		growth = last / first
+	}
+	b.ReportMetric(growth, "readGrowth2y") // paper: roughly doubles
+}
+
+func BenchmarkFigure7Interarrival(b *testing.B) {
+	p, _ := fixture(b)
+	r := analyze(p)
+	var knee float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		knee = r.Figure7.P(10)
+	}
+	b.ReportMetric(100*knee, "under10s%") // paper: 90% at full scale
+}
+
+func BenchmarkFigure8RefCounts(b *testing.B) {
+	p, _ := fixture(b)
+	var once float64
+	for i := 0; i < b.N; i++ {
+		r := analyze(p)
+		once = r.Figure8.ExactlyOnceFrac
+	}
+	b.ReportMetric(100*once, "accessedOnce%") // paper: 57%
+}
+
+func BenchmarkFigure9FileInterref(b *testing.B) {
+	p, _ := fixture(b)
+	r := analyze(p)
+	var underDay float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		underDay = r.Figure9.P(1)
+	}
+	b.ReportMetric(100*underDay, "underOneDay%") // paper: 70%
+}
+
+func BenchmarkFigure10DynamicSizes(b *testing.B) {
+	p, _ := fixture(b)
+	r := analyze(p)
+	var under1MB float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr, fw := r.Figure10.FilesRead, r.Figure10.FilesWritten
+		under1MB = (fr.P(1e6)*float64(fr.N()) + fw.P(1e6)*float64(fw.N())) /
+			float64(fr.N()+fw.N())
+	}
+	b.ReportMetric(100*under1MB, "requestsUnder1MB%") // paper: 40%
+}
+
+func BenchmarkFigure11StaticSizes(b *testing.B) {
+	p, _ := fixture(b)
+	r := analyze(p)
+	var under3MB float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		under3MB = r.Figure11.Files.P(3e6)
+	}
+	b.ReportMetric(100*under3MB, "filesUnder3MB%") // paper: ~50%
+}
+
+func BenchmarkFigure12DirectorySizes(b *testing.B) {
+	p, _ := fixture(b)
+	r := analyze(p)
+	var small float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		small = r.Figure12.Dirs.P(10)
+	}
+	b.ReportMetric(100*small, "dirsUnder10Files%") // paper: 90%
+}
+
+// --- Section-level results and ablations ---
+
+func BenchmarkPeriodicityDetection(b *testing.B) {
+	p, _ := fixture(b)
+	r := analyze(p)
+	var day float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		periods := r.DominantPeriods(2)
+		if len(periods) > 0 {
+			day = periods[0]
+		}
+	}
+	b.ReportMetric(day, "topPeriodHours") // paper: 24
+}
+
+func BenchmarkCoalescingSavings(b *testing.B) {
+	p, _ := fixture(b)
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		frac = migration.Coalesce(p.Records, DedupWindow).SavableFraction()
+	}
+	b.ReportMetric(100*frac, "savable%") // paper: ~33%
+}
+
+func BenchmarkCoalescingWindowSweep(b *testing.B) {
+	p, _ := fixture(b)
+	windows := []time.Duration{time.Hour, 4 * time.Hour, 8 * time.Hour, 24 * time.Hour}
+	for i := 0; i < b.N; i++ {
+		res := migration.CoalesceSweep(p.Records, windows)
+		if len(res) != len(windows) {
+			b.Fatal("sweep incomplete")
+		}
+	}
+}
+
+func BenchmarkPolicyComparison(b *testing.B) {
+	_, accs := fixture(b)
+	capacity := migration.TotalReferencedBytes(accs) / 50
+	var stpMiss float64
+	for i := 0; i < b.N; i++ {
+		results, err := migration.ComparePolicies(accs, capacity, StandardPolicies(accs))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Policy == "STP^1.4" {
+				stpMiss = r.MissRatio()
+			}
+		}
+	}
+	b.ReportMetric(100*stpMiss, "stpMiss%")
+}
+
+func BenchmarkCapacitySweep(b *testing.B) {
+	_, accs := fixture(b)
+	fractions := []float64{0.005, 0.015, 0.05}
+	var missAt15 float64
+	for i := 0; i < b.N; i++ {
+		pts, err := migration.CapacitySweep(accs, fractions,
+			func() migration.Policy { return migration.STP{K: 1.4} })
+		if err != nil {
+			b.Fatal(err)
+		}
+		missAt15 = pts[1].Result.MissRatio()
+	}
+	b.ReportMetric(100*missAt15, "missAt1.5%Cache%") // Smith: ~1% at NCAR rates
+}
+
+func BenchmarkSTPExponentSweep(b *testing.B) {
+	_, accs := fixture(b)
+	capacity := migration.TotalReferencedBytes(accs) / 50
+	ks := []float64{0, 0.5, 1.0, 1.4, 2.0}
+	var best float64
+	for i := 0; i < b.N; i++ {
+		bestMiss := 1.0
+		for _, k := range ks {
+			c, err := migration.NewCache(migration.CacheConfig{
+				Capacity: capacity, Policy: migration.STP{K: k}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m := c.Replay(accs).MissRatio(); m < bestMiss {
+				bestMiss, best = m, k
+			}
+		}
+	}
+	b.ReportMetric(best, "bestExponent") // Smith: 1.4 region
+}
+
+func BenchmarkPlacementThresholdSweep(b *testing.B) {
+	_, accs := fixture(b)
+	thresholds := []units.Bytes{
+		units.Bytes(units.MB), units.Bytes(10 * units.MB),
+		units.Bytes(30 * units.MB), units.Bytes(100 * units.MB),
+	}
+	capacity := migration.TotalReferencedBytes(accs) / 50
+	var bestMB float64
+	for i := 0; i < b.N; i++ {
+		res, err := migration.PlacementSweep(accs, thresholds, capacity,
+			30*time.Second, 104*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := res[0]
+		for _, r := range res[1:] {
+			if r.MeanFirstByte < best.MeanFirstByte {
+				best = r
+			}
+		}
+		bestMB = best.Threshold.MB()
+	}
+	b.ReportMetric(bestMB, "bestThresholdMB") // NCAR used 30 MB
+}
+
+func BenchmarkWriteBehind(b *testing.B) {
+	p, _ := fixture(b)
+	n := len(p.Workload.Records)
+	if n > 15000 {
+		n = 15000
+	}
+	recs := p.Workload.Records[:n]
+	var cut float64
+	for i := 0; i < b.N; i++ {
+		base := meanWriteStartup(b, recs, false, int64(i))
+		wb := meanWriteStartup(b, recs, true, int64(i))
+		cut = wb / base
+	}
+	b.ReportMetric(cut, "writeLatencyRatio") // well under 1
+}
+
+func meanWriteStartup(b *testing.B, recs []trace.Record, writeBehind bool, seed int64) float64 {
+	cfg := mss.DefaultConfig(seed)
+	cfg.WriteBehind = writeBehind
+	sim := mss.NewSimulator(cfg)
+	out, err := sim.Replay(recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var m stats.Moments
+	for _, r := range out {
+		if r.OK() && r.Op == trace.Write {
+			m.Add(r.Startup.Seconds())
+		}
+	}
+	return m.Mean()
+}
+
+func BenchmarkBurstPackingAblation(b *testing.B) {
+	off := false
+	flat, err := Run(Config{Scale: 0.003, Seed: 4, SkipSimulation: true, Bursts: &off})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, _ := fixture(b)
+	var delta float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		knee := func(recs []trace.Record) float64 {
+			var c stats.CDF
+			for j := 1; j < len(recs); j++ {
+				c.Add(recs[j].Start.Sub(recs[j-1].Start).Seconds())
+			}
+			return c.P(10)
+		}
+		delta = knee(p.Records) - knee(flat.Records)
+	}
+	b.ReportMetric(100*delta, "burstKneeGain%")
+}
+
+// --- Extension features (paper §5.1.1, §5.4, §6, reference [4]) ---
+
+func BenchmarkCutThrough(b *testing.B) {
+	p, _ := fixture(b)
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		// 1 MB/s application consumption, the paper's premise that apps
+		// read slower than the MSS delivers.
+		speedup = mss.CutThroughReport(p.Records, 1e6).Speedup()
+	}
+	b.ReportMetric(speedup, "perceivedSpeedup")
+}
+
+func BenchmarkTapeStriping(b *testing.B) {
+	var crossoverMB float64
+	for i := 0; i < b.N; i++ {
+		x := device.StripeCrossover(device.SiloTape3480, 4, units.Bytes(200*units.MB))
+		crossoverMB = x.MB()
+	}
+	b.ReportMetric(crossoverMB, "stripeWinAboveMB")
+}
+
+func BenchmarkOpticalSmallFiles(b *testing.B) {
+	p, _ := fixture(b)
+	// Small-file (disk-class) requests only, §5.4's candidate for an
+	// optical jukebox.
+	small := trace.Filter(p.Workload.Records, trace.OKOnly(), trace.ByDevice(device.ClassDisk))
+	if len(small) > 8000 {
+		small = small[:8000]
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		cfg := mss.DefaultConfig(int64(i))
+		base := mss.NewSimulator(cfg)
+		baseOut, err := base.Replay(small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg2 := mss.DefaultConfig(int64(i))
+		cfg2.SmallOnOptical = true
+		opt := mss.NewSimulator(cfg2)
+		optOut, err := opt.Replay(small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var bm, om stats.Moments
+		for j := range baseOut {
+			bm.Add(baseOut[j].Startup.Seconds())
+			om.Add(optOut[j].Startup.Seconds())
+		}
+		ratio = om.Mean() / bm.Mean()
+	}
+	b.ReportMetric(ratio, "opticalOverDiskLatency")
+}
+
+func BenchmarkStagingWriteBehind(b *testing.B) {
+	_, accs := fixture(b)
+	deduped := migration.DedupAccesses(accs, DedupWindow)
+	capacity := migration.TotalReferencedBytes(accs) / 50
+	var savedMin float64
+	for i := 0; i < b.N; i++ {
+		eager, lazy, err := migration.CompareWriteBehind(deduped, capacity, 2e6, 30*time.Minute)
+		if err != nil {
+			b.Fatal(err)
+		}
+		savedMin = (lazy.StallTime - eager.StallTime).Minutes()
+	}
+	b.ReportMetric(savedMin, "stallSavedMin")
+}
+
+// --- Substrate throughput ---
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := workload.Generate(workload.DefaultConfig(0.002, int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Records) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+func BenchmarkMSSReplay(b *testing.B) {
+	p, _ := fixture(b)
+	n := len(p.Workload.Records)
+	if n > 15000 {
+		n = 15000
+	}
+	recs := p.Workload.Records[:n]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := mss.NewSimulator(mss.DefaultConfig(int64(i)))
+		if _, err := sim.Replay(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

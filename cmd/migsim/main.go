@@ -1,0 +1,114 @@
+// Command migsim evaluates file migration policies against a trace: the
+// policy comparison of §2.3/§6 (STP, LRU, size, FIFO, SAAC, random, OPT),
+// capacity sweeps, the STP exponent sweep, and the eight-hour coalescing
+// analysis.
+//
+// Usage:
+//
+//	migsim -scale 0.01                      # policy comparison at 2% cache
+//	migsim -i trace.txt -capacity 0.015
+//	migsim -scale 0.01 -sweep               # capacity sweep for STP^1.4
+//	migsim -scale 0.01 -stp-sweep           # exponent ablation
+//	migsim -scale 0.01 -coalesce            # §6 savable-request analysis
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"filemig"
+	"filemig/internal/migration"
+	"filemig/internal/trace"
+	"filemig/internal/units"
+	"filemig/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("migsim: ")
+	var (
+		in       = flag.String("i", "", "input trace ('-' for stdin); empty = generate")
+		scale    = flag.Float64("scale", 0.01, "scale when generating")
+		seed     = flag.Int64("seed", 1, "seed")
+		capFrac  = flag.Float64("capacity", 0.02, "cache capacity as a fraction of referenced data")
+		sweep    = flag.Bool("sweep", false, "capacity sweep for STP^1.4")
+		stpSweep = flag.Bool("stp-sweep", false, "STP exponent sweep at the given capacity")
+		coalesce = flag.Bool("coalesce", false, "coalescing-window analysis")
+	)
+	flag.Parse()
+
+	recs, days := load(*in, *scale, *seed)
+	accs := migration.AccessesFromRecords(recs)
+	total := migration.TotalReferencedBytes(accs)
+	fmt.Printf("%d accesses to %s of distinct data\n\n", len(accs), total)
+
+	switch {
+	case *coalesce:
+		windows := []time.Duration{time.Hour, 4 * time.Hour, 8 * time.Hour,
+			16 * time.Hour, 24 * time.Hour}
+		fmt.Printf("%-10s %12s %12s %10s\n", "window", "requests", "savable", "fraction")
+		for _, r := range migration.CoalesceSweep(recs, windows) {
+			fmt.Printf("%-10s %12d %12d %9.1f%%\n",
+				r.Window, r.Requests, r.Savable, 100*r.SavableFraction())
+		}
+	case *sweep:
+		pts, err := migration.CapacitySweep(accs,
+			[]float64{0.005, 0.01, 0.015, 0.02, 0.05, 0.10},
+			func() migration.Policy { return migration.STP{K: 1.4} })
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(filemig.RenderSweep(pts))
+	case *stpSweep:
+		capacity := units.Bytes(float64(total) * *capFrac)
+		fmt.Printf("STP exponent sweep at %.1f%% cache (%s)\n", 100**capFrac, capacity)
+		var policies []migration.Policy
+		for _, k := range []float64{0, 0.5, 1.0, 1.4, 2.0, 4.0} {
+			policies = append(policies, migration.STP{K: k})
+		}
+		results, err := migration.ComparePolicies(accs, capacity, policies)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(filemig.RenderPolicyComparison(results, days))
+	default:
+		capacity := units.Bytes(float64(total) * *capFrac)
+		fmt.Printf("policy comparison at %.1f%% cache (%s)\n", 100**capFrac, capacity)
+		results, err := migration.ComparePolicies(accs, capacity, filemig.StandardPolicies(accs))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(filemig.RenderPolicyComparison(results, days))
+	}
+}
+
+func load(in string, scale float64, seed int64) ([]trace.Record, float64) {
+	if in == "" {
+		res, err := workload.Generate(workload.DefaultConfig(scale, seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Records, float64(res.Config.Days)
+	}
+	f := os.Stdin
+	if in != "-" {
+		var err error
+		f, err = os.Open(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+	}
+	recs, err := trace.ReadAll(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	days := 1.0
+	if len(recs) > 1 {
+		days = recs[len(recs)-1].Start.Sub(recs[0].Start).Hours() / 24
+	}
+	return recs, days
+}

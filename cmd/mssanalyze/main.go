@@ -1,0 +1,86 @@
+// Command mssanalyze runs the paper's analysis over a trace and prints
+// any or all of its tables and figures.
+//
+// Usage:
+//
+//	mssanalyze -i trace.txt -all
+//	mssanalyze -scale 0.02 -id table3 -id figure7
+//	tracegen -scale 0.01 -sim | mssanalyze -all
+//
+// With -scale and no -i, a synthetic trace is generated and simulated
+// in-process.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"filemig"
+	"filemig/internal/core"
+	"filemig/internal/trace"
+	"filemig/internal/workload"
+)
+
+type idList []string
+
+func (l *idList) String() string { return fmt.Sprint(*l) }
+func (l *idList) Set(v string) error {
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mssanalyze: ")
+	var ids idList
+	var (
+		in    = flag.String("i", "", "input trace file ('-' for stdin); empty = generate")
+		scale = flag.Float64("scale", 0.01, "scale when generating")
+		seed  = flag.Int64("seed", 1, "seed when generating")
+		all   = flag.Bool("all", false, "print every table and figure")
+	)
+	flag.Var(&ids, "id", "experiment to print (table3, figure7, ...); repeatable")
+	flag.Parse()
+
+	var p *filemig.Pipeline
+	if *in == "" {
+		var err error
+		p, err = filemig.Run(filemig.Config{Scale: *scale, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		f := os.Stdin
+		if *in != "-" {
+			var err error
+			f, err = os.Open(*in)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+		}
+		recs, err := trace.ReadAll(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a := core.New(core.Options{DedupWindow: workload.DedupWindow})
+		a.AddAll(recs)
+		p = &filemig.Pipeline{Records: recs, Report: a.Report()}
+	}
+
+	if *all || len(ids) == 0 {
+		for _, e := range filemig.Experiments() {
+			fmt.Printf("== %s ==\n%s\n", e.Title, e.Render(p))
+		}
+		return
+	}
+	for _, id := range ids {
+		e, ok := filemig.FindExperiment(id)
+		if !ok {
+			log.Fatalf("unknown experiment %q (try table3, figure7, periodicity, coalesce)", id)
+		}
+		fmt.Printf("== %s ==\n%s\n", e.Title, e.Render(p))
+	}
+}

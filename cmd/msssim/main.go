@@ -1,0 +1,114 @@
+// Command msssim replays a trace through the MSS simulator and reports
+// the latency decomposition and per-resource queueing statistics, with an
+// optional §6 write-behind mode.
+//
+// Usage:
+//
+//	msssim -i trace.txt
+//	msssim -scale 0.01 -write-behind
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"filemig/internal/device"
+	"filemig/internal/mss"
+	"filemig/internal/stats"
+	"filemig/internal/trace"
+	"filemig/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("msssim: ")
+	var (
+		in    = flag.String("i", "", "input trace ('-' for stdin); empty = generate")
+		scale = flag.Float64("scale", 0.01, "scale when generating")
+		seed  = flag.Int64("seed", 1, "seed")
+		wb    = flag.Bool("write-behind", false, "enable eager write-behind (§6)")
+		silo  = flag.Int("silo-drives", 0, "override silo drive count")
+		ops   = flag.Int("operators", 0, "override operator count")
+	)
+	flag.Parse()
+
+	var recs []trace.Record
+	if *in == "" {
+		res, err := workload.Generate(workload.DefaultConfig(*scale, *seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		recs = res.Records
+	} else {
+		f := os.Stdin
+		if *in != "-" {
+			var err error
+			f, err = os.Open(*in)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+		}
+		var err error
+		recs, err = trace.ReadAll(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cfg := mss.DefaultConfig(*seed)
+	cfg.WriteBehind = *wb
+	if *silo > 0 {
+		cfg.SiloDrives = *silo
+	}
+	if *ops > 0 {
+		cfg.Operators = *ops
+	}
+	sim := mss.NewSimulator(cfg)
+	out, err := sim.Replay(recs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	byDev := map[device.Class]*stats.CDF{}
+	var reads, writes stats.Moments
+	for _, r := range out {
+		if !r.OK() {
+			continue
+		}
+		c := byDev[r.Device]
+		if c == nil {
+			c = &stats.CDF{}
+			byDev[r.Device] = c
+		}
+		c.Add(r.Startup.Seconds())
+		if r.Op == trace.Read {
+			reads.Add(r.Startup.Seconds())
+		} else {
+			writes.Add(r.Startup.Seconds())
+		}
+	}
+	fmt.Printf("replayed %d requests (write-behind=%v)\n\n", len(out), *wb)
+	fmt.Printf("%-10s %10s %10s %10s %10s\n", "device", "n", "median(s)", "mean(s)", "p90(s)")
+	for _, dev := range []device.Class{device.ClassDisk, device.ClassSiloTape, device.ClassManualTape} {
+		c := byDev[dev]
+		if c == nil {
+			continue
+		}
+		fmt.Printf("%-10s %10d %10.1f %10.1f %10.1f\n",
+			dev, c.N(), c.Median(), c.Mean(), c.Quantile(0.9))
+	}
+	fmt.Printf("\nmean startup: reads %.1fs, writes %.1fs\n\n", reads.Mean(), writes.Mean())
+
+	fmt.Printf("%-14s %10s %12s %12s %10s %6s\n",
+		"resource", "arrivals", "mean wait", "max wait", "max queue", "util")
+	for _, st := range sim.ResourceStats() {
+		fmt.Printf("%-14s %10d %12s %12s %10d %5.1f%%\n",
+			st.Name, st.Arrivals, st.MeanWait.Truncate(1e6), st.MaxWait.Truncate(1e6),
+			st.MaxQueue, 100*st.Utilization)
+	}
+	done, skipped := sim.MountStats()
+	fmt.Printf("\ntape mounts: %d performed, %d avoided via mounted cartridges\n", done, skipped)
+}

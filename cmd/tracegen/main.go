@@ -1,0 +1,81 @@
+// Command tracegen synthesizes an NCAR-like mass-storage trace in the
+// paper's compact format (§4.2) and writes it to a file or stdout.
+//
+// Usage:
+//
+//	tracegen -scale 0.02 -seed 1 -o trace.txt
+//	tracegen -scale 0.01 -sim           # with simulated latencies
+//	tracegen -scale 0.001 -raw          # verbose system-log form (§4.1)
+//
+// Scale 1.0 reproduces the paper's two-year, ~3.5M-request trace; start
+// small.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"filemig/internal/mss"
+	"filemig/internal/trace"
+	"filemig/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracegen: ")
+	var (
+		scale    = flag.Float64("scale", 0.01, "workload scale relative to the paper (0,1]")
+		seed     = flag.Int64("seed", 1, "deterministic RNG seed")
+		days     = flag.Int("days", workload.PaperSpanDays, "trace length in days")
+		out      = flag.String("o", "-", "output file ('-' for stdout)")
+		sim      = flag.Bool("sim", false, "replay through the MSS simulator to fill latencies")
+		raw      = flag.Bool("raw", false, "emit the verbose system-log format instead")
+		noBursts = flag.Bool("no-bursts", false, "disable session burst packing")
+		noHoli   = flag.Bool("no-holidays", false, "disable the holiday calendar")
+	)
+	flag.Parse()
+
+	cfg := workload.DefaultConfig(*scale, *seed)
+	cfg.Days = *days
+	cfg.Bursts = !*noBursts
+	cfg.Holidays = !*noHoli
+	res, err := workload.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs := res.Records
+	if *sim {
+		s := mss.NewSimulator(mss.DefaultConfig(*seed))
+		recs, err = s.Replay(recs)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if *raw {
+		err = trace.WriteRawLog(w, recs)
+	} else {
+		err = trace.WriteAll(w, recs)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d records over %d days (%d files, %d users)\n",
+		len(recs), cfg.Days, cfg.Files, cfg.Users)
+}

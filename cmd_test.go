@@ -1,0 +1,92 @@
+package filemig
+
+// Smoke tests for the command-line tools: build each binary once and run
+// it on a tiny workload, verifying the end-user surface (flags, stdin
+// piping, output shape). Skipped under -short.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildTools(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping cmd smoke tests in -short mode")
+	}
+	dir := t.TempDir()
+	for _, tool := range []string{"tracegen", "mssanalyze", "msssim", "migsim"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	return dir
+}
+
+func TestCmdPipelines(t *testing.T) {
+	bin := buildTools(t)
+	run := func(name string, stdin []byte, args ...string) []byte {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		if stdin != nil {
+			cmd.Stdin = bytes.NewReader(stdin)
+		}
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%s %v: %v\nstderr: %s", name, args, err, stderr.String())
+		}
+		return stdout.Bytes()
+	}
+
+	// tracegen: generate a tiny simulated trace.
+	traceTxt := run("tracegen", nil, "-scale", "0.001", "-seed", "3", "-days", "60", "-sim")
+	if !bytes.HasPrefix(traceTxt, []byte("#filemig-trace")) {
+		t.Fatalf("tracegen output missing header: %.60s", traceTxt)
+	}
+	lines := bytes.Count(traceTxt, []byte("\n"))
+	if lines < 100 {
+		t.Fatalf("tracegen produced only %d lines", lines)
+	}
+
+	// tracegen -raw: verbose log form.
+	rawTxt := run("tracegen", nil, "-scale", "0.001", "-seed", "3", "-days", "30", "-raw")
+	if !bytes.Contains(rawTxt, []byte("MSCP: seq=")) {
+		t.Error("raw log missing MSCP lines")
+	}
+
+	// mssanalyze over the piped trace.
+	out := string(run("mssanalyze", traceTxt, "-i", "-", "-id", "table3", "-id", "figure8"))
+	for _, want := range []string{"Table 3", "References", "Figure 8", "never read"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mssanalyze output missing %q", want)
+		}
+	}
+
+	// msssim with write-behind over the same trace.
+	out = string(run("msssim", traceTxt, "-i", "-", "-write-behind"))
+	for _, want := range []string{"write-behind=true", "mscp", "operator", "tape mounts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("msssim output missing %q", want)
+		}
+	}
+
+	// migsim policy comparison and coalescing over the trace.
+	out = string(run("migsim", traceTxt, "-i", "-", "-capacity", "0.05"))
+	for _, want := range []string{"policy comparison", "OPT", "STP^1.4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("migsim output missing %q", want)
+		}
+	}
+	out = string(run("migsim", traceTxt, "-i", "-", "-coalesce"))
+	if !strings.Contains(out, "8h0m0s") {
+		t.Errorf("migsim coalesce output missing 8h row:\n%s", out)
+	}
+}

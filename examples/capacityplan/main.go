@@ -1,0 +1,70 @@
+// Capacity planning: how much staging disk does the Cray need in front of
+// the tape archive? Replays the reference string against caches of 0.5%
+// to 10% of the referenced data under each migration policy — the
+// experiment behind §2.3's observation that with STP a disk holding ~1.5%
+// of the tertiary store kept the miss ratio near 1%, costing only a few
+// person-minutes per day.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"filemig"
+	"filemig/internal/migration"
+	"filemig/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	p, err := filemig.Run(filemig.Config{Scale: 0.01, Seed: 11, SkipSimulation: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	accs := p.Accesses()
+	total := migration.TotalReferencedBytes(accs)
+	days := float64(p.Workload.Config.Days)
+	fmt.Printf("reference string: %d accesses, %s of distinct data\n\n", len(accs), total)
+
+	fractions := []float64{0.005, 0.01, 0.015, 0.02, 0.05, 0.10}
+	for _, mk := range []func() migration.Policy{
+		func() migration.Policy { return migration.STP{K: 1.4} },
+		func() migration.Policy { return migration.LRU{} },
+		func() migration.Policy { return migration.LargestFirst{} },
+	} {
+		name := mk().Name()
+		pts, err := migration.CapacitySweep(accs, fractions, mk)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("policy %s\n", name)
+		fmt.Printf("  %9s %9s %12s %16s\n", "capacity", "miss%", "byte miss%", "person-min/day")
+		for _, pt := range pts {
+			fmt.Printf("  %8.1f%% %8.2f%% %11.2f%% %16.1f\n",
+				100*pt.CapacityFraction,
+				100*pt.Result.MissRatio(),
+				100*pt.Result.ByteMissRatio(),
+				pt.Result.PersonMinutesPerDay(days, 75*time.Second))
+		}
+		fmt.Println()
+	}
+
+	// The §6 size-split ablation: how much cache does it take before the
+	// big files stop churning everything out? Report the capacity where
+	// STP's miss ratio first drops under 10%.
+	pts, err := migration.CapacitySweep(accs, fractions,
+		func() migration.Policy { return migration.STP{K: 1.4} })
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.Result.MissRatio() < 0.10 {
+			fmt.Printf("STP^1.4 reaches <10%% miss ratio at %.1f%% of the store (%s)\n",
+				100*pt.CapacityFraction,
+				units.Bytes(float64(total)*pt.CapacityFraction))
+			return
+		}
+	}
+	fmt.Println("STP^1.4 never reached a 10% miss ratio in the swept range")
+}

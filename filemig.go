@@ -1,0 +1,208 @@
+// Package filemig reproduces Miller & Katz, "An Analysis of File
+// Migration in a Unix Supercomputing Environment" (USENIX Winter 1993):
+// a trace-driven study of the NCAR mass storage system and its
+// implications for file migration algorithms.
+//
+// The package is the public facade over the internal pieces:
+//
+//	workload — calibrated synthetic two-year trace generator (the paper's
+//	           original logs are proprietary; the generator reproduces
+//	           every published aggregate)
+//	mss      — discrete-event simulator of the NCAR installation (disks,
+//	           tape silo, operator-mounted shelf tape) that supplies
+//	           request latencies
+//	core     — the paper's analysis: Tables 3-4 and Figures 3-12, plus
+//	           the day/week periodicity detection
+//	migration— STP/LRU/size/FIFO/SAAC/OPT policies, the disk-cache
+//	           simulator, request coalescing and prefetching
+//
+// The typical pipeline is Run, which generates a trace, replays it
+// through the simulator, and analyses the result:
+//
+//	rep, err := filemig.Run(filemig.Config{Scale: 0.02, Seed: 1})
+//	fmt.Print(core.RenderTable3(rep.Report.Table3))
+package filemig
+
+import (
+	"fmt"
+	"time"
+
+	"filemig/internal/core"
+	"filemig/internal/migration"
+	"filemig/internal/mss"
+	"filemig/internal/trace"
+	"filemig/internal/workload"
+)
+
+// Config configures an end-to-end pipeline run.
+type Config struct {
+	// Scale sizes the workload relative to the paper's two-year trace
+	// (905,000 files, ~3.5 M requests). Scale 1.0 is paper scale; tests
+	// and examples typically use 0.005-0.05. Must be in (0, 1].
+	Scale float64
+	// Seed makes the whole pipeline deterministic.
+	Seed int64
+	// Days shortens the trace from the paper's 731 days when positive.
+	Days int
+	// SkipSimulation leaves latency fields zero (faster; Table 3's
+	// latency rows and Figure 3 will be empty).
+	SkipSimulation bool
+	// WriteBehind runs the simulator with §6's eager write-behind.
+	WriteBehind bool
+	// Workload overrides individual generator knobs; zero fields keep
+	// the calibrated defaults.
+	Bursts   *bool
+	Holidays *bool
+}
+
+// Pipeline is the result of a Run: the generated artefacts, the simulated
+// trace, and the finished analysis.
+type Pipeline struct {
+	Workload *workload.Result
+	Records  []trace.Record // with simulated latencies unless SkipSimulation
+	Report   *core.Report
+	Sim      *mss.Simulator // nil when SkipSimulation
+}
+
+// Run executes generate → simulate → analyse.
+func Run(cfg Config) (*Pipeline, error) {
+	if cfg.Scale <= 0 || cfg.Scale > 1 {
+		return nil, fmt.Errorf("filemig: scale %v out of (0,1]", cfg.Scale)
+	}
+	wcfg := workload.DefaultConfig(cfg.Scale, cfg.Seed)
+	if cfg.Days > 0 {
+		wcfg.Days = cfg.Days
+	}
+	if cfg.Bursts != nil {
+		wcfg.Bursts = *cfg.Bursts
+	}
+	if cfg.Holidays != nil {
+		wcfg.Holidays = *cfg.Holidays
+	}
+	res, err := workload.Generate(wcfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{Workload: res, Records: res.Records}
+	if !cfg.SkipSimulation {
+		scfg := mss.DefaultConfig(cfg.Seed)
+		scfg.WriteBehind = cfg.WriteBehind
+		p.Sim = mss.NewSimulator(scfg)
+		p.Records, err = p.Sim.Replay(res.Records)
+		if err != nil {
+			return nil, err
+		}
+	}
+	a := core.New(core.Options{Start: wcfg.Start, Days: wcfg.Days, Tree: res.Tree})
+	a.AddAll(p.Records)
+	p.Report = a.Report()
+	return p, nil
+}
+
+// Accesses converts the pipeline's records into the migration
+// simulator's access string.
+func (p *Pipeline) Accesses() []migration.Access {
+	return migration.AccessesFromRecords(p.Records)
+}
+
+// Coalesce runs the §6 request-coalescing analysis at the paper's
+// eight-hour window.
+func (p *Pipeline) Coalesce() migration.CoalesceResult {
+	return migration.Coalesce(p.Records, workload.DedupWindow)
+}
+
+// StandardPolicies returns the paper-relevant online policy set plus the
+// offline OPT bound built for the given access string.
+func StandardPolicies(accs []migration.Access) []migration.Policy {
+	return []migration.Policy{
+		migration.STP{K: 1.4},
+		migration.STP{K: 1.0},
+		migration.LRU{},
+		migration.SAAC{},
+		migration.FIFO{},
+		migration.LargestFirst{},
+		migration.SmallestFirst{},
+		migration.NewRandom(1),
+		migration.NewOPT(migration.NewFutureIndex(accs)),
+	}
+}
+
+// Experiment identifies one reproducible table or figure.
+type Experiment struct {
+	ID     string // "table3", "figure7", ...
+	Title  string
+	Render func(p *Pipeline) string
+}
+
+// Experiments returns the full registry, in paper order. Each entry's
+// Render prints the reproduced table or figure from a finished pipeline.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Table 1: media comparison", func(*Pipeline) string {
+			return renderTable1()
+		}},
+		{"figure1", "Figure 1: storage pyramid", func(*Pipeline) string {
+			return renderFigure1()
+		}},
+		{"figure2", "Figure 2: NCAR network topology", func(*Pipeline) string {
+			return renderFigure2()
+		}},
+		{"table3", "Table 3: overall trace statistics", func(p *Pipeline) string {
+			return core.RenderTable3(p.Report.Table3)
+		}},
+		{"table4", "Table 4: file store statistics", func(p *Pipeline) string {
+			return core.RenderTable4(p.Report.Table4)
+		}},
+		{"figure3", "Figure 3: latency to first byte", func(p *Pipeline) string {
+			return core.RenderFigure3(p.Report)
+		}},
+		{"figure4", "Figure 4: data rate over a day", func(p *Pipeline) string {
+			return core.RenderFigure4(p.Report.Figure4)
+		}},
+		{"figure5", "Figure 5: data rate over a week", func(p *Pipeline) string {
+			return core.RenderFigure5(p.Report.Figure5)
+		}},
+		{"figure6", "Figure 6: weekly rate over two years", func(p *Pipeline) string {
+			return core.RenderFigure6(p.Report.Figure6)
+		}},
+		{"figure7", "Figure 7: intervals between MSS requests", func(p *Pipeline) string {
+			return core.RenderFigure7(p.Report.Figure7)
+		}},
+		{"figure8", "Figure 8: file reference counts", func(p *Pipeline) string {
+			return core.RenderFigure8(p.Report.Figure8)
+		}},
+		{"figure9", "Figure 9: per-file interreference intervals", func(p *Pipeline) string {
+			return core.RenderFigure9(p.Report.Figure9)
+		}},
+		{"figure10", "Figure 10: dynamic size distribution", func(p *Pipeline) string {
+			return core.RenderFigure10(p.Report.Figure10)
+		}},
+		{"figure11", "Figure 11: static size distribution", func(p *Pipeline) string {
+			return core.RenderFigure11(p.Report.Figure11)
+		}},
+		{"figure12", "Figure 12: directory size distribution", func(p *Pipeline) string {
+			return core.RenderFigure12(p.Report.Figure12)
+		}},
+		{"periodicity", "§5.2: request periodicity", func(p *Pipeline) string {
+			return core.RenderPeriodicity(p.Report)
+		}},
+		{"coalesce", "§6: requests savable by 8-hour coalescing", func(p *Pipeline) string {
+			r := p.Coalesce()
+			return fmt.Sprintf("Coalescing window %v: %d of %d requests savable (%.1f%%)\n",
+				r.Window, r.Savable, r.Requests, 100*r.SavableFraction())
+		}},
+	}
+}
+
+// FindExperiment returns the experiment with the given ID.
+func FindExperiment(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// DedupWindow re-exports the paper's §5.3 eight-hour analysis window.
+const DedupWindow = 8 * time.Hour

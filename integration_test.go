@@ -1,0 +1,169 @@
+package filemig
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"filemig/internal/core"
+	"filemig/internal/migration"
+	"filemig/internal/mss"
+	"filemig/internal/trace"
+)
+
+// TestPipelinePersistsThroughCodec is the full §4 loop: simulate, encode
+// to the compact ASCII format, decode, re-analyse — the decoded trace
+// must yield the same Table 3 as the in-memory one (start times truncate
+// to whole seconds, which cannot move a record across an hour boundary
+// often enough to matter here, and never changes counts or sizes).
+func TestPipelinePersistsThroughCodec(t *testing.T) {
+	p := pipeline(t)
+
+	var buf bytes.Buffer
+	if err := trace.WriteAll(&buf, p.Records); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	decoded, err := trace.ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(decoded) != len(p.Records) {
+		t.Fatalf("decoded %d records, want %d", len(decoded), len(p.Records))
+	}
+
+	a := core.New(core.Options{Start: p.Workload.Config.Start, Days: p.Workload.Config.Days})
+	a.AddAll(decoded)
+	rep := a.Report()
+
+	want := p.Report.Table3
+	got := rep.Table3
+	if got.TotalRefs != want.TotalRefs || got.ErrorRefs != want.ErrorRefs {
+		t.Errorf("reference counts changed through codec: %d/%d vs %d/%d",
+			got.TotalRefs, got.ErrorRefs, want.TotalRefs, want.ErrorRefs)
+	}
+	if got.Total().Bytes != want.Total().Bytes {
+		t.Errorf("byte totals changed through codec: %v vs %v",
+			got.Total().Bytes, want.Total().Bytes)
+	}
+	// Latency means survive at one-second resolution.
+	g := got.Total().MeanLatency.Round(time.Second)
+	w := want.Total().MeanLatency.Round(time.Second)
+	if d := g - w; d < -time.Second || d > time.Second {
+		t.Errorf("mean latency moved %v through the codec", d)
+	}
+}
+
+// TestRawLogPipeline exercises the other §4 direction: verbose system
+// log → converter → analysis, as the authors' preprocessing did.
+func TestRawLogPipeline(t *testing.T) {
+	p := pipeline(t)
+	n := len(p.Records)
+	if n > 3000 {
+		n = 3000
+	}
+	recs := p.Records[:n]
+	var raw bytes.Buffer
+	if err := trace.WriteRawLog(&raw, recs); err != nil {
+		t.Fatal(err)
+	}
+	converted, skipped, err := trace.ConvertRawLog(&raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("converter skipped %d lines", skipped)
+	}
+	if len(converted) != n {
+		t.Fatalf("converted %d records, want %d", len(converted), n)
+	}
+	var okWant, okGot int
+	for i := range recs {
+		if recs[i].OK() {
+			okWant++
+		}
+		if converted[i].OK() {
+			okGot++
+		}
+	}
+	if okGot != okWant {
+		t.Errorf("error classification changed: %d vs %d OK records", okGot, okWant)
+	}
+}
+
+// TestCoalesceMonotonicWindows is a property test over the real trace:
+// widening the window can only save more.
+func TestCoalesceMonotonicWindows(t *testing.T) {
+	p := pipeline(t)
+	recs := p.Records
+	if len(recs) > 8000 {
+		recs = recs[:8000]
+	}
+	f := func(h1, h2 uint8) bool {
+		a := time.Duration(h1%25) * time.Hour
+		b := time.Duration(h2%25) * time.Hour
+		if a > b {
+			a, b = b, a
+		}
+		return migration.Coalesce(recs, a).Savable <= migration.Coalesce(recs, b).Savable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDedupNeverIncreases is a property test: the §5.3 dedup of an access
+// string never grows it, and deduping twice is idempotent.
+func TestDedupNeverIncreases(t *testing.T) {
+	p := pipeline(t)
+	accs := p.Accesses()
+	if len(accs) > 10000 {
+		accs = accs[:10000]
+	}
+	once := migration.DedupAccesses(accs, DedupWindow)
+	if len(once) > len(accs) {
+		t.Fatalf("dedup grew the string: %d > %d", len(once), len(accs))
+	}
+	twice := migration.DedupAccesses(once, DedupWindow)
+	if len(twice) != len(once) {
+		t.Errorf("dedup not idempotent: %d vs %d", len(twice), len(once))
+	}
+}
+
+// TestStagingOnRealTrace runs the §6 staging comparison on the real
+// generated workload rather than a synthetic string.
+func TestStagingOnRealTrace(t *testing.T) {
+	p := pipeline(t)
+	accs := migration.DedupAccesses(p.Accesses(), DedupWindow)
+	capacity := migration.TotalReferencedBytes(accs) / 50
+	eager, lazy, err := migration.CompareWriteBehind(accs, capacity, 2e6, 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eager.StallTime > lazy.StallTime {
+		t.Errorf("eager stall %v exceeds lazy stall %v", eager.StallTime, lazy.StallTime)
+	}
+	if eager.CopiedBytes == 0 {
+		t.Error("eager manager copied nothing to tape")
+	}
+	if eager.Reads != lazy.Reads || eager.Writes != lazy.Writes {
+		t.Error("managers disagree on the access counts")
+	}
+}
+
+// TestCutThroughOnRealTrace checks §5.1.1's premise end to end: with an
+// application consuming slower than the MSS delivers, cut-through always
+// helps and never hurts.
+func TestCutThroughOnRealTrace(t *testing.T) {
+	p := pipeline(t)
+	for _, rate := range []float64{0.5e6, 1e6, 4e6} {
+		res := mss.CutThroughReport(p.Records, rate)
+		if res.CutThroughMean > res.BaselineMean {
+			t.Errorf("rate %v: cut-through (%v) worse than baseline (%v)",
+				rate, res.CutThroughMean, res.BaselineMean)
+		}
+		if res.Speedup() < 1 {
+			t.Errorf("rate %v: speedup %v < 1", rate, res.Speedup())
+		}
+	}
+}

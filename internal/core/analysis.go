@@ -1,0 +1,248 @@
+// Package core is the paper's primary contribution rebuilt as a library:
+// the two-part analysis of MSS trace data. Part one characterises the
+// whole system — request mix and latency (Table 3, Figure 3), daily,
+// weekly, and two-year usage rhythm (Figures 4-6), inter-request intervals
+// (Figure 7) and their periodicity (§5.2). Part two characterises
+// individual files — reference counts under the eight-hour dedup rule
+// (Figure 8), per-file interreference intervals (Figure 9), dynamic and
+// static size distributions (Figures 10-11), directory sizes (Figure 12),
+// and the file-store summary (Table 4). Everything is computed in one
+// streaming pass over a trace.
+package core
+
+import (
+	"strings"
+	"time"
+
+	"filemig/internal/device"
+	"filemig/internal/namespace"
+	"filemig/internal/stats"
+	"filemig/internal/trace"
+	"filemig/internal/units"
+	"filemig/internal/workload"
+)
+
+// Options configures an Analysis pass.
+type Options struct {
+	// Start and Days bound the calendar series (Figures 4-6). When Start
+	// is zero it is taken from the first record; when Days is zero it is
+	// sized from the data.
+	Start time.Time
+	Days  int
+
+	// DedupWindow is §5.3's rule: at most one read and one write per file
+	// per window. Zero means the paper's eight hours.
+	DedupWindow time.Duration
+
+	// Tree, when set, supplies the full MSS namespace for Table 4's
+	// directory rows and Figure 12. A trace only reveals directories
+	// holding referenced files; the real archive — like NCAR's — also
+	// carries empty directories ("more than half of the directories had
+	// only zero or one file"), which only the namespace knows about.
+	// When nil, directory statistics are derived from the trace alone
+	// and are conditioned on non-emptiness.
+	Tree *namespace.Tree
+}
+
+// Analysis accumulates one streaming pass. Create with New, feed records
+// in time order with Add, then call Report.
+type Analysis struct {
+	opts  Options
+	start time.Time
+	days  int
+
+	// Table 3 accumulators: [op][device class].
+	refs    map[trace.Op]map[device.Class]int64
+	bytes   map[trace.Op]map[device.Class]int64
+	latency map[trace.Op]map[device.Class]*stats.Moments
+	errors  int64
+	total   int64
+
+	// Figure 3: latency to first byte per device.
+	latCDF map[device.Class]*stats.CDF
+
+	// Figures 4-6: calendar series, GB and request counts.
+	hourBytes  [24][2]float64 // [hour][op]
+	hourCount  [24][2]int64
+	dayBytes   [7][2]float64
+	weekBytes  map[int][2]float64 // week index -> [op] bytes
+	hourlyReqs []float64          // request count per absolute hour (periodicity)
+	hourlyRead []float64
+
+	// Figure 7: global inter-request intervals.
+	lastStart time.Time
+	interCDF  *stats.CDF
+
+	// Part two: per-file state (keyed by MSS path).
+	files map[string]*fileState
+
+	// Figure 10: dynamic size distributions.
+	dynFiles map[trace.Op]*stats.CDF
+	dynBytes map[trace.Op]*stats.WeightedCDF
+}
+
+type fileState struct {
+	size      units.Bytes
+	reads     int64
+	writes    int64
+	lastRead  time.Time
+	lastWrite time.Time
+	lastDedup time.Time // last access surviving dedup, either op
+	gaps      []float64 // interreference intervals in days (deduped)
+	everRead  bool
+	everWrite bool
+}
+
+// New builds an Analysis.
+func New(opts Options) *Analysis {
+	if opts.DedupWindow == 0 {
+		opts.DedupWindow = workload.DedupWindow
+	}
+	a := &Analysis{
+		opts:      opts,
+		refs:      map[trace.Op]map[device.Class]int64{},
+		bytes:     map[trace.Op]map[device.Class]int64{},
+		latency:   map[trace.Op]map[device.Class]*stats.Moments{},
+		latCDF:    map[device.Class]*stats.CDF{},
+		weekBytes: map[int][2]float64{},
+		interCDF:  &stats.CDF{},
+		files:     map[string]*fileState{},
+		dynFiles:  map[trace.Op]*stats.CDF{trace.Read: {}, trace.Write: {}},
+		dynBytes:  map[trace.Op]*stats.WeightedCDF{trace.Read: {}, trace.Write: {}},
+	}
+	for _, op := range []trace.Op{trace.Read, trace.Write} {
+		a.refs[op] = map[device.Class]int64{}
+		a.bytes[op] = map[device.Class]int64{}
+		a.latency[op] = map[device.Class]*stats.Moments{}
+	}
+	return a
+}
+
+// Add feeds one record. Records must arrive in non-decreasing start order.
+func (a *Analysis) Add(r *trace.Record) {
+	a.total++
+	if a.start.IsZero() {
+		a.start = a.opts.Start
+		if a.start.IsZero() {
+			a.start = r.Start.Truncate(24 * time.Hour)
+		}
+	}
+	if !r.OK() {
+		// The paper excludes error references from all analysis (§5.1).
+		a.errors++
+		return
+	}
+	day := int(r.Start.Sub(a.start) / (24 * time.Hour))
+	if day+1 > a.days {
+		a.days = day + 1
+	}
+
+	// Table 3.
+	a.refs[r.Op][r.Device]++
+	a.bytes[r.Op][r.Device] += int64(r.Size)
+	m := a.latency[r.Op][r.Device]
+	if m == nil {
+		m = &stats.Moments{}
+		a.latency[r.Op][r.Device] = m
+	}
+	if r.Startup > 0 {
+		m.Add(r.Startup.Seconds())
+	}
+
+	// Figure 3.
+	if r.Startup > 0 {
+		c := a.latCDF[r.Device]
+		if c == nil {
+			c = &stats.CDF{}
+			a.latCDF[r.Device] = c
+		}
+		c.Add(r.Startup.Seconds())
+	}
+
+	// Figures 4-6.
+	opIdx := 0
+	if r.Op == trace.Write {
+		opIdx = 1
+	}
+	gb := float64(r.Size) / float64(units.GB)
+	a.hourBytes[r.Start.Hour()][opIdx] += gb
+	a.hourCount[r.Start.Hour()][opIdx]++
+	a.dayBytes[int(r.Start.Weekday())][opIdx] += gb
+	week := day / 7
+	wb := a.weekBytes[week]
+	wb[opIdx] += gb
+	a.weekBytes[week] = wb
+
+	// Periodicity series.
+	hourIdx := int(r.Start.Sub(a.start) / time.Hour)
+	if hourIdx >= 0 {
+		for len(a.hourlyReqs) <= hourIdx {
+			a.hourlyReqs = append(a.hourlyReqs, 0)
+			a.hourlyRead = append(a.hourlyRead, 0)
+		}
+		a.hourlyReqs[hourIdx]++
+		if r.Op == trace.Read {
+			a.hourlyRead[hourIdx]++
+		}
+	}
+
+	// Figure 7.
+	if !a.lastStart.IsZero() {
+		a.interCDF.Add(r.Start.Sub(a.lastStart).Seconds())
+	}
+	a.lastStart = r.Start
+
+	// Figure 10 (dynamic sizes): every access counts.
+	a.dynFiles[r.Op].Add(float64(r.Size))
+	a.dynBytes[r.Op].Add(float64(r.Size), float64(r.Size))
+
+	// Part two per-file state with dedup.
+	f := a.files[r.MSSPath]
+	if f == nil {
+		f = &fileState{}
+		a.files[r.MSSPath] = f
+	}
+	f.size = r.Size
+	survives := false
+	if r.Op == trace.Read {
+		if !f.everRead || r.Start.Sub(f.lastRead) >= a.opts.DedupWindow {
+			f.reads++
+			f.lastRead = r.Start
+			f.everRead = true
+			survives = true
+		}
+	} else {
+		if !f.everWrite || r.Start.Sub(f.lastWrite) >= a.opts.DedupWindow {
+			f.writes++
+			f.lastWrite = r.Start
+			f.everWrite = true
+			survives = true
+		}
+	}
+	if survives {
+		if !f.lastDedup.IsZero() {
+			f.gaps = append(f.gaps, r.Start.Sub(f.lastDedup).Hours()/24)
+		}
+		f.lastDedup = r.Start
+	}
+}
+
+// AddAll feeds a whole slice.
+func (a *Analysis) AddAll(recs []trace.Record) {
+	for i := range recs {
+		a.Add(&recs[i])
+	}
+}
+
+// dirOf extracts the directory of an MSS path.
+func dirOf(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i > 0 {
+		return path[:i]
+	}
+	return "/"
+}
+
+// depthOf counts path components below the root.
+func depthOf(path string) int {
+	return strings.Count(path, "/")
+}

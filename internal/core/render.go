@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"filemig/internal/stats"
+	"filemig/internal/trace"
+	"filemig/internal/units"
+)
+
+// This file renders each table and figure the way the paper prints them:
+// Table 3's rows with read/write/total columns and percentages, and each
+// figure as the series of (x, cumulative %) or (x, rate) points one would
+// plot.
+
+// RenderTable3 prints the overall trace statistics like the paper's
+// Table 3.
+func RenderTable3(t Table3) string {
+	var b strings.Builder
+	pct := func(part, whole int64) string {
+		if whole == 0 {
+			return "(—)"
+		}
+		return fmt.Sprintf("(%.0f%%)", 100*float64(part)/float64(whole))
+	}
+	pctF := func(part, whole units.Bytes) string {
+		if whole == 0 {
+			return "(—)"
+		}
+		return fmt.Sprintf("(%.0f%%)", 100*float64(part)/float64(whole))
+	}
+	total := t.Total()
+	readT, writeT := t.OpTotal(trace.Read), t.OpTotal(trace.Write)
+
+	fmt.Fprintf(&b, "%-22s %16s %8s %16s %8s %16s\n", "", "Reads", "", "Writes", "", "Total")
+	fmt.Fprintf(&b, "%-22s %16d %8s %16d %8s %16d\n", "References",
+		readT.Refs, pct(readT.Refs, total.Refs),
+		writeT.Refs, pct(writeT.Refs, total.Refs), total.Refs)
+	for _, dev := range RefDevices {
+		dt := t.DevTotal(dev)
+		fmt.Fprintf(&b, "  %-20s %16d %8s %16d %8s %16d %8s\n", dev,
+			t.Cells[trace.Read][dev].Refs, pct(t.Cells[trace.Read][dev].Refs, dt.Refs),
+			t.Cells[trace.Write][dev].Refs, pct(t.Cells[trace.Write][dev].Refs, dt.Refs),
+			dt.Refs, pct(dt.Refs, total.Refs))
+	}
+	fmt.Fprintf(&b, "%-22s %16.1f %8s %16.1f %8s %16.1f\n", "GB transferred",
+		readT.Bytes.GB(), pctF(readT.Bytes, total.Bytes),
+		writeT.Bytes.GB(), pctF(writeT.Bytes, total.Bytes), total.Bytes.GB())
+	for _, dev := range RefDevices {
+		dt := t.DevTotal(dev)
+		fmt.Fprintf(&b, "  %-20s %16.1f %8s %16.1f %8s %16.1f %8s\n", dev,
+			t.Cells[trace.Read][dev].Bytes.GB(), pctF(t.Cells[trace.Read][dev].Bytes, dt.Bytes),
+			t.Cells[trace.Write][dev].Bytes.GB(), pctF(t.Cells[trace.Write][dev].Bytes, dt.Bytes),
+			dt.Bytes.GB(), pctF(dt.Bytes, total.Bytes))
+	}
+	fmt.Fprintf(&b, "%-22s %16.2f %8s %16.2f %8s %16.2f\n", "Avg. file size (MB)",
+		readT.AvgFileSize().MB(), "", writeT.AvgFileSize().MB(), "", total.AvgFileSize().MB())
+	for _, dev := range RefDevices {
+		dt := t.DevTotal(dev)
+		fmt.Fprintf(&b, "  %-20s %16.2f %8s %16.2f %8s %16.2f\n", dev,
+			t.Cells[trace.Read][dev].AvgFileSize().MB(), "",
+			t.Cells[trace.Write][dev].AvgFileSize().MB(), "", dt.AvgFileSize().MB())
+	}
+	fmt.Fprintf(&b, "%-22s %16.1f %8s %16.1f %8s %16.1f\n", "Secs to first byte",
+		readT.MeanLatency.Seconds(), "", writeT.MeanLatency.Seconds(), "", total.MeanLatency.Seconds())
+	for _, dev := range RefDevices {
+		dt := t.DevTotal(dev)
+		fmt.Fprintf(&b, "  %-20s %16.1f %8s %16.1f %8s %16.1f\n", dev,
+			t.Cells[trace.Read][dev].MeanLatency.Seconds(), "",
+			t.Cells[trace.Write][dev].MeanLatency.Seconds(), "", dt.MeanLatency.Seconds())
+	}
+	fmt.Fprintf(&b, "%-22s %16d (%.2f%% of %d)\n", "Error references",
+		t.ErrorRefs, 100*float64(t.ErrorRefs)/float64(maxI64(t.GrandTotal, 1)), t.GrandTotal)
+	return b.String()
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RenderTable4 prints the file-store summary like the paper's Table 4.
+func RenderTable4(t Table4) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %16d\n", "Number of files", t.NumFiles)
+	fmt.Fprintf(&b, "%-28s %16s\n", "Average file size", t.AvgFileSize)
+	fmt.Fprintf(&b, "%-28s %16d\n", "Number of directories", t.NumDirs)
+	fmt.Fprintf(&b, "%-28s %10d files\n", "Largest directory", t.LargestDir)
+	fmt.Fprintf(&b, "%-28s %16d\n", "Maximum directory depth", t.MaxDepth)
+	fmt.Fprintf(&b, "%-28s %16s\n", "Total data in MSS", t.TotalData)
+	fmt.Fprintf(&b, "%-28s %15.0f%%\n", "Metadata never rereferenced", 100*t.NeverReread)
+	return b.String()
+}
+
+// RenderCDF prints a CDF sampled at the given points with a label/unit.
+func RenderCDF(name string, c interface{ P(float64) float64 }, xs []float64, unit string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", name)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "  %12g %-8s %6.1f%%\n", x, unit, 100*c.P(x))
+	}
+	return b.String()
+}
+
+// RenderFigure3 prints the latency CDFs at the paper's 0-400 s range.
+func RenderFigure3(r *Report) string {
+	xs := []float64{5, 10, 25, 50, 100, 200, 300, 400}
+	var b strings.Builder
+	b.WriteString("Figure 3: latency to first byte (cumulative % of requests)\n")
+	fmt.Fprintf(&b, "  %8s", "secs")
+	for _, dev := range RefDevices {
+		fmt.Fprintf(&b, " %10s", dev)
+	}
+	b.WriteString("\n")
+	for _, x := range xs {
+		fmt.Fprintf(&b, "  %8g", x)
+		for _, dev := range RefDevices {
+			c := r.Figure3[dev]
+			if c == nil {
+				fmt.Fprintf(&b, " %10s", "—")
+				continue
+			}
+			fmt.Fprintf(&b, " %9.1f%%", 100*c.P(x))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderFigure4 prints the hourly profile.
+func RenderFigure4(f Figure4) string {
+	var b strings.Builder
+	b.WriteString("Figure 4: average GB transferred per hour of day\n")
+	fmt.Fprintf(&b, "  %4s %10s %10s %10s\n", "hour", "reads", "writes", "total")
+	for h := 0; h < 24; h++ {
+		fmt.Fprintf(&b, "  %4d %10.3f %10.3f %10.3f\n", h, f.ReadRate(h), f.WriteRate(h), f.Rate(h))
+	}
+	return b.String()
+}
+
+// RenderFigure5 prints the weekday profile.
+func RenderFigure5(f Figure5) string {
+	names := []string{"Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"}
+	var b strings.Builder
+	b.WriteString("Figure 5: average GB/hour by day of week\n")
+	fmt.Fprintf(&b, "  %4s %10s %10s %10s\n", "day", "reads", "writes", "total")
+	for d := 0; d < 7; d++ {
+		fmt.Fprintf(&b, "  %4s %10.3f %10.3f %10.3f\n", names[d],
+			f.ReadRate(d), f.WriteRate(d), f.ReadRate(d)+f.WriteRate(d))
+	}
+	return b.String()
+}
+
+// RenderFigure6 prints the weekly series.
+func RenderFigure6(f Figure6) string {
+	var b strings.Builder
+	b.WriteString("Figure 6: weekly average transfer rate (GB/hour)\n")
+	fmt.Fprintf(&b, "  %5s %10s %10s %10s\n", "week", "reads", "writes", "total")
+	for _, w := range f.Weeks {
+		fmt.Fprintf(&b, "  %5d %10.3f %10.3f %10.3f\n", w.Week, w.ReadGBh, w.WriteGBh, w.ReadGBh+w.WriteGBh)
+	}
+	return b.String()
+}
+
+// RenderFigure7 prints the inter-request interval CDF.
+func RenderFigure7(c *stats.CDF) string {
+	return RenderCDF("Figure 7: intervals between MSS requests",
+		c, []float64{1, 2, 5, 10, 30, 60, 100, 400}, "sec")
+}
+
+// RenderFigure8 prints the reference-count distribution and headline
+// fractions.
+func RenderFigure8(f Figure8) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: per-file reference counts (8-hour dedup)\n")
+	fmt.Fprintf(&b, "  files analysed            %12d\n", f.Files)
+	fmt.Fprintf(&b, "  never read                %11.1f%%\n", 100*f.ZeroReadFrac)
+	fmt.Fprintf(&b, "  read exactly once         %11.1f%%\n", 100*f.OneReadFrac)
+	fmt.Fprintf(&b, "  never written             %11.1f%%\n", 100*f.ZeroWriteFrac)
+	fmt.Fprintf(&b, "  written exactly once      %11.1f%%\n", 100*f.OneWriteFrac)
+	fmt.Fprintf(&b, "  accessed exactly once     %11.1f%%\n", 100*f.ExactlyOnceFrac)
+	fmt.Fprintf(&b, "  accessed exactly twice    %11.1f%%\n", 100*f.ExactlyTwiceFrac)
+	fmt.Fprintf(&b, "  write-once-never-read     %11.1f%%\n", 100*f.WriteOnceNeverReadFrac)
+	fmt.Fprintf(&b, "  more than ten references  %11.1f%%\n", 100*f.MoreThanTenFrac)
+	for _, x := range []float64{1, 2, 5, 10, 100, 250} {
+		fmt.Fprintf(&b, "  refs <= %-6g reads %5.1f%%  writes %5.1f%%  total %5.1f%%\n",
+			x, 100*f.Reads.P(x), 100*f.Writes.P(x), 100*f.Total.P(x))
+	}
+	return b.String()
+}
+
+// RenderFigure9 prints the per-file interreference interval CDF.
+func RenderFigure9(c *stats.CDF) string {
+	return RenderCDF("Figure 9: intervals between successive references to the same file",
+		c, []float64{1, 10, 30, 100, 300}, "days")
+}
+
+// RenderFigure10 prints the dynamic size distributions.
+func RenderFigure10(f Figure10) string {
+	xs := []float64{0.1e6, 1e6, 8e6, 10e6, 30e6, 100e6, 200e6}
+	var b strings.Builder
+	b.WriteString("Figure 10: size distribution of transfers (per access)\n")
+	fmt.Fprintf(&b, "  %8s %11s %13s %10s %12s\n", "MB", "files read", "files written", "data read", "data written")
+	for _, x := range xs {
+		fmt.Fprintf(&b, "  %8.1f %10.1f%% %12.1f%% %9.1f%% %11.1f%%\n", x/1e6,
+			100*f.FilesRead.P(x), 100*f.FilesWritten.P(x),
+			100*f.DataRead.P(x), 100*f.DataWritten.P(x))
+	}
+	return b.String()
+}
+
+// RenderFigure11 prints the static size distributions.
+func RenderFigure11(f Figure11) string {
+	xs := []float64{0.02e6, 0.1e6, 1e6, 3e6, 10e6, 100e6, 200e6}
+	var b strings.Builder
+	b.WriteString("Figure 11: distribution of file sizes on the MSS (per file)\n")
+	fmt.Fprintf(&b, "  %8s %10s %10s\n", "MB", "files", "data")
+	for _, x := range xs {
+		fmt.Fprintf(&b, "  %8.2f %9.1f%% %9.1f%%\n", x/1e6, 100*f.Files.P(x), 100*f.Data.P(x))
+	}
+	return b.String()
+}
+
+// RenderFigure12 prints the directory size distributions.
+func RenderFigure12(f Figure12) string {
+	xs := []float64{1, 10, 100, 1000, 10000, 100000}
+	var b strings.Builder
+	b.WriteString("Figure 12: distribution of directory sizes (files per directory)\n")
+	fmt.Fprintf(&b, "  %8s %10s %10s %10s\n", "files", "dirs", "files", "data")
+	for _, x := range xs {
+		fmt.Fprintf(&b, "  %8g %9.1f%% %9.1f%% %9.1f%%\n", x,
+			100*f.Dirs.P(x), 100*f.Files.P(x), 100*f.Data.P(x))
+	}
+	return b.String()
+}
+
+// RenderPeriodicity prints the dominant periods of the request stream.
+func RenderPeriodicity(r *Report) string {
+	periods := r.DominantPeriods(4)
+	var b strings.Builder
+	b.WriteString("Periodicity of MSS requests (dominant periods, hours):")
+	for _, p := range periods {
+		fmt.Fprintf(&b, " %.0f", p)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

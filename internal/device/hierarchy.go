@@ -1,0 +1,128 @@
+package device
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"filemig/internal/units"
+)
+
+// Level is one tier of the storage pyramid (Figure 1). Cost and speed
+// increase going up; capacity increases going down.
+type Level struct {
+	Name       string
+	TypicalLat time.Duration // typical access latency
+	CostPerGB  float64       // dollars per decimal GB (1992 prices)
+	Capacity   units.Bytes   // typical installed capacity at a centre like NCAR
+}
+
+// Hierarchy returns the Figure 1 storage pyramid, top (fastest, smallest,
+// most expensive) first, with representative 1992 figures drawn from the
+// paper (§2, §3.1: 64 MW Cray memory, 56 GB Cray disk, 100 GB MSS disk,
+// 1.2 TB silo, ~25 TB shelf tape).
+func Hierarchy() []Level {
+	return []Level{
+		{Name: "CPU cache", TypicalLat: 10 * time.Nanosecond, CostPerGB: 1e6, Capacity: units.Bytes(4 * units.MB)},
+		{Name: "main memory", TypicalLat: 100 * time.Nanosecond, CostPerGB: 1e5, Capacity: units.Bytes(512 * units.MB)},
+		{Name: "solid state disk", TypicalLat: 100 * time.Microsecond, CostPerGB: 3e4, Capacity: units.Bytes(1 * units.GB)},
+		{Name: "magnetic disk", TypicalLat: 20 * time.Millisecond, CostPerGB: 2000, Capacity: units.Bytes(156 * units.GB)},
+		{Name: "robotically accessed tape/optical disk", TypicalLat: 30 * time.Second, CostPerGB: 25, Capacity: units.Bytes(1200 * units.GB)},
+		{Name: "shelf-stored tape/optical disk", TypicalLat: 3 * time.Minute, CostPerGB: 8, Capacity: units.Bytes(25 * units.TB)},
+	}
+}
+
+// HierarchyInvariant reports an error if the pyramid violates its defining
+// monotonicity: latency and capacity must increase downward while cost per
+// gigabyte decreases. Used by tests and the mssanalyze self-checks.
+func HierarchyInvariant(levels []Level) error {
+	for i := 1; i < len(levels); i++ {
+		hi, lo := levels[i-1], levels[i]
+		if lo.TypicalLat <= hi.TypicalLat {
+			return fmt.Errorf("device: level %q latency %v not above %q latency %v",
+				lo.Name, lo.TypicalLat, hi.Name, hi.TypicalLat)
+		}
+		if lo.CostPerGB >= hi.CostPerGB {
+			return fmt.Errorf("device: level %q cost %v not below %q cost %v",
+				lo.Name, lo.CostPerGB, hi.Name, hi.CostPerGB)
+		}
+		if lo.Capacity <= hi.Capacity {
+			return fmt.Errorf("device: level %q capacity %v not above %q capacity %v",
+				lo.Name, lo.Capacity, hi.Name, hi.Capacity)
+		}
+	}
+	return nil
+}
+
+// RenderHierarchy formats the pyramid as an aligned text table (the
+// reproduction of Figure 1).
+func RenderHierarchy(levels []Level) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-42s %14s %12s %12s\n", "level", "latency", "$/GB", "capacity")
+	for _, l := range levels {
+		fmt.Fprintf(&b, "%-42s %14s %12.0f %12s\n", l.Name, l.TypicalLat, l.CostPerGB, l.Capacity)
+	}
+	return b.String()
+}
+
+// ComparisonRow is one column of Table 1 transposed into a row per medium.
+type ComparisonRow struct {
+	Name          string
+	MediaCapacity units.Bytes
+	RandomAccess  time.Duration
+	PeakRateMBs   float64
+	CostPerGB     float64
+}
+
+// Table1 returns the paper's media comparison for the three Table 1
+// devices, in the paper's column order: optical jukebox, linear tape,
+// helical-scan tape.
+func Table1() []ComparisonRow {
+	rows := make([]ComparisonRow, 0, 3)
+	for _, p := range []Profile{OpticalJukebox, IBM3490, AmpexD2} {
+		rows = append(rows, ComparisonRow{
+			Name:          p.Name,
+			MediaCapacity: p.MediaCapacity,
+			RandomAccess:  p.RandomAccess,
+			PeakRateMBs:   p.PeakRate / 1e6,
+			CostPerGB:     p.CostPerGB,
+		})
+	}
+	return rows
+}
+
+// RenderTable1 formats Table1 like the paper's Table 1.
+func RenderTable1(rows []ComparisonRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %14s %14s %12s %10s\n",
+		"medium", "capacity", "random access", "MB/sec", "$/GB")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %14s %14s %12.2f %10.0f\n",
+			r.Name, r.MediaCapacity, r.RandomAccess, r.PeakRateMBs, r.CostPerGB)
+	}
+	return b.String()
+}
+
+// CrossoverSize returns the transfer size at which medium b becomes faster
+// than medium a for a cold whole-file read (§2.2: tape beats optical disk
+// for large supercomputer files despite worse first-byte latency). It
+// searches by bisection over [1 byte, maxSize]; returns maxSize+1 if b
+// never wins.
+func CrossoverSize(a, b *Profile, maxSize units.Bytes) units.Bytes {
+	f := func(s units.Bytes) bool {
+		return b.TimeToLastByte(s) < a.TimeToLastByte(s)
+	}
+	if !f(maxSize) {
+		return maxSize + 1
+	}
+	lo, hi := units.Bytes(1), maxSize
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if f(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,115 @@
+package device
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"filemig/internal/units"
+)
+
+func TestHierarchyInvariantHolds(t *testing.T) {
+	if err := HierarchyInvariant(Hierarchy()); err != nil {
+		t.Fatalf("pyramid violates Figure 1 monotonicity: %v", err)
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := Hierarchy()
+	if len(h) != 6 {
+		t.Fatalf("levels = %d, want 6", len(h))
+	}
+	if h[0].Name != "CPU cache" {
+		t.Errorf("top = %q, want CPU cache (fastest, costliest)", h[0].Name)
+	}
+	bottom := h[len(h)-1]
+	if !strings.Contains(bottom.Name, "shelf") {
+		t.Errorf("bottom = %q, want shelf storage", bottom.Name)
+	}
+	// §2.1: bottom of the pyramid is "very low cost, under $10/GB".
+	if bottom.CostPerGB >= 10 {
+		t.Errorf("shelf cost = %v, want under $10/GB", bottom.CostPerGB)
+	}
+	// §2.1: access speeds "on the order of seconds or minutes".
+	if bottom.TypicalLat < time.Second {
+		t.Errorf("shelf latency = %v, want seconds-to-minutes", bottom.TypicalLat)
+	}
+}
+
+func TestHierarchyInvariantDetectsViolations(t *testing.T) {
+	bad := []Level{
+		{Name: "a", TypicalLat: time.Second, CostPerGB: 10, Capacity: 100},
+		{Name: "b", TypicalLat: time.Millisecond, CostPerGB: 1, Capacity: 1000},
+	}
+	if HierarchyInvariant(bad) == nil {
+		t.Error("latency inversion not detected")
+	}
+	bad[1].TypicalLat = time.Minute
+	bad[1].CostPerGB = 100
+	if HierarchyInvariant(bad) == nil {
+		t.Error("cost inversion not detected")
+	}
+	bad[1].CostPerGB = 1
+	bad[1].Capacity = 10
+	if HierarchyInvariant(bad) == nil {
+		t.Error("capacity inversion not detected")
+	}
+}
+
+func TestRenderHierarchy(t *testing.T) {
+	out := RenderHierarchy(Hierarchy())
+	for _, want := range []string{"CPU cache", "magnetic disk", "shelf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 7 { // header + 6 levels
+		t.Errorf("render has %d lines, want 7", len(lines))
+	}
+}
+
+func TestTable1Rows(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	// Paper order: optical, linear, helical.
+	if !strings.Contains(rows[0].Name, "optical") ||
+		!strings.Contains(rows[1].Name, "3490") ||
+		!strings.Contains(rows[2].Name, "D-2") {
+		t.Errorf("row order wrong: %v, %v, %v", rows[0].Name, rows[1].Name, rows[2].Name)
+	}
+	if rows[0].PeakRateMBs != 0.25 || rows[1].PeakRateMBs != 6 || rows[2].PeakRateMBs != 15 {
+		t.Errorf("transfer column wrong: %v %v %v",
+			rows[0].PeakRateMBs, rows[1].PeakRateMBs, rows[2].PeakRateMBs)
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "$/GB") || !strings.Contains(out, "400.00 MB") {
+		t.Errorf("render missing columns:\n%s", out)
+	}
+}
+
+func TestHelicalBeatsLinearOnCostAndDensity(t *testing.T) {
+	// §2.2's tradeoff: helical scan trades access latency for density/cost.
+	if AmpexD2.CostPerGB >= IBM3490.CostPerGB {
+		t.Error("helical should be cheaper per GB")
+	}
+	if AmpexD2.MediaCapacity <= IBM3490.MediaCapacity {
+		t.Error("helical should be denser")
+	}
+	if AmpexD2.RandomAccess <= IBM3490.RandomAccess {
+		t.Error("helical should have worse random access")
+	}
+}
+
+func TestRobotLoadVsTransferClaim(t *testing.T) {
+	// §6: "A StorageTek robot can load a 3480 tape in under 10 seconds;
+	// the drive can transfer 20 MB in this time" — at ~2 MB/s observed the
+	// drive moves 16-20 MB during a mount; check the same order.
+	mount := SiloTape3480.MountMedian
+	moved := units.Bytes(float64(SiloTape3480.ObservedRate) * mount.Seconds())
+	if moved < units.Bytes(10*units.MB) || moved > units.Bytes(40*units.MB) {
+		t.Errorf("bytes transferable during mount = %v, want tens of MB", moved)
+	}
+}

@@ -1,0 +1,64 @@
+package device
+
+import (
+	"math"
+	"time"
+
+	"filemig/internal/units"
+)
+
+// Striped builds the profile of an n-wide tape (or disk) stripe in the
+// spirit of Chervenak & Katz's striped tape arrays (paper reference [4]):
+// a file is split across n media and its pieces transferred in parallel.
+//
+//   - transfer bandwidth scales by n;
+//   - capacity per "logical medium" scales by n;
+//   - mount time grows slightly — the stripe is ready only when the
+//     slowest of n mounts finishes, and the expected maximum of n
+//     lognormal mounts grows roughly with sqrt(2 ln n) sigma factors;
+//   - seek is bounded by the slowest member, approximated by the base
+//     profile's seek (all members seek in parallel to the same offset);
+//   - media cost per GB is unchanged (same tapes), but n drives are
+//     occupied per transfer — the capacity/contention trade the paper's
+//     reference explores.
+func Striped(p Profile, n int) Profile {
+	if n < 1 {
+		panic("device: stripe width must be >= 1")
+	}
+	if n == 1 {
+		return p
+	}
+	s := p
+	s.Name = p.Name + " (striped x" + itoa(n) + ")"
+	s.MediaCapacity = p.MediaCapacity * units.Bytes(n)
+	s.PeakRate = p.PeakRate * float64(n)
+	s.ObservedRate = p.ObservedRate * float64(n)
+	if p.MountMedian > 0 && p.MountSigma > 0 {
+		// E[max of n lognormals] ≈ median·exp(sigma·sqrt(2 ln n)).
+		factor := math.Exp(p.MountSigma * math.Sqrt(2*math.Log(float64(n))))
+		s.MountMedian = time.Duration(float64(p.MountMedian) * factor)
+	}
+	return s
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// StripeCrossover reports the smallest transfer size at which an n-wide
+// stripe beats the base profile for a cold whole-file fetch, or
+// maxSize+1 if it never does (mount inflation can dominate small reads).
+func StripeCrossover(p Profile, n int, maxSize units.Bytes) units.Bytes {
+	s := Striped(p, n)
+	return CrossoverSize(&p, &s, maxSize)
+}

@@ -1,0 +1,74 @@
+package device
+
+import (
+	"testing"
+
+	"filemig/internal/units"
+)
+
+func TestStripedScaling(t *testing.T) {
+	s := Striped(SiloTape3480, 4)
+	if s.ObservedRate != 4*SiloTape3480.ObservedRate {
+		t.Errorf("striped rate = %v, want 4x", s.ObservedRate)
+	}
+	if s.PeakRate != 4*SiloTape3480.PeakRate {
+		t.Errorf("striped peak = %v, want 4x", s.PeakRate)
+	}
+	if s.MediaCapacity != 4*SiloTape3480.MediaCapacity {
+		t.Errorf("striped capacity = %v, want 4x", s.MediaCapacity)
+	}
+	if s.MountMedian <= SiloTape3480.MountMedian {
+		t.Error("striped mount should grow (max of n mounts)")
+	}
+	if s.MountMedian > 4*SiloTape3480.MountMedian {
+		t.Errorf("striped mount = %v, absurdly inflated", s.MountMedian)
+	}
+	if s.CostPerGB != SiloTape3480.CostPerGB {
+		t.Error("media cost per GB should not change")
+	}
+}
+
+func TestStripedIdentity(t *testing.T) {
+	s := Striped(SiloTape3480, 1)
+	if s != SiloTape3480 {
+		t.Error("1-wide stripe should be the base profile")
+	}
+}
+
+func TestStripedPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("stripe width 0 should panic")
+		}
+	}()
+	Striped(SiloTape3480, 0)
+}
+
+func TestStripeCrossover(t *testing.T) {
+	// Big files win from striping (bandwidth), small files lose (mount
+	// inflation): a crossover must exist inside the 200 MB range.
+	x := StripeCrossover(SiloTape3480, 4, units.Bytes(200*units.MB))
+	if x <= units.Bytes(units.MB) {
+		t.Errorf("crossover %v suspiciously small", x)
+	}
+	if x > units.Bytes(200*units.MB) {
+		t.Fatalf("no crossover found; striping never wins?")
+	}
+	// Above the crossover the stripe is strictly faster.
+	s := Striped(SiloTape3480, 4)
+	big := units.Bytes(180 * units.MB)
+	if s.TimeToLastByte(big) >= SiloTape3480.TimeToLastByte(big) {
+		t.Error("stripe should win at 180 MB")
+	}
+	small := units.Bytes(100 * units.KB)
+	if s.TimeToLastByte(small) <= SiloTape3480.TimeToLastByte(small) {
+		t.Error("stripe should lose at 100 KB")
+	}
+}
+
+func TestStripedName(t *testing.T) {
+	s := Striped(SiloTape3480, 4)
+	if s.Name != SiloTape3480.Name+" (striped x4)" {
+		t.Errorf("name = %q", s.Name)
+	}
+}

@@ -1,0 +1,352 @@
+package migration
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"filemig/internal/trace"
+	"filemig/internal/units"
+)
+
+// Access is one reference in the replayed string: the inputs the cache
+// simulator and the offline policies need.
+type Access struct {
+	Time   time.Time
+	FileID int
+	Size   units.Bytes
+	Write  bool
+	DirID  int // namespace directory, for prefetch experiments
+}
+
+// AccessesFromRecords converts trace records (time-sorted, errors skipped)
+// into an access string, assigning dense file IDs by MSS path and
+// directory IDs by the path's directory prefix.
+func AccessesFromRecords(recs []trace.Record) []Access {
+	fileIDs := map[string]int{}
+	dirIDs := map[string]int{}
+	out := make([]Access, 0, len(recs))
+	for i := range recs {
+		r := &recs[i]
+		if !r.OK() {
+			continue
+		}
+		id, ok := fileIDs[r.MSSPath]
+		if !ok {
+			id = len(fileIDs)
+			fileIDs[r.MSSPath] = id
+		}
+		dir := r.MSSPath
+		if j := strings.LastIndexByte(dir, '/'); j > 0 {
+			dir = dir[:j]
+		}
+		did, ok := dirIDs[dir]
+		if !ok {
+			did = len(dirIDs)
+			dirIDs[dir] = did
+		}
+		out = append(out, Access{
+			Time:   r.Start,
+			FileID: id,
+			Size:   r.Size,
+			Write:  r.Op == trace.Write,
+			DirID:  did,
+		})
+	}
+	return out
+}
+
+// Prefetcher proposes extra files to stage in alongside a demand fetch.
+type Prefetcher interface {
+	// Prefetch returns file IDs to load after the given demand access.
+	Prefetch(a Access) []int
+}
+
+// CacheConfig configures one cache-simulation run.
+type CacheConfig struct {
+	Capacity units.Bytes
+	Policy   Policy
+	// Prefetch, when non-nil, stages additional files on each demand miss
+	// (§6: use idle resources to prefetch files that might be read soon).
+	Prefetch Prefetcher
+}
+
+// CacheResult summarises a run. The paper's figure of merit is the read
+// miss ratio: every read miss stalls a human for a tape fetch, while
+// writes always land in the cache (§6: humans wait for reads, computers
+// wait for writes).
+type CacheResult struct {
+	Policy       string
+	Capacity     units.Bytes
+	Accesses     int64
+	Reads        int64
+	ReadHits     int64
+	ReadMisses   int64
+	WriteInserts int64
+	Evictions    int64
+	BytesMissed  units.Bytes
+	BytesRead    units.Bytes
+	Prefetches   int64
+	PrefetchHits int64 // read hits on files present only due to prefetch
+}
+
+// MissRatio is read misses over reads.
+func (r CacheResult) MissRatio() float64 {
+	if r.Reads == 0 {
+		return 0
+	}
+	return float64(r.ReadMisses) / float64(r.Reads)
+}
+
+// ByteMissRatio is missed bytes over read bytes.
+func (r CacheResult) ByteMissRatio() float64 {
+	if r.BytesRead == 0 {
+		return 0
+	}
+	return float64(r.BytesMissed) / float64(r.BytesRead)
+}
+
+// PersonMinutesPerDay estimates the §2.3 human-cost metric: every read
+// miss costs the requesting scientist the extra tape latency over disk.
+func (r CacheResult) PersonMinutesPerDay(days float64, extraLatency time.Duration) float64 {
+	if days <= 0 {
+		return 0
+	}
+	return float64(r.ReadMisses) * extraLatency.Minutes() / days
+}
+
+type residentFile struct {
+	CachedFile
+	prefetched bool // resident due to prefetch, not yet demanded
+}
+
+// Cache is the migration simulator: a finite staging disk in front of the
+// tape archive, replaying an access string under a policy.
+type Cache struct {
+	cfg      CacheConfig
+	resident map[int]*residentFile
+	used     units.Bytes
+	res      CacheResult
+}
+
+// NewCache builds a cache simulator.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("migration: capacity must be positive")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("migration: policy required")
+	}
+	return &Cache{
+		cfg:      cfg,
+		resident: map[int]*residentFile{},
+		res:      CacheResult{Policy: cfg.Policy.Name(), Capacity: cfg.Capacity},
+	}, nil
+}
+
+// Replay runs the whole access string and returns the result.
+func (c *Cache) Replay(accs []Access) CacheResult {
+	for i := range accs {
+		c.Step(accs[i])
+	}
+	return c.Result()
+}
+
+// Step processes a single access.
+func (c *Cache) Step(a Access) {
+	c.res.Accesses++
+	f, hit := c.resident[a.FileID]
+	if a.Write {
+		c.res.WriteInserts++
+		if hit {
+			// A rewrite may change the file's size; adjust occupancy and
+			// evict if the growth overflows the cache.
+			c.used += a.Size - f.CachedFile.Size
+			f.Size = a.Size
+			c.touch(f, a.Time)
+			c.shrinkTo(c.cfg.Capacity, a.Time, a.FileID)
+			return
+		}
+		c.insert(a, a.Time, false)
+		return
+	}
+	c.res.Reads++
+	c.res.BytesRead += a.Size
+	if hit {
+		c.res.ReadHits++
+		if f.prefetched {
+			c.res.PrefetchHits++
+			f.prefetched = false
+		}
+		c.touch(f, a.Time)
+		return
+	}
+	c.res.ReadMisses++
+	c.res.BytesMissed += a.Size
+	c.insert(a, a.Time, false)
+	if c.cfg.Prefetch != nil {
+		for _, id := range c.cfg.Prefetch.Prefetch(a) {
+			if _, ok := c.resident[id]; ok || id == a.FileID {
+				continue
+			}
+			c.res.Prefetches++
+			c.insert(Access{Time: a.Time, FileID: id, Size: a.Size}, a.Time, true)
+		}
+	}
+}
+
+func (c *Cache) touch(f *residentFile, now time.Time) {
+	f.LastRef = now
+	f.Refs++
+}
+
+func (c *Cache) insert(a Access, now time.Time, prefetched bool) {
+	size := a.Size
+	if size > c.cfg.Capacity {
+		// A file bigger than the whole cache can never be resident; it
+		// streams through (counts as a miss each read).
+		return
+	}
+	c.shrinkTo(c.cfg.Capacity-size, now, a.FileID)
+	c.resident[a.FileID] = &residentFile{
+		CachedFile: CachedFile{
+			ID: a.FileID, Size: size, Inserted: now, LastRef: now, Refs: 1,
+		},
+		prefetched: prefetched,
+	}
+	c.used += size
+}
+
+// shrinkTo evicts policy victims until used <= target. The protected file
+// (the one being accessed) is never evicted.
+func (c *Cache) shrinkTo(target units.Bytes, now time.Time, protect int) {
+	for c.used > target {
+		victim := c.pickVictim(now, protect)
+		if victim == nil {
+			return // nothing evictable
+		}
+		c.used -= victim.CachedFile.Size
+		delete(c.resident, victim.ID)
+		c.res.Evictions++
+	}
+}
+
+func (c *Cache) pickVictim(now time.Time, protect int) *residentFile {
+	var best *residentFile
+	bestRank := 0.0
+	for id, f := range c.resident {
+		if id == protect {
+			continue
+		}
+		r := c.cfg.Policy.Rank(&f.CachedFile, now)
+		if best == nil || r > bestRank {
+			best, bestRank = f, r
+		}
+	}
+	return best
+}
+
+// Result returns the statistics so far.
+func (c *Cache) Result() CacheResult { return c.res }
+
+// Used reports current occupancy.
+func (c *Cache) Used() units.Bytes { return c.used }
+
+// Resident reports the number of resident files.
+func (c *Cache) Resident() int { return len(c.resident) }
+
+// SweepPoint is one (capacity, result) pair of a capacity sweep.
+type SweepPoint struct {
+	CapacityFraction float64
+	Result           CacheResult
+}
+
+// CapacitySweep replays the access string at several cache sizes
+// expressed as fractions of the total referenced data, for one policy
+// builder (a fresh Policy per run — Random and OPT carry state).
+func CapacitySweep(accs []Access, fractions []float64, mk func() Policy) ([]SweepPoint, error) {
+	total := TotalReferencedBytes(accs)
+	out := make([]SweepPoint, 0, len(fractions))
+	for _, frac := range fractions {
+		cap := units.Bytes(float64(total) * frac)
+		if cap <= 0 {
+			cap = 1
+		}
+		c, err := NewCache(CacheConfig{Capacity: cap, Policy: mk()})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{CapacityFraction: frac, Result: c.Replay(accs)})
+	}
+	return out, nil
+}
+
+// TotalReferencedBytes sums the distinct files' sizes (last size seen per
+// file), i.e. the tertiary-store footprint of the access string.
+func TotalReferencedBytes(accs []Access) units.Bytes {
+	sizes := map[int]units.Bytes{}
+	for _, a := range accs {
+		sizes[a.FileID] = a.Size
+	}
+	var t units.Bytes
+	for _, s := range sizes {
+		t += s
+	}
+	return t
+}
+
+// ComparePolicies replays the same access string under each policy at the
+// given capacity and returns results sorted by read miss ratio
+// (best first).
+func ComparePolicies(accs []Access, capacity units.Bytes, policies []Policy) ([]CacheResult, error) {
+	out := make([]CacheResult, 0, len(policies))
+	for _, p := range policies {
+		c, err := NewCache(CacheConfig{Capacity: capacity, Policy: p})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c.Replay(accs))
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].MissRatio() < out[j].MissRatio() })
+	return out, nil
+}
+
+// DirPrefetcher prefetches the most recent other files of the directory
+// being read — the paper's observation that a researcher reading day 1 of
+// a model run will usually want day 2 (§5.2.1).
+type DirPrefetcher struct {
+	byDir map[int][]int // directory -> file IDs in first-seen order
+	pos   map[int]int   // fileID -> index within its directory list
+	Count int           // how many neighbours to prefetch (default 1)
+}
+
+// NewDirPrefetcher indexes the access string's directory structure.
+func NewDirPrefetcher(accs []Access, count int) *DirPrefetcher {
+	if count < 1 {
+		count = 1
+	}
+	p := &DirPrefetcher{byDir: map[int][]int{}, pos: map[int]int{}, Count: count}
+	for _, a := range accs {
+		if _, seen := p.pos[a.FileID]; !seen {
+			p.pos[a.FileID] = len(p.byDir[a.DirID])
+			p.byDir[a.DirID] = append(p.byDir[a.DirID], a.FileID)
+		}
+	}
+	return p
+}
+
+// Prefetch implements Prefetcher: the next Count files of the same
+// directory in first-reference order.
+func (p *DirPrefetcher) Prefetch(a Access) []int {
+	files := p.byDir[a.DirID]
+	i, ok := p.pos[a.FileID]
+	if !ok {
+		return nil
+	}
+	var out []int
+	for k := 1; k <= p.Count && i+k < len(files); k++ {
+		out = append(out, files[i+k])
+	}
+	return out
+}

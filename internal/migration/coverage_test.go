@@ -1,0 +1,131 @@
+package migration
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"filemig/internal/units"
+)
+
+func TestStagingRewriteTransitions(t *testing.T) {
+	m, err := NewStagingManager(stagingCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write, let the copy clean it, then rewrite: the file must flip back
+	// to dirty, adjust occupancy, and be re-queued for copy.
+	m.Step(acc(0, 1, units.Bytes(10*units.MB), true))
+	m.Step(acc(5, 2, units.Bytes(1*units.MB), false)) // drains the copier
+	if m.resident[1].dirty {
+		t.Fatal("file 1 should be clean after drain")
+	}
+	m.Step(acc(6, 1, units.Bytes(30*units.MB), true)) // rewrite, larger
+	if !m.resident[1].dirty {
+		t.Error("rewrite must dirty the file again")
+	}
+	wantUsed := units.Bytes(31 * units.MB) // 30 MB rewritten + 1 MB recalled
+	if m.used != wantUsed {
+		t.Errorf("used = %v, want %v", m.used, wantUsed)
+	}
+	// The recopy happens: copied bytes grow beyond the first 10 MB.
+	m.Step(acc(60, 2, units.Bytes(1*units.MB), false))
+	if got := m.Result().CopiedBytes; got != units.Bytes(40*units.MB) {
+		t.Errorf("copied = %v, want 40 MB (10 original + 30 rewrite)", got)
+	}
+}
+
+func TestStagingRewriteWhileDirty(t *testing.T) {
+	// Rewrite before the first copy completes: the original copy request
+	// refers to a still-dirty file; no double-count, no stall.
+	m, err := NewStagingManager(stagingCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Step(acc(0, 1, units.Bytes(10*units.MB), true))
+	m.Step(acc(0, 1, units.Bytes(12*units.MB), true))
+	if m.used != units.Bytes(12*units.MB) {
+		t.Errorf("used = %v, want 12 MB", m.used)
+	}
+	// Much later, both queued copies have drained; the file was copied
+	// once per queue entry at most, and is clean.
+	m.Step(acc(200, 2, units.Bytes(1*units.MB), false))
+	if m.resident[1].dirty {
+		t.Error("file should be clean")
+	}
+}
+
+func TestStagingStatsRatios(t *testing.T) {
+	s := StagingStats{Reads: 10, ReadMisses: 3}
+	if got := s.ReadMissRatio(); got != 0.3 {
+		t.Errorf("ReadMissRatio = %v", got)
+	}
+	if (StagingStats{}).ReadMissRatio() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+}
+
+func TestCacheResultRatios(t *testing.T) {
+	r := CacheResult{
+		Reads: 10, ReadMisses: 2,
+		BytesRead: units.Bytes(100), BytesMissed: units.Bytes(25),
+	}
+	if got := r.MissRatio(); got != 0.2 {
+		t.Errorf("MissRatio = %v", got)
+	}
+	if got := r.ByteMissRatio(); got != 0.25 {
+		t.Errorf("ByteMissRatio = %v", got)
+	}
+	empty := CacheResult{}
+	if empty.MissRatio() != 0 || empty.ByteMissRatio() != 0 {
+		t.Error("empty ratios should be 0")
+	}
+}
+
+func TestSTPNameFormatting(t *testing.T) {
+	cases := map[float64]string{
+		1.4:  "STP^1.4",
+		1.0:  "STP^1",
+		0:    "STP^0",
+		2.0:  "STP^2",
+		0.5:  "STP^0.5",
+		1.25: "STP^1.25",
+	}
+	for k, want := range cases {
+		if got := (STP{K: k}).Name(); got != want {
+			t.Errorf("STP{%v}.Name() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestSTPRankClampsNegativeAge(t *testing.T) {
+	// A file "referenced in the future" (clock skew) must not produce NaN.
+	p := STP{K: 1.4}
+	f := cf(1, units.Bytes(units.MB), -time.Hour, 1)
+	if r := p.Rank(f, t0); math.IsNaN(r) || r != 0 {
+		t.Errorf("rank with negative age = %v, want 0", r)
+	}
+	s := SAAC{}
+	if r := s.Rank(f, t0); math.IsNaN(r) || r != 0 {
+		t.Errorf("SAAC rank with negative age = %v, want 0", r)
+	}
+}
+
+func TestCompareWriteBehindPropagatesError(t *testing.T) {
+	if _, _, err := CompareWriteBehind(nil, 0, 1, time.Second); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, _, err := CompareWriteBehind(nil, 1, 0, time.Second); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+}
+
+func TestPlacementDiskReadFractionEmpty(t *testing.T) {
+	if (PlacementResult{}).DiskReadFraction() != 0 {
+		t.Error("empty fraction should be 0")
+	}
+	r := PlacementResult{Reads: 4, DiskReads: 1}
+	if r.DiskReadFraction() != 0.25 {
+		t.Error("fraction wrong")
+	}
+}

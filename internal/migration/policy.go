@@ -1,0 +1,238 @@
+// Package migration implements the file migration algorithms discussed in
+// the paper's §2.3 and §6 — Smith's space-time product (STP) with its
+// canonical 1.4 exponent, LRU, pure-size, FIFO, random, Lawrie's SAAC, and
+// an offline OPT bound — plus the disk-cache simulator that replays a
+// reference string against a finite staging disk to compare them, the
+// eight-hour request-coalescing analysis, and prefetching.
+package migration
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"filemig/internal/units"
+)
+
+// CachedFile is a resident file as seen by a policy.
+type CachedFile struct {
+	ID       int
+	Size     units.Bytes
+	Inserted time.Time
+	LastRef  time.Time
+	Refs     int // references since insertion
+}
+
+// Policy ranks eviction candidates. The cache evicts the resident file
+// with the highest Rank until enough space is free. Rank must not mutate
+// the file.
+type Policy interface {
+	Name() string
+	Rank(f *CachedFile, now time.Time) float64
+}
+
+// STP is Smith's space-time product criterion: evict the file with the
+// largest (time since last reference)^K × size. K=1.4 was the best
+// exponent in Smith's study and the one Lawrie validated; K=1 is the
+// plain space-time product; K→0 degenerates toward pure size; K→∞ toward
+// LRU.
+type STP struct {
+	K float64
+}
+
+// Name implements Policy.
+func (p STP) Name() string {
+	if p.K == 1.4 {
+		return "STP^1.4"
+	}
+	return "STP^" + trimFloat(p.K)
+}
+
+// Rank implements Policy.
+func (p STP) Rank(f *CachedFile, now time.Time) float64 {
+	age := now.Sub(f.LastRef).Hours() * 24 // in days, as Smith measured
+	if age < 0 {
+		age = 0
+	}
+	return math.Pow(age, p.K) * float64(f.Size)
+}
+
+// LRU evicts the least recently used file regardless of size.
+type LRU struct{}
+
+// Name implements Policy.
+func (LRU) Name() string { return "LRU" }
+
+// Rank implements Policy.
+func (LRU) Rank(f *CachedFile, now time.Time) float64 {
+	return now.Sub(f.LastRef).Seconds()
+}
+
+// LargestFirst migrates the biggest files first ("pure length" in
+// Lawrie's study): frees the most space per eviction but throws away big
+// hot files.
+type LargestFirst struct{}
+
+// Name implements Policy.
+func (LargestFirst) Name() string { return "largest-first" }
+
+// Rank implements Policy.
+func (LargestFirst) Rank(f *CachedFile, _ time.Time) float64 { return float64(f.Size) }
+
+// SmallestFirst is the mirror baseline: keeps big files pinned.
+type SmallestFirst struct{}
+
+// Name implements Policy.
+func (SmallestFirst) Name() string { return "smallest-first" }
+
+// Rank implements Policy.
+func (SmallestFirst) Rank(f *CachedFile, _ time.Time) float64 { return -float64(f.Size) }
+
+// FIFO evicts the file resident longest, ignoring use.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "FIFO" }
+
+// Rank implements Policy.
+func (FIFO) Rank(f *CachedFile, now time.Time) float64 {
+	return now.Sub(f.Inserted).Seconds()
+}
+
+// Random evicts uniformly at random (deterministic per seed).
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom builds a Random policy with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (*Random) Name() string { return "random" }
+
+// Rank implements Policy.
+func (r *Random) Rank(*CachedFile, time.Time) float64 { return r.rng.Float64() }
+
+// SAAC approximates Lawrie's "migrate files that became less active"
+// criterion: rank grows with idle time and shrinks with the reference
+// count accumulated while resident, so a once-busy file that went quiet
+// leaves before a steadily-used one.
+type SAAC struct{}
+
+// Name implements Policy.
+func (SAAC) Name() string { return "SAAC" }
+
+// Rank implements Policy.
+func (SAAC) Rank(f *CachedFile, now time.Time) float64 {
+	idle := now.Sub(f.LastRef).Hours()
+	if idle < 0 {
+		idle = 0
+	}
+	return idle * float64(f.Size) / float64(1+f.Refs)
+}
+
+// OPT is the clairvoyant bound: evict the file whose next reference is
+// farthest in the future (never-referenced files first, largest first
+// among them). It needs the full future reference string, which Smith
+// noted makes the best algorithms unrealisable online (§2.3).
+type OPT struct {
+	future *FutureIndex
+}
+
+// NewOPT builds the offline policy over a prepared future index.
+func NewOPT(future *FutureIndex) *OPT { return &OPT{future: future} }
+
+// Name implements Policy.
+func (*OPT) Name() string { return "OPT" }
+
+// Rank implements Policy.
+func (o *OPT) Rank(f *CachedFile, now time.Time) float64 {
+	next, ok := o.future.NextAfter(f.ID, now)
+	if !ok {
+		// Never referenced again: always safer to evict than any live
+		// file; among dead files prefer the biggest. The 1e12 base
+		// exceeds any realistic next-use distance in seconds while
+		// staying small enough that the size term survives float64
+		// rounding.
+		return 1e12 + float64(f.Size)
+	}
+	return next.Sub(now).Seconds()
+}
+
+// FutureIndex answers "when is file f next referenced after t" from a
+// prepared, time-sorted access list.
+type FutureIndex struct {
+	times map[int][]time.Time
+	pos   map[int]int
+}
+
+// NewFutureIndex builds the index from accesses, which must be
+// time-sorted.
+func NewFutureIndex(accs []Access) *FutureIndex {
+	idx := &FutureIndex{times: map[int][]time.Time{}, pos: map[int]int{}}
+	for _, a := range accs {
+		idx.times[a.FileID] = append(idx.times[a.FileID], a.Time)
+	}
+	return idx
+}
+
+// NextAfter reports the first reference to file strictly after t. The
+// query times must be non-decreasing per file (true during a forward
+// replay), letting the index advance a cursor instead of searching.
+func (x *FutureIndex) NextAfter(file int, t time.Time) (time.Time, bool) {
+	ts := x.times[file]
+	i := x.pos[file]
+	for i < len(ts) && !ts[i].After(t) {
+		i++
+	}
+	x.pos[file] = i
+	if i >= len(ts) {
+		return time.Time{}, false
+	}
+	return ts[i], true
+}
+
+func trimFloat(v float64) string {
+	s := math.Trunc(v*100) / 100
+	if s == math.Trunc(s) {
+		return itoa(int(s))
+	}
+	// Two decimals, trailing zero trimmed.
+	whole := int(s)
+	frac := int(math.Round((s - float64(whole)) * 100))
+	if frac%10 == 0 {
+		return itoa(whole) + "." + itoa(frac/10)
+	}
+	return itoa(whole) + "." + pad2(frac)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		p--
+		b[p] = '-'
+	}
+	return string(b[p:])
+}
+
+func pad2(i int) string {
+	if i < 10 {
+		return "0" + itoa(i)
+	}
+	return itoa(i)
+}

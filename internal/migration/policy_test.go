@@ -1,0 +1,165 @@
+package migration
+
+import (
+	"testing"
+	"time"
+
+	"filemig/internal/trace"
+	"filemig/internal/units"
+)
+
+var t0 = trace.Epoch
+
+func cf(id int, size units.Bytes, lastRefAgo time.Duration, refs int) *CachedFile {
+	return &CachedFile{
+		ID: id, Size: size,
+		Inserted: t0.Add(-2 * lastRefAgo), LastRef: t0.Add(-lastRefAgo), Refs: refs,
+	}
+}
+
+func TestSTPPrefersOldAndLarge(t *testing.T) {
+	p := STP{K: 1.4}
+	oldBig := cf(1, units.Bytes(100*units.MB), 10*24*time.Hour, 1)
+	oldSmall := cf(2, units.Bytes(units.MB), 10*24*time.Hour, 1)
+	newBig := cf(3, units.Bytes(100*units.MB), time.Hour, 1)
+	if p.Rank(oldBig, t0) <= p.Rank(oldSmall, t0) {
+		t.Error("same age: larger file should rank higher")
+	}
+	if p.Rank(oldBig, t0) <= p.Rank(newBig, t0) {
+		t.Error("same size: older file should rank higher")
+	}
+	if p.Name() != "STP^1.4" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if (STP{K: 1}).Name() != "STP^1" {
+		t.Errorf("Name K=1 = %q", (STP{K: 1}).Name())
+	}
+}
+
+func TestSTPExponentTradesSizeForRecency(t *testing.T) {
+	// With a tiny K, size dominates: a large recently-used file outranks a
+	// small ancient one. With a huge K, recency dominates.
+	large := cf(1, units.Bytes(199*units.MB), 2*24*time.Hour, 1)
+	small := cf(2, units.Bytes(100*units.KB), 60*24*time.Hour, 1)
+	lowK := STP{K: 0.1}
+	highK := STP{K: 5}
+	if lowK.Rank(large, t0) <= lowK.Rank(small, t0) {
+		t.Error("K=0.1: size should dominate")
+	}
+	if highK.Rank(small, t0) <= highK.Rank(large, t0) {
+		t.Error("K=5: age should dominate")
+	}
+}
+
+func TestLRURanks(t *testing.T) {
+	p := LRU{}
+	older := cf(1, 1, time.Hour, 1)
+	newer := cf(2, 1000, time.Minute, 1)
+	if p.Rank(older, t0) <= p.Rank(newer, t0) {
+		t.Error("LRU must prefer the older file regardless of size")
+	}
+}
+
+func TestSizePolicies(t *testing.T) {
+	big := cf(1, units.Bytes(100*units.MB), time.Minute, 1)
+	small := cf(2, units.Bytes(units.MB), 100*time.Hour, 1)
+	if (LargestFirst{}).Rank(big, t0) <= (LargestFirst{}).Rank(small, t0) {
+		t.Error("largest-first must prefer big files")
+	}
+	if (SmallestFirst{}).Rank(small, t0) <= (SmallestFirst{}).Rank(big, t0) {
+		t.Error("smallest-first must prefer small files")
+	}
+}
+
+func TestFIFORanks(t *testing.T) {
+	p := FIFO{}
+	early := &CachedFile{ID: 1, Inserted: t0.Add(-10 * time.Hour), LastRef: t0}
+	late := &CachedFile{ID: 2, Inserted: t0.Add(-time.Hour), LastRef: t0.Add(-20 * time.Hour)}
+	if p.Rank(early, t0) <= p.Rank(late, t0) {
+		t.Error("FIFO ranks by insertion, not reference")
+	}
+}
+
+func TestSAACPrefersQuietOnceBusyFiles(t *testing.T) {
+	p := SAAC{}
+	busy := cf(1, units.Bytes(10*units.MB), 24*time.Hour, 50)
+	quiet := cf(2, units.Bytes(10*units.MB), 24*time.Hour, 1)
+	if p.Rank(quiet, t0) <= p.Rank(busy, t0) {
+		t.Error("SAAC should evict the file with fewer accumulated references")
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a, b := NewRandom(5), NewRandom(5)
+	f := cf(1, 1, time.Hour, 1)
+	for i := 0; i < 10; i++ {
+		if a.Rank(f, t0) != b.Rank(f, t0) {
+			t.Fatal("random policy must be deterministic per seed")
+		}
+	}
+}
+
+func TestOPTRanksByNextUse(t *testing.T) {
+	accs := []Access{
+		{Time: t0.Add(1 * time.Hour), FileID: 1},
+		{Time: t0.Add(2 * time.Hour), FileID: 2},
+		{Time: t0.Add(50 * time.Hour), FileID: 1},
+	}
+	idx := NewFutureIndex(accs)
+	p := NewOPT(idx)
+	// After t0+2h: file 1 next used at +50h; file 2 never again.
+	now := t0.Add(2 * time.Hour)
+	f1 := cf(1, units.Bytes(units.MB), time.Hour, 1)
+	f2 := cf(2, units.Bytes(units.MB), time.Hour, 1)
+	if p.Rank(f2, now) <= p.Rank(f1, now) {
+		t.Error("never-used-again file must rank above one used soon")
+	}
+	// Among two never-again files, bigger ranks higher.
+	f3 := cf(3, units.Bytes(100*units.MB), time.Hour, 1)
+	if p.Rank(f3, now) <= p.Rank(f2, now) {
+		t.Error("among dead files, bigger should rank higher")
+	}
+}
+
+func TestFutureIndexCursorAdvances(t *testing.T) {
+	accs := []Access{
+		{Time: t0.Add(1 * time.Hour), FileID: 7},
+		{Time: t0.Add(5 * time.Hour), FileID: 7},
+		{Time: t0.Add(9 * time.Hour), FileID: 7},
+	}
+	idx := NewFutureIndex(accs)
+	next, ok := idx.NextAfter(7, t0)
+	if !ok || !next.Equal(t0.Add(1*time.Hour)) {
+		t.Fatalf("NextAfter(t0) = %v %v", next, ok)
+	}
+	next, ok = idx.NextAfter(7, t0.Add(5*time.Hour))
+	if !ok || !next.Equal(t0.Add(9*time.Hour)) {
+		t.Fatalf("NextAfter(+5h) = %v %v", next, ok)
+	}
+	if _, ok := idx.NextAfter(7, t0.Add(10*time.Hour)); ok {
+		t.Error("no reference after +9h")
+	}
+	if _, ok := idx.NextAfter(99, t0); ok {
+		t.Error("unknown file has no future")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	cases := map[Policy]string{
+		LRU{}:           "LRU",
+		LargestFirst{}:  "largest-first",
+		SmallestFirst{}: "smallest-first",
+		FIFO{}:          "FIFO",
+		SAAC{}:          "SAAC",
+		NewRandom(1):    "random",
+		STP{K: 1.4}:     "STP^1.4",
+	}
+	for p, want := range cases {
+		if p.Name() != want {
+			t.Errorf("Name = %q, want %q", p.Name(), want)
+		}
+	}
+	if NewOPT(NewFutureIndex(nil)).Name() != "OPT" {
+		t.Error("OPT name wrong")
+	}
+}

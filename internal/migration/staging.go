@@ -1,0 +1,306 @@
+package migration
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"filemig/internal/units"
+)
+
+// StagingManager implements the migration daemon §6 proposes: "an
+// algorithm should not wait until it is absolutely necessary to free up
+// space; instead, it should write data to tape relatively quickly, and
+// then mark the file as 'deleteable'. Since files would be written
+// lazily, their placement on tertiary media could be optimized ... A mass
+// storage system should be optimized to make read access to files faster
+// at the cost of requiring more work for writes."
+//
+// Model: a staging disk of fixed capacity in front of the tape archive.
+// Writes land on the disk dirty. In eager mode, a background copier
+// streams dirty files to tape at the configured bandwidth as soon as they
+// have aged CopyDelay; a copied file is clean ("deleteable") and remains
+// cached until space pressure evicts it by policy. In lazy mode
+// (Eager=false), nothing is copied until eviction is forced, and every
+// forced copy stalls the system for the file's transfer time — the
+// behaviour §6 argues against.
+type StagingManager struct {
+	cfg  StagingConfig
+	now  time.Time
+	used units.Bytes
+
+	resident map[int]*stagedFile
+	copyq    copyQueue
+	copyBusy time.Time // when the tape copier frees up
+
+	stats StagingStats
+}
+
+// StagingConfig sizes the staging layer.
+type StagingConfig struct {
+	Capacity      units.Bytes
+	TapeBandwidth float64       // bytes/sec of background copy bandwidth
+	CopyDelay     time.Duration // age before a dirty file is copied (eager mode)
+	Policy        Policy        // eviction order among clean files
+	Eager         bool          // §6's recommendation on/off
+}
+
+// StagingStats is the outcome of a run.
+type StagingStats struct {
+	Reads          int64
+	ReadHits       int64
+	ReadMisses     int64
+	Writes         int64
+	Evictions      int64
+	ForcedCopies   int64         // lazy-mode synchronous copy-outs
+	StallTime      time.Duration // time spent waiting for forced copies
+	CopiedBytes    units.Bytes   // background bytes moved to tape
+	DirtyPeak      units.Bytes   // high-water mark of uncopied data
+	CleanResidency time.Duration // total deleteable-file residency (space "banked" for reads)
+}
+
+// ReadMissRatio reports read misses over reads.
+func (s StagingStats) ReadMissRatio() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.ReadMisses) / float64(s.Reads)
+}
+
+type stagedFile struct {
+	CachedFile
+	dirty     bool
+	cleanedAt time.Time
+}
+
+type pendingCopy struct {
+	fileID int
+	ready  time.Time // write time + CopyDelay
+}
+
+type copyQueue []pendingCopy
+
+func (q copyQueue) Len() int           { return len(q) }
+func (q copyQueue) Less(i, j int) bool { return q[i].ready.Before(q[j].ready) }
+func (q copyQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *copyQueue) Push(x any)        { *q = append(*q, x.(pendingCopy)) }
+func (q *copyQueue) Pop() any {
+	old := *q
+	n := len(old)
+	v := old[n-1]
+	*q = old[:n-1]
+	return v
+}
+
+// NewStagingManager validates the configuration.
+func NewStagingManager(cfg StagingConfig) (*StagingManager, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("migration: staging capacity must be positive")
+	}
+	if cfg.TapeBandwidth <= 0 {
+		return nil, fmt.Errorf("migration: tape bandwidth must be positive")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = STP{K: 1.4}
+	}
+	return &StagingManager{cfg: cfg, resident: map[int]*stagedFile{}}, nil
+}
+
+// Replay runs the access string (time-sorted) through the staging layer.
+func (m *StagingManager) Replay(accs []Access) StagingStats {
+	for i := range accs {
+		m.Step(accs[i])
+	}
+	// Account residual clean residency up to the last event.
+	for _, f := range m.resident {
+		if !f.dirty {
+			m.stats.CleanResidency += m.now.Sub(f.cleanedAt)
+		}
+	}
+	return m.stats
+}
+
+// Step processes one access.
+func (m *StagingManager) Step(a Access) {
+	m.now = a.Time
+	if m.cfg.Eager {
+		m.drainCopies(a.Time)
+	}
+	if a.Write {
+		m.stats.Writes++
+		m.write(a)
+	} else {
+		m.stats.Reads++
+		m.read(a)
+	}
+	m.trackDirtyPeak()
+}
+
+func (m *StagingManager) write(a Access) {
+	if f, ok := m.resident[a.FileID]; ok {
+		m.used += a.Size - f.CachedFile.Size
+		f.Size = a.Size
+		f.LastRef = a.Time
+		f.Refs++
+		if !f.dirty {
+			m.stats.CleanResidency += a.Time.Sub(f.cleanedAt)
+		}
+		f.dirty = true
+		m.makeRoom(m.cfg.Capacity, a.FileID)
+		if m.cfg.Eager {
+			heap.Push(&m.copyq, pendingCopy{fileID: a.FileID, ready: a.Time.Add(m.cfg.CopyDelay)})
+		}
+		return
+	}
+	m.insert(a, true)
+	if m.cfg.Eager {
+		heap.Push(&m.copyq, pendingCopy{fileID: a.FileID, ready: a.Time.Add(m.cfg.CopyDelay)})
+	}
+}
+
+func (m *StagingManager) read(a Access) {
+	if f, ok := m.resident[a.FileID]; ok {
+		m.stats.ReadHits++
+		f.LastRef = a.Time
+		f.Refs++
+		return
+	}
+	m.stats.ReadMisses++
+	// Fetch from tape: the recalled copy is clean by construction.
+	m.insert(a, false)
+}
+
+func (m *StagingManager) insert(a Access, dirty bool) {
+	if a.Size > m.cfg.Capacity {
+		return // streams through; cannot be staged
+	}
+	m.makeRoom(m.cfg.Capacity-a.Size, a.FileID)
+	m.resident[a.FileID] = &stagedFile{
+		CachedFile: CachedFile{ID: a.FileID, Size: a.Size, Inserted: a.Time, LastRef: a.Time, Refs: 1},
+		dirty:      dirty,
+		cleanedAt:  a.Time,
+	}
+	m.used += a.Size
+}
+
+// drainCopies completes background copies whose turn has come by now.
+// The copier is a single stream of TapeBandwidth bytes/sec.
+func (m *StagingManager) drainCopies(now time.Time) {
+	for len(m.copyq) > 0 {
+		next := m.copyq[0]
+		start := next.ready
+		if m.copyBusy.After(start) {
+			start = m.copyBusy
+		}
+		f, ok := m.resident[next.fileID]
+		if !ok || !f.dirty {
+			heap.Pop(&m.copyq) // evaporated or already cleaned
+			continue
+		}
+		dur := time.Duration(float64(f.CachedFile.Size) / m.cfg.TapeBandwidth * float64(time.Second))
+		end := start.Add(dur)
+		if end.After(now) {
+			return // copier still busy with this file
+		}
+		heap.Pop(&m.copyq)
+		m.copyBusy = end
+		f.dirty = false
+		f.cleanedAt = end
+		m.stats.CopiedBytes += f.CachedFile.Size
+	}
+}
+
+// makeRoom frees space down to target. Clean files evict silently by
+// policy rank. If only dirty files remain, each eviction forces a
+// synchronous copy-out — the §6 anti-pattern — whose transfer time is
+// charged as stall.
+func (m *StagingManager) makeRoom(target units.Bytes, protect int) {
+	for m.used > target {
+		victim := m.pickVictim(protect, false)
+		if victim == nil {
+			victim = m.pickVictim(protect, true)
+			if victim == nil {
+				return
+			}
+			dur := time.Duration(float64(victim.CachedFile.Size) / m.cfg.TapeBandwidth * float64(time.Second))
+			m.stats.ForcedCopies++
+			m.stats.StallTime += dur
+			m.stats.CopiedBytes += victim.CachedFile.Size
+		} else if !victim.dirty {
+			m.stats.CleanResidency += m.now.Sub(victim.cleanedAt)
+		}
+		m.used -= victim.CachedFile.Size
+		delete(m.resident, victim.ID)
+		m.stats.Evictions++
+	}
+}
+
+func (m *StagingManager) pickVictim(protect int, dirty bool) *stagedFile {
+	var best *stagedFile
+	bestRank := 0.0
+	for id, f := range m.resident {
+		if id == protect || f.dirty != dirty {
+			continue
+		}
+		r := m.cfg.Policy.Rank(&f.CachedFile, m.now)
+		if best == nil || r > bestRank {
+			best, bestRank = f, r
+		}
+	}
+	return best
+}
+
+func (m *StagingManager) trackDirtyPeak() {
+	var dirty units.Bytes
+	for _, f := range m.resident {
+		if f.dirty {
+			dirty += f.CachedFile.Size
+		}
+	}
+	if dirty > m.stats.DirtyPeak {
+		m.stats.DirtyPeak = dirty
+	}
+}
+
+// CompareWriteBehind runs the same access string through an eager and a
+// lazy staging layer and returns both outcomes — the §6 experiment.
+func CompareWriteBehind(accs []Access, capacity units.Bytes, bandwidth float64,
+	delay time.Duration) (eager, lazy StagingStats, err error) {
+	e, err := NewStagingManager(StagingConfig{
+		Capacity: capacity, TapeBandwidth: bandwidth, CopyDelay: delay,
+		Policy: STP{K: 1.4}, Eager: true,
+	})
+	if err != nil {
+		return eager, lazy, err
+	}
+	l, err := NewStagingManager(StagingConfig{
+		Capacity: capacity, TapeBandwidth: bandwidth, CopyDelay: delay,
+		Policy: STP{K: 1.4}, Eager: false,
+	})
+	if err != nil {
+		return eager, lazy, err
+	}
+	return e.Replay(accs), l.Replay(accs), nil
+}
+
+// DedupAccesses applies the paper's §5.3 rule to an access string: at
+// most one read and one write per file per window. Useful for feeding
+// the staging and cache simulators the same deduplicated view the
+// analysis uses.
+func DedupAccesses(accs []Access, window time.Duration) []Access {
+	type key struct {
+		file  int
+		write bool
+	}
+	last := map[key]time.Time{}
+	out := make([]Access, 0, len(accs))
+	for _, a := range accs {
+		k := key{a.FileID, a.Write}
+		if prev, ok := last[k]; ok && a.Time.Sub(prev) < window {
+			continue
+		}
+		last[k] = a.Time
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package migration
+
+import (
+	"testing"
+	"time"
+
+	"filemig/internal/units"
+)
+
+func stagingCfg(eager bool) StagingConfig {
+	return StagingConfig{
+		Capacity:      units.Bytes(100 * units.MB),
+		TapeBandwidth: 2e6, // 2 MB/s, the paper's observed rate
+		CopyDelay:     time.Minute,
+		Policy:        STP{K: 1.4},
+		Eager:         eager,
+	}
+}
+
+func TestStagingValidation(t *testing.T) {
+	bad := stagingCfg(true)
+	bad.Capacity = 0
+	if _, err := NewStagingManager(bad); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	bad = stagingCfg(true)
+	bad.TapeBandwidth = 0
+	if _, err := NewStagingManager(bad); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+	ok := stagingCfg(true)
+	ok.Policy = nil // defaults to STP^1.4
+	if _, err := NewStagingManager(ok); err != nil {
+		t.Errorf("nil policy should default: %v", err)
+	}
+}
+
+func TestStagingWriteBecomesCleanAfterCopy(t *testing.T) {
+	m, err := NewStagingManager(stagingCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 MB write at t0: copy ready at t0+1min, takes 5s.
+	m.Step(acc(0, 1, units.Bytes(10*units.MB), true))
+	if m.resident[1].dirty != true {
+		t.Fatal("freshly written file must be dirty")
+	}
+	// A read two minutes later triggers the drain; the file is now clean.
+	m.Step(acc(2, 1, units.Bytes(10*units.MB), false))
+	if m.resident[1].dirty {
+		t.Error("file should be clean after the background copy")
+	}
+	st := m.stats
+	if st.CopiedBytes != units.Bytes(10*units.MB) {
+		t.Errorf("copied = %v, want 10 MB", st.CopiedBytes)
+	}
+	if st.ReadHits != 1 {
+		t.Errorf("read hits = %d, want 1 (file still staged)", st.ReadHits)
+	}
+}
+
+func TestStagingLazyNeverCopiesUntilForced(t *testing.T) {
+	m, err := NewStagingManager(stagingCfg(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the 100 MB disk with dirty files, then overflow it: the lazy
+	// manager must force synchronous copy-outs and accumulate stall.
+	for i := 0; i < 12; i++ {
+		m.Step(acc(i, i, units.Bytes(10*units.MB), true))
+	}
+	st := m.Result()
+	if st.ForcedCopies == 0 {
+		t.Error("lazy overflow must force copies")
+	}
+	if st.StallTime == 0 {
+		t.Error("forced copies must cost stall time")
+	}
+	// 10 MB at 2 MB/s = 5s per forced copy.
+	if got := st.StallTime / time.Duration(st.ForcedCopies); got != 5*time.Second {
+		t.Errorf("stall per forced copy = %v, want 5s", got)
+	}
+}
+
+// Result exposes stats mid-run for tests.
+func (m *StagingManager) Result() StagingStats { return m.stats }
+
+func TestEagerBeatsLazyOnStalls(t *testing.T) {
+	// A day of writes spaced a minute apart, each 10 MB, onto a 100 MB
+	// disk: eager copies retire dirty data between writes, lazy stalls on
+	// every eviction.
+	var accs []Access
+	for i := 0; i < 200; i++ {
+		accs = append(accs, acc(i*2, 100+i, units.Bytes(10*units.MB), true))
+	}
+	eager, lazy, err := CompareWriteBehind(accs, units.Bytes(100*units.MB), 2e6, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eager.StallTime >= lazy.StallTime {
+		t.Errorf("eager stall %v should be below lazy stall %v", eager.StallTime, lazy.StallTime)
+	}
+	if lazy.ForcedCopies == 0 {
+		t.Error("lazy should be forced to copy")
+	}
+	if eager.CopiedBytes == 0 {
+		t.Error("eager should have copied in the background")
+	}
+}
+
+func TestStagingReadMissRecallsClean(t *testing.T) {
+	m, err := NewStagingManager(stagingCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Step(acc(0, 7, units.Bytes(5*units.MB), false)) // miss: recall
+	st := m.Result()
+	if st.ReadMisses != 1 {
+		t.Fatalf("misses = %d", st.ReadMisses)
+	}
+	if m.resident[7].dirty {
+		t.Error("recalled file must be clean (tape already has it)")
+	}
+	m.Step(acc(1, 7, units.Bytes(5*units.MB), false))
+	if m.Result().ReadHits != 1 {
+		t.Error("second read should hit")
+	}
+}
+
+func TestStagingOversizeStreamsThrough(t *testing.T) {
+	m, err := NewStagingManager(stagingCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Step(acc(0, 1, units.Bytes(150*units.MB), true))
+	m.Step(acc(1, 1, units.Bytes(150*units.MB), true)) // 150 MB > 100 MB
+	if m.used != 0 {
+		t.Errorf("oversize file staged: used=%v", m.used)
+	}
+}
+
+func TestStagingDirtyPeakTracked(t *testing.T) {
+	m, err := NewStagingManager(stagingCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Step(acc(0, 1, units.Bytes(10*units.MB), true))
+	m.Step(acc(0, 2, units.Bytes(20*units.MB), true))
+	if m.Result().DirtyPeak != units.Bytes(30*units.MB) {
+		t.Errorf("dirty peak = %v, want 30 MB", m.Result().DirtyPeak)
+	}
+}
+
+func TestStagingCapacityInvariant(t *testing.T) {
+	m, err := NewStagingManager(stagingCfg(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		size := units.Bytes((i%9 + 1) * 3 * int(units.MB))
+		m.Step(acc(i, i%60, size, i%3 == 0))
+		if m.used > m.cfg.Capacity {
+			t.Fatalf("step %d: used %v exceeds capacity %v", i, m.used, m.cfg.Capacity)
+		}
+	}
+}
+
+func TestDedupAccesses(t *testing.T) {
+	accs := []Access{
+		acc(0, 1, 10, false),
+		acc(5, 1, 10, false),       // within 8h of previous read: dropped
+		acc(5, 1, 10, true),        // different op: kept
+		acc(9*60, 1, 10, false),    // 9h later: kept
+		acc(9*60+10, 2, 10, false), // different file: kept
+	}
+	out := DedupAccesses(accs, 8*time.Hour)
+	if len(out) != 4 {
+		t.Fatalf("deduped = %d, want 4", len(out))
+	}
+	if out[1].Write != true {
+		t.Error("the write should have survived")
+	}
+}
+
+func TestDedupAccessesEmpty(t *testing.T) {
+	if got := DedupAccesses(nil, time.Hour); len(got) != 0 {
+		t.Errorf("dedup of nil = %v", got)
+	}
+}

@@ -1,0 +1,103 @@
+// Package mss simulates the NCAR mass storage system of §3: a bitfile
+// server (the MSCP on the IBM 3090) fronting staging disks, a StorageTek
+// 4400 cartridge silo, and an operator-staffed shelf-tape vault, with
+// bitfile movers carrying data to the Cray. Replaying a trace through the
+// simulator fills each record's startup latency and transfer time with the
+// §5.1.1 decomposition — queueing + mount + seek + transfer — which is
+// what regenerates Figure 3 and the Table 3 latency rows.
+package mss
+
+import (
+	"time"
+
+	"filemig/internal/device"
+)
+
+// Config sizes the simulated installation. DefaultConfig follows the
+// hardware described in §3.1.
+type Config struct {
+	Seed int64
+
+	// MSCP is the request-processing stage on the 3090: catalog lookup,
+	// authentication, device scheduling. Its service time is the
+	// irreducible floor under every request, and its queue is where burst
+	// congestion first appears.
+	MSCPServers int
+	MSCPService time.Duration // median service time
+	MSCPSigma   float64       // lognormal spread
+
+	DiskDrives   int // independent staging-disk paths
+	SiloDrives   int // 3480 drives inside the silo
+	SiloRobots   int // robot arms in the ACS
+	ManualDrives int // operator-attached 3480 drives
+	Operators    int // humans fetching shelf tapes
+
+	Cartridges int // cartridges in the silo (§2.2: 6000)
+
+	Disk    device.Profile
+	Silo    device.Profile
+	Manual  device.Profile
+	Optical device.Profile
+
+	// SmallOnOptical reroutes the staging-disk traffic to an optical
+	// jukebox — §5.4's alternative: "If magnetic disk would be too
+	// expensive, an optical disk jukebox could provide low latency to
+	// the first byte and high capacity."
+	SmallOnOptical bool
+	OpticalDrives  int
+	OpticalRobots  int
+
+	// ErrorBounce is the MSCP turnaround for failed requests (the file
+	// does not exist; no device is touched).
+	ErrorBounce time.Duration
+
+	// WriteBehind enables §6's recommendation: tape writes complete for
+	// the user as soon as the data lands on the staging disks ("write
+	// data to tape relatively quickly, and then mark the file as
+	// deleteable"); the tape copy proceeds in the background, still
+	// consuming drive/robot/operator resources.
+	WriteBehind bool
+}
+
+// DefaultConfig returns the §3.1 installation.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		MSCPServers:   2,
+		MSCPService:   2500 * time.Millisecond,
+		MSCPSigma:     0.45,
+		DiskDrives:    8,
+		SiloDrives:    4,
+		SiloRobots:    2,
+		ManualDrives:  4,
+		Operators:     2,
+		Cartridges:    6000,
+		Disk:          device.IBM3380,
+		Silo:          device.SiloTape3480,
+		Manual:        device.ManualTape3480,
+		Optical:       device.OpticalJukebox,
+		OpticalDrives: 4,
+		OpticalRobots: 2,
+		ErrorBounce:   time.Second,
+	}
+}
+
+// Topology describes the Figure 2 network: which components connect to
+// which, and over what path. Purely descriptive; returned by the
+// mssanalyze command's -figure 2 mode.
+func Topology() []Link {
+	return []Link{
+		{From: "Cray Y-MP (shavano)", To: "MSS disks/tape drives", Via: "LDN (high-speed direct data path)"},
+		{From: "Cray Y-MP (shavano)", To: "IBM 3090 MSCP", Via: "MASnet (hyperchannel control path)"},
+		{From: "IBM 3090 MSCP", To: "IBM 3380 staging disks", Via: "channel"},
+		{From: "IBM 3090 MSCP", To: "StorageTek 4400 ACS", Via: "channel"},
+		{From: "IBM 3090 MSCP", To: "shelf tape vault", Via: "operator"},
+		{From: "workstation gateways", To: "IBM 3090 MSCP", Via: "MASnet"},
+		{From: "workstation gateways", To: "desktop workstations", Via: "local networks (NFS)"},
+	}
+}
+
+// Link is one edge of the Figure 2 topology.
+type Link struct {
+	From, To, Via string
+}

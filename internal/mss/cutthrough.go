@@ -1,0 +1,64 @@
+package mss
+
+import (
+	"time"
+
+	"filemig/internal/trace"
+)
+
+// Cut-through open (§5.1.1, after MSS-II/RASH [7]): a call to open a
+// migrated file returns immediately while the system keeps loading it;
+// reads stall only if the application outruns the staging transfer.
+// "This scheme works because applications often do not read data as fast
+// as the MSS can deliver it."
+//
+// The NCAR system made users wait for the whole transfer before the
+// first byte could be used, so the perceived read time was
+// startup + transfer + processing. With cut-through the transfer overlaps
+// processing: perceived time is startup + max(transfer, size/appRate).
+// CutThroughReport quantifies that difference over a simulated trace.
+
+// CutThroughResult compares perceived read-completion times with and
+// without cut-through at a given application consumption rate.
+type CutThroughResult struct {
+	AppRate        float64 // bytes/second the application consumes
+	Reads          int64
+	BaselineMean   time.Duration // startup + transfer + processing
+	CutThroughMean time.Duration // startup + max(transfer, processing)
+	StalledReads   int64         // reads where the app outran the MSS
+}
+
+// Speedup is the mean perceived-latency ratio (baseline over cut-through).
+func (r CutThroughResult) Speedup() float64 {
+	if r.CutThroughMean == 0 {
+		return 0
+	}
+	return float64(r.BaselineMean) / float64(r.CutThroughMean)
+}
+
+// CutThroughReport evaluates cut-through over simulated records (their
+// Startup/Transfer must be filled, i.e. after Replay).
+func CutThroughReport(recs []trace.Record, appRate float64) CutThroughResult {
+	res := CutThroughResult{AppRate: appRate}
+	var base, cut time.Duration
+	for i := range recs {
+		r := &recs[i]
+		if !r.OK() || r.Op != trace.Read || r.Size == 0 {
+			continue
+		}
+		res.Reads++
+		processing := time.Duration(float64(r.Size) / appRate * float64(time.Second))
+		base += r.Startup + r.Transfer + processing
+		overlap := processing
+		if r.Transfer > processing {
+			overlap = r.Transfer
+			res.StalledReads++
+		}
+		cut += r.Startup + overlap
+	}
+	if res.Reads > 0 {
+		res.BaselineMean = base / time.Duration(res.Reads)
+		res.CutThroughMean = cut / time.Duration(res.Reads)
+	}
+	return res
+}

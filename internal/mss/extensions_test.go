@@ -1,0 +1,136 @@
+package mss
+
+import (
+	"testing"
+	"time"
+
+	"filemig/internal/device"
+	"filemig/internal/trace"
+	"filemig/internal/units"
+)
+
+func TestCutThroughReport(t *testing.T) {
+	// One 80 MB tape read: startup 85s, transfer 40s (2 MB/s). An app
+	// consuming at 1 MB/s needs 80s of processing.
+	recs := []trace.Record{{
+		Start: trace.Epoch, Op: trace.Read, Device: device.ClassSiloTape,
+		Startup: 85 * time.Second, Transfer: 40 * time.Second,
+		Size: units.Bytes(80 * units.MB), MSSPath: "/m", LocalPath: "/l", UserID: 1,
+	}}
+	res := CutThroughReport(recs, 1e6)
+	if res.Reads != 1 {
+		t.Fatalf("reads = %d", res.Reads)
+	}
+	// Baseline: 85 + 40 + 80 = 205s. Cut-through: 85 + max(40, 80) = 165s.
+	if res.BaselineMean != 205*time.Second {
+		t.Errorf("baseline = %v, want 205s", res.BaselineMean)
+	}
+	if res.CutThroughMean != 165*time.Second {
+		t.Errorf("cut-through = %v, want 165s", res.CutThroughMean)
+	}
+	if res.StalledReads != 0 {
+		t.Errorf("slow app should never stall, got %d", res.StalledReads)
+	}
+	if s := res.Speedup(); s < 1.2 || s > 1.3 {
+		t.Errorf("speedup = %v, want ~1.24", s)
+	}
+	// A fast app (10 MB/s, 8s processing) outruns the 2 MB/s transfer.
+	res = CutThroughReport(recs, 10e6)
+	if res.StalledReads != 1 {
+		t.Errorf("fast app should stall, got %d", res.StalledReads)
+	}
+	// Cut-through: 85 + max(40, 8) = 125s; baseline 85+40+8 = 133s.
+	if res.CutThroughMean != 125*time.Second {
+		t.Errorf("cut-through = %v, want 125s", res.CutThroughMean)
+	}
+}
+
+func TestCutThroughSkipsWritesAndErrors(t *testing.T) {
+	recs := []trace.Record{
+		{Start: trace.Epoch, Op: trace.Write, Device: device.ClassSiloTape,
+			Startup: time.Second, Transfer: time.Second,
+			Size: units.Bytes(units.MB), MSSPath: "/m", LocalPath: "/l"},
+		{Start: trace.Epoch, Op: trace.Read, Device: device.ClassDisk,
+			Err: trace.ErrNoFile, MSSPath: "/x", LocalPath: "/l"},
+	}
+	res := CutThroughReport(recs, 1e6)
+	if res.Reads != 0 {
+		t.Errorf("reads = %d, want 0", res.Reads)
+	}
+	if res.Speedup() != 0 {
+		t.Errorf("empty speedup = %v", res.Speedup())
+	}
+}
+
+func TestSmallOnOpticalRouting(t *testing.T) {
+	// The same small-file read through disk vs optical: optical carries a
+	// platter-swap penalty up front but the paper's point is it still
+	// bounds the first byte in seconds, unlike tape.
+	rec := mkRec(0, trace.Read, device.ClassDisk, units.Bytes(units.MB), "/mss/s")
+
+	plain := NewSimulator(DefaultConfig(1))
+	outDisk, err := plain.Replay([]trace.Record{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(1)
+	cfg.SmallOnOptical = true
+	opt := NewSimulator(cfg)
+	outOpt, err := opt.Replay([]trace.Record{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outOpt[0].Startup <= outDisk[0].Startup {
+		t.Errorf("optical first byte (%v) should trail disk (%v) — platter swap",
+			outOpt[0].Startup, outDisk[0].Startup)
+	}
+	if outOpt[0].Startup > 30*time.Second {
+		t.Errorf("optical first byte = %v, want seconds (not tape minutes)", outOpt[0].Startup)
+	}
+	// Transfer at 0.25 MB/s: 1 MB ≈ 4s, versus 0.5s on disk.
+	if outOpt[0].Transfer <= outDisk[0].Transfer {
+		t.Error("optical transfer should be slower than disk")
+	}
+	// Tape comparison: a silo read of the same file takes far longer to
+	// the first byte.
+	tapeRec := mkRec(0, trace.Read, device.ClassSiloTape, units.Bytes(units.MB), "/mss/s")
+	tape := NewSimulator(DefaultConfig(1))
+	outTape, err := tape.Replay([]trace.Record{tapeRec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outOpt[0].Startup >= outTape[0].Startup {
+		t.Errorf("optical (%v) should beat tape (%v) to the first byte",
+			outOpt[0].Startup, outTape[0].Startup)
+	}
+}
+
+func TestOpticalClassDirect(t *testing.T) {
+	s := NewSimulator(DefaultConfig(2))
+	rec := mkRec(0, trace.Read, device.ClassOptical, units.Bytes(2*units.MB), "/mss/o")
+	out, err := s.Replay([]trace.Record{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Startup <= 0 || out[0].Transfer <= 0 {
+		t.Errorf("optical record not serviced: %+v", out[0])
+	}
+}
+
+func TestOpticalMountReuse(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.SmallOnOptical = true
+	s := NewSimulator(cfg)
+	var recs []trace.Record
+	for i := 0; i < 3; i++ {
+		recs = append(recs, mkRec(time.Duration(i)*10*time.Second,
+			trace.Read, device.ClassDisk, units.Bytes(units.MB), "/mss/same"))
+	}
+	if _, err := s.Replay(recs); err != nil {
+		t.Fatal(err)
+	}
+	done, skipped := s.MountStats()
+	if done != 1 || skipped != 2 {
+		t.Errorf("mounts done/skipped = %d/%d, want 1/2", done, skipped)
+	}
+}

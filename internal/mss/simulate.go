@@ -1,0 +1,299 @@
+package mss
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"filemig/internal/device"
+	"filemig/internal/sim"
+	"filemig/internal/trace"
+)
+
+// Simulator replays a trace through the modelled installation, filling in
+// each record's Startup (latency to first byte: queueing + mount + seek)
+// and Transfer fields.
+type Simulator struct {
+	cfg     Config
+	engine  *sim.Engine
+	rng     *rand.Rand
+	catalog *Catalog
+
+	mscp     *sim.Resource
+	disks    *sim.Resource
+	siloDrv  *sim.Resource
+	siloBot  *sim.Resource
+	manDrv   *sim.Resource
+	operator *sim.Resource
+	optDrv   *sim.Resource
+	optBot   *sim.Resource
+
+	siloMounts   *MountCache
+	manualMounts *MountCache
+	optMounts    *MountCache
+
+	mountsSkipped int
+	mountsDone    int
+}
+
+// NewSimulator builds a simulator from the configuration.
+func NewSimulator(cfg Config) *Simulator {
+	e := sim.New()
+	optDrives := cfg.OpticalDrives
+	if optDrives < 1 {
+		optDrives = 1
+	}
+	optRobots := cfg.OpticalRobots
+	if optRobots < 1 {
+		optRobots = 1
+	}
+	return &Simulator{
+		cfg:          cfg,
+		engine:       e,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		catalog:      NewCatalog(cfg.Cartridges),
+		mscp:         sim.NewResource(e, "mscp", cfg.MSCPServers),
+		disks:        sim.NewResource(e, "disk", cfg.DiskDrives),
+		siloDrv:      sim.NewResource(e, "silo-drive", cfg.SiloDrives),
+		siloBot:      sim.NewResource(e, "silo-robot", cfg.SiloRobots),
+		manDrv:       sim.NewResource(e, "manual-drive", cfg.ManualDrives),
+		operator:     sim.NewResource(e, "operator", cfg.Operators),
+		optDrv:       sim.NewResource(e, "optical-drive", optDrives),
+		optBot:       sim.NewResource(e, "optical-robot", optRobots),
+		siloMounts:   NewMountCache(cfg.SiloDrives),
+		manualMounts: NewMountCache(cfg.ManualDrives),
+		optMounts:    NewMountCache(optDrives),
+	}
+}
+
+// Replay simulates every record (which must be time-sorted) and returns a
+// copy with latencies filled in, in completion order re-sorted by start
+// time. The input slice is not modified.
+func (s *Simulator) Replay(recs []trace.Record) ([]trace.Record, error) {
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Start.Before(recs[i-1].Start) {
+			return nil, fmt.Errorf("mss: input records not time-sorted at %d", i)
+		}
+	}
+	out := make([]trace.Record, len(recs))
+	copy(out, recs)
+	if len(recs) == 0 {
+		return out, nil
+	}
+	epoch := recs[0].Start
+	for i := range out {
+		i := i
+		at := out[i].Start.Sub(epoch)
+		s.engine.At(at, func(now time.Duration) {
+			s.admit(&out[i], now)
+		})
+	}
+	s.engine.Run()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out, nil
+}
+
+// admit runs a request through the MSCP stage and dispatches it to its
+// device pipeline. arrival is the request's arrival time.
+func (s *Simulator) admit(rec *trace.Record, arrival time.Duration) {
+	if rec.Err != trace.ErrNone {
+		// Failed lookups bounce at the MSCP without touching a device.
+		s.mscp.Use(s.cfg.ErrorBounce, func(now, wait time.Duration) {
+			rec.Startup = now - arrival
+			rec.Transfer = 0
+		})
+		return
+	}
+	service := s.lognormal(s.cfg.MSCPService, s.cfg.MSCPSigma)
+	s.mscp.Use(service, func(now, wait time.Duration) {
+		tape := rec.Device == device.ClassSiloTape || rec.Device == device.ClassManualTape
+		if s.cfg.WriteBehind && tape && rec.Op == trace.Write {
+			// User-visible: a staging-disk write. The tape copy runs in
+			// the background and loads the drives, but the user never
+			// waits for it.
+			s.runDisk(rec, arrival)
+			s.backgroundCopy(rec)
+			return
+		}
+		switch rec.Device {
+		case device.ClassDisk:
+			if s.cfg.SmallOnOptical {
+				s.runOptical(rec, arrival)
+				return
+			}
+			s.runDisk(rec, arrival)
+		case device.ClassSiloTape:
+			s.runSilo(rec, arrival)
+		case device.ClassManualTape:
+			s.runManual(rec, arrival)
+		case device.ClassOptical:
+			s.runOptical(rec, arrival)
+		default:
+			// Future classes: treat as silo-like.
+			s.runSilo(rec, arrival)
+		}
+	})
+}
+
+// runDisk services a staging-disk transfer: queue for a disk path, seek
+// (milliseconds), transfer at the observed rate.
+func (s *Simulator) runDisk(rec *trace.Record, arrival time.Duration) {
+	cost := s.cfg.Disk.Access(s.rng.Float64(), rec.Size, true, s.rng)
+	pre := cost.Seek
+	s.disks.Acquire(func(now, wait time.Duration) {
+		s.engine.At(now+pre, func(firstByte time.Duration) {
+			rec.Startup = firstByte - arrival
+			s.engine.At(firstByte+cost.Transfer, func(end time.Duration) {
+				rec.Transfer = cost.Transfer
+				s.disks.Release()
+			})
+		})
+	})
+}
+
+// runSilo services a silo-tape transfer: queue for a drive; if the
+// cartridge is not already mounted, queue for a robot arm to pick and
+// mount it; then seek and transfer.
+func (s *Simulator) runSilo(rec *trace.Record, arrival time.Duration) {
+	cart := s.catalog.Cartridge(rec.MSSPath)
+	mounted := s.siloMounts.Mounted(cart)
+	cost := s.cfg.Silo.Access(s.catalog.OffsetFrac(rec.MSSPath), rec.Size, mounted, s.rng)
+	if mounted {
+		s.mountsSkipped++
+	} else {
+		s.mountsDone++
+		// Register at decision time so same-cartridge requests arriving
+		// during the pick ride the same mount — the MSCP batches them
+		// onto one drive (§6's coalescing opportunity).
+		s.siloMounts.Mount(cart)
+	}
+	s.siloDrv.Acquire(func(now, wait time.Duration) {
+		afterMount := func(t time.Duration) {
+			s.engine.At(t+cost.Seek, func(firstByte time.Duration) {
+				rec.Startup = firstByte - arrival
+				s.engine.At(firstByte+cost.Transfer, func(end time.Duration) {
+					rec.Transfer = cost.Transfer
+					s.siloDrv.Release()
+				})
+			})
+		}
+		if mounted {
+			afterMount(now)
+			return
+		}
+		s.siloBot.Use(cost.Mount, func(end, botWait time.Duration) {
+			afterMount(end)
+		})
+	})
+}
+
+// runManual services a shelf-tape transfer: queue for a drive, then for a
+// human operator who fetches and mounts the cartridge (the long-tailed
+// stage), then seek and transfer.
+func (s *Simulator) runManual(rec *trace.Record, arrival time.Duration) {
+	cart := s.catalog.Cartridge(rec.MSSPath)
+	mounted := s.manualMounts.Mounted(cart)
+	cost := s.cfg.Manual.Access(s.catalog.OffsetFrac(rec.MSSPath), rec.Size, mounted, s.rng)
+	if mounted {
+		s.mountsSkipped++
+	} else {
+		s.mountsDone++
+		s.manualMounts.Mount(cart)
+	}
+	s.manDrv.Acquire(func(now, wait time.Duration) {
+		afterMount := func(t time.Duration) {
+			s.engine.At(t+cost.Seek, func(firstByte time.Duration) {
+				rec.Startup = firstByte - arrival
+				s.engine.At(firstByte+cost.Transfer, func(end time.Duration) {
+					rec.Transfer = cost.Transfer
+					s.manDrv.Release()
+				})
+			})
+		}
+		if mounted {
+			afterMount(now)
+			return
+		}
+		s.operator.Use(cost.Mount, func(end, opWait time.Duration) {
+			afterMount(end)
+		})
+	})
+}
+
+// runOptical services a jukebox transfer: queue for a drive; a robot
+// swaps the platter unless it is already loaded; then seek and transfer
+// at the (slow) optical rate. First byte comes fast, last byte slowly —
+// exactly the §2.2 trade.
+func (s *Simulator) runOptical(rec *trace.Record, arrival time.Duration) {
+	cart := s.catalog.Cartridge(rec.MSSPath)
+	mounted := s.optMounts.Mounted(cart)
+	cost := s.cfg.Optical.Access(s.catalog.OffsetFrac(rec.MSSPath), rec.Size, mounted, s.rng)
+	if mounted {
+		s.mountsSkipped++
+	} else {
+		s.mountsDone++
+		s.optMounts.Mount(cart)
+	}
+	s.optDrv.Acquire(func(now, wait time.Duration) {
+		afterMount := func(t time.Duration) {
+			s.engine.At(t+cost.Seek, func(firstByte time.Duration) {
+				rec.Startup = firstByte - arrival
+				s.engine.At(firstByte+cost.Transfer, func(end time.Duration) {
+					rec.Transfer = cost.Transfer
+					s.optDrv.Release()
+				})
+			})
+		}
+		if mounted {
+			afterMount(now)
+			return
+		}
+		s.optBot.Use(cost.Mount, func(end, botWait time.Duration) {
+			afterMount(end)
+		})
+	})
+}
+
+// backgroundCopy schedules the deferred tape write of a write-behind
+// record: it occupies a drive (and robot or operator) like any transfer
+// but records nothing in the trace — the user already went home.
+func (s *Simulator) backgroundCopy(rec *trace.Record) {
+	shadow := *rec // local copy; latency writes go nowhere visible
+	bg := &shadow
+	if rec.Device == device.ClassManualTape {
+		s.runManual(bg, s.engine.Now())
+		return
+	}
+	s.runSilo(bg, s.engine.Now())
+}
+
+func (s *Simulator) lognormal(median time.Duration, sigma float64) time.Duration {
+	if sigma <= 0 {
+		return median
+	}
+	return time.Duration(float64(median) * math.Exp(sigma*s.rng.NormFloat64()))
+}
+
+// ResourceStats reports the queueing statistics of every station, in a
+// fixed order: mscp, disk, silo-drive, silo-robot, manual-drive,
+// operator, optical-drive, optical-robot.
+func (s *Simulator) ResourceStats() []sim.Stats {
+	return []sim.Stats{
+		s.mscp.Stats(),
+		s.disks.Stats(),
+		s.siloDrv.Stats(),
+		s.siloBot.Stats(),
+		s.manDrv.Stats(),
+		s.operator.Stats(),
+		s.optDrv.Stats(),
+		s.optBot.Stats(),
+	}
+}
+
+// MountStats reports how many tape mounts were performed vs. avoided via
+// an already-mounted cartridge.
+func (s *Simulator) MountStats() (done, skipped int) {
+	return s.mountsDone, s.mountsSkipped
+}

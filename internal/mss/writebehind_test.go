@@ -1,0 +1,87 @@
+package mss
+
+import (
+	"testing"
+	"time"
+
+	"filemig/internal/device"
+	"filemig/internal/trace"
+	"filemig/internal/units"
+)
+
+func TestWriteBehindCutsVisibleWriteLatency(t *testing.T) {
+	recs := []trace.Record{
+		mkRec(0, trace.Write, device.ClassSiloTape, units.Bytes(80*units.MB), "/mss/w1"),
+		mkRec(time.Minute, trace.Write, device.ClassManualTape, units.Bytes(40*units.MB), "/mss/w2"),
+	}
+	base := NewSimulator(DefaultConfig(1))
+	baseOut, err := base.Replay(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(1)
+	cfg.WriteBehind = true
+	wb := NewSimulator(cfg)
+	wbOut, err := wb.Replay(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if wbOut[i].Startup >= baseOut[i].Startup {
+			t.Errorf("record %d: write-behind startup %v not below baseline %v",
+				i, wbOut[i].Startup, baseOut[i].Startup)
+		}
+		// The visible path is the staging disk: seconds, not minutes.
+		if wbOut[i].Startup > 20*time.Second {
+			t.Errorf("record %d: write-behind startup %v, want disk-speed", i, wbOut[i].Startup)
+		}
+	}
+	// The background copies still consumed tape resources.
+	stats := wb.ResourceStats()
+	var siloArrivals, manArrivals uint64
+	for _, st := range stats {
+		switch st.Name {
+		case "silo-drive":
+			siloArrivals = st.Arrivals
+		case "manual-drive":
+			manArrivals = st.Arrivals
+		}
+	}
+	if siloArrivals == 0 || manArrivals == 0 {
+		t.Errorf("background copies missing: silo=%d manual=%d arrivals",
+			siloArrivals, manArrivals)
+	}
+}
+
+func TestWriteBehindLeavesReadsOnTape(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.WriteBehind = true
+	s := NewSimulator(cfg)
+	rec := mkRec(0, trace.Read, device.ClassSiloTape, units.Bytes(50*units.MB), "/mss/r")
+	out, err := s.Replay([]trace.Record{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reads are untouched by write-behind: still a tape access.
+	if out[0].Startup < 30*time.Second {
+		t.Errorf("read startup = %v, want tape-speed", out[0].Startup)
+	}
+}
+
+func TestSimulatorLognormalDegenerate(t *testing.T) {
+	s := NewSimulator(DefaultConfig(3))
+	if got := s.lognormal(5*time.Second, 0); got != 5*time.Second {
+		t.Errorf("sigma 0 should return the median, got %v", got)
+	}
+}
+
+func TestNewSimulatorClampsOpticalPools(t *testing.T) {
+	cfg := DefaultConfig(4)
+	cfg.OpticalDrives = 0
+	cfg.OpticalRobots = 0
+	s := NewSimulator(cfg)
+	st := s.ResourceStats()
+	if st[6].Name != "optical-drive" || st[7].Name != "optical-robot" {
+		t.Fatalf("optical pools missing: %v %v", st[6].Name, st[7].Name)
+	}
+}

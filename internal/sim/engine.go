@@ -1,0 +1,126 @@
+// Package sim is a small discrete-event simulation engine: an event heap,
+// a virtual clock, and queueing resources. It is the substrate beneath the
+// mass-storage-system simulator (internal/mss) that regenerates the paper's
+// latency measurements: every queueing, mount, seek and transfer delay in
+// Figure 3 and Table 3 is an event scheduled here.
+//
+// Time is a time.Duration offset from the simulation epoch; the engine is
+// single-threaded and deterministic: events at equal times fire in
+// scheduling order (a monotonically increasing sequence number breaks
+// ties), so simulations are exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual time.
+type Event func(now time.Duration)
+
+type scheduledEvent struct {
+	at    time.Duration
+	seq   uint64
+	fn    Event
+	index int
+}
+
+type eventQueue []*scheduledEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*scheduledEvent)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the pending-event heap.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	steps   uint64
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now reports the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Steps reports how many events have been dispatched.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past panics: it indicates a simulator bug, never a data condition.
+func (e *Engine) At(at time.Duration, fn Event) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &scheduledEvent{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay after the current time.
+func (e *Engine) After(delay time.Duration, fn Event) {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	e.At(e.now+delay, fn)
+}
+
+// Stop aborts the run loop after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events until the queue empties or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*scheduledEvent)
+		e.now = ev.at
+		e.steps++
+		ev.fn(e.now)
+	}
+}
+
+// RunUntil dispatches events with time <= deadline, advancing the clock to
+// the deadline even if the queue drains early.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].at > deadline {
+			break
+		}
+		ev := heap.Pop(&e.queue).(*scheduledEvent)
+		e.now = ev.at
+		e.steps++
+		ev.fn(e.now)
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending reports the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }

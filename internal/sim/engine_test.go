@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(3*time.Second, func(time.Duration) { order = append(order, 3) })
+	e.At(1*time.Second, func(time.Duration) { order = append(order, 1) })
+	e.At(2*time.Second, func(time.Duration) { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", e.Now())
+	}
+	if e.Steps() != 3 {
+		t.Errorf("Steps = %d, want 3", e.Steps())
+	}
+}
+
+func TestEngineFIFOAtEqualTimes(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Second, func(time.Duration) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := New()
+	var hits []time.Duration
+	e.At(time.Second, func(now time.Duration) {
+		hits = append(hits, now)
+		e.After(2*time.Second, func(now time.Duration) {
+			hits = append(hits, now)
+		})
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != time.Second || hits[1] != 3*time.Second {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.At(5*time.Second, func(now time.Duration) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past should panic")
+			}
+		}()
+		e.At(time.Second, func(time.Duration) {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay should panic")
+		}
+	}()
+	e.After(-time.Second, func(time.Duration) {})
+}
+
+func TestEngineStop(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(time.Duration(i)*time.Second, func(time.Duration) {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+	if e.Pending() != 7 {
+		t.Errorf("Pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(time.Duration(i)*time.Second, func(time.Duration) { count++ })
+	}
+	e.RunUntil(5 * time.Second)
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if e.Now() != 5*time.Second {
+		t.Errorf("Now = %v, want 5s", e.Now())
+	}
+	e.RunUntil(20 * time.Second)
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+	if e.Now() != 20*time.Second {
+		t.Errorf("clock should advance to deadline; Now = %v", e.Now())
+	}
+}
+
+func TestEngineEventTimesNondecreasing(t *testing.T) {
+	f := func(delaysMs []uint16) bool {
+		e := New()
+		var fired []time.Duration
+		for _, d := range delaysMs {
+			e.At(time.Duration(d)*time.Millisecond, func(now time.Duration) {
+				fired = append(fired, now)
+			})
+		}
+		e.Run()
+		if len(fired) != len(delaysMs) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEngineRandomisedStress(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	e := New()
+	fired := 0
+	var schedule func(depth int) Event
+	schedule = func(depth int) Event {
+		return func(now time.Duration) {
+			fired++
+			if depth < 3 {
+				n := r.Intn(3)
+				for i := 0; i < n; i++ {
+					e.After(time.Duration(r.Intn(1000))*time.Millisecond, schedule(depth+1))
+				}
+			}
+		}
+	}
+	for i := 0; i < 100; i++ {
+		e.At(time.Duration(r.Intn(10000))*time.Millisecond, schedule(0))
+	}
+	e.Run()
+	if fired < 100 {
+		t.Errorf("fired = %d, want >= 100", fired)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after Run", e.Pending())
+	}
+}

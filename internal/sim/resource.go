@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"time"
+)
+
+// Resource is a k-server FIFO queueing station: up to Servers requests are
+// in service at once, the rest wait in arrival order. It models every
+// contended element of the MSS — individual disks, tape drives, silo robot
+// arms, and the human operator pool that mounts shelf tapes.
+type Resource struct {
+	name    string
+	servers int
+	engine  *Engine
+
+	busy    int
+	waiting []*acquisition
+
+	// Statistics.
+	arrivals   uint64
+	totalWait  time.Duration
+	maxWait    time.Duration
+	totalHold  time.Duration
+	maxQueue   int
+	lastChange time.Duration
+	busyTime   time.Duration // integral of busy servers over time
+}
+
+type acquisition struct {
+	arrived time.Duration
+	grant   func(now time.Duration, wait time.Duration)
+}
+
+// NewResource creates a resource with the given number of parallel servers.
+func NewResource(engine *Engine, name string, servers int) *Resource {
+	if servers < 1 {
+		panic("sim: resource needs at least one server")
+	}
+	return &Resource{name: name, servers: servers, engine: engine}
+}
+
+// Name reports the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Servers reports the configured parallelism.
+func (r *Resource) Servers() int { return r.servers }
+
+func (r *Resource) accumulate(now time.Duration) {
+	r.busyTime += time.Duration(int64(now-r.lastChange) * int64(r.busy) / int64(r.servers))
+	r.lastChange = now
+}
+
+// Acquire requests a server. grant runs (possibly immediately) once a
+// server is free, receiving the grant time and the time spent queued. The
+// holder must call Release exactly once when done.
+func (r *Resource) Acquire(grant func(now time.Duration, wait time.Duration)) {
+	now := r.engine.Now()
+	r.arrivals++
+	if r.busy < r.servers {
+		r.accumulate(now)
+		r.busy++
+		grant(now, 0)
+		return
+	}
+	r.waiting = append(r.waiting, &acquisition{arrived: now, grant: grant})
+	if len(r.waiting) > r.maxQueue {
+		r.maxQueue = len(r.waiting)
+	}
+}
+
+// Release frees one server, handing it to the longest-waiting requester if
+// any. Calling Release with no server held panics.
+func (r *Resource) Release() {
+	now := r.engine.Now()
+	if r.busy == 0 {
+		panic("sim: Release on idle resource " + r.name)
+	}
+	if len(r.waiting) == 0 {
+		r.accumulate(now)
+		r.busy--
+		return
+	}
+	next := r.waiting[0]
+	r.waiting = r.waiting[0].grantAfterShift(r)
+	wait := now - next.arrived
+	r.totalWait += wait
+	if wait > r.maxWait {
+		r.maxWait = wait
+	}
+	// The server transfers directly to the next requester; busy unchanged.
+	next.grant(now, wait)
+}
+
+func (a *acquisition) grantAfterShift(r *Resource) []*acquisition {
+	copy(r.waiting, r.waiting[1:])
+	r.waiting[len(r.waiting)-1] = nil
+	return r.waiting[:len(r.waiting)-1]
+}
+
+// Use is the common acquire→hold→release pattern: wait for a server, hold
+// it for hold, then release and invoke done (if non-nil) with the service
+// completion time and the queueing delay experienced.
+func (r *Resource) Use(hold time.Duration, done func(now time.Duration, wait time.Duration)) {
+	if hold < 0 {
+		panic("sim: negative hold time")
+	}
+	r.Acquire(func(now time.Duration, wait time.Duration) {
+		r.totalHold += hold
+		r.engine.At(now+hold, func(end time.Duration) {
+			r.Release()
+			if done != nil {
+				done(end, wait)
+			}
+		})
+	})
+}
+
+// QueueLength reports the number of waiting (not in-service) requests.
+func (r *Resource) QueueLength() int { return len(r.waiting) }
+
+// Busy reports the number of servers currently in service.
+func (r *Resource) Busy() int { return r.busy }
+
+// Stats is a snapshot of a resource's lifetime statistics.
+type Stats struct {
+	Name        string
+	Arrivals    uint64
+	MeanWait    time.Duration
+	MaxWait     time.Duration
+	MaxQueue    int
+	Utilization float64 // mean fraction of servers busy over elapsed time
+}
+
+// Stats summarises behaviour up to the current virtual time.
+func (r *Resource) Stats() Stats {
+	now := r.engine.Now()
+	var meanWait time.Duration
+	if r.arrivals > 0 {
+		meanWait = r.totalWait / time.Duration(r.arrivals)
+	}
+	util := 0.0
+	if now > 0 {
+		busyTime := r.busyTime + time.Duration(int64(now-r.lastChange)*int64(r.busy)/int64(r.servers))
+		util = float64(busyTime) / float64(now)
+	}
+	return Stats{
+		Name:        r.name,
+		Arrivals:    r.arrivals,
+		MeanWait:    meanWait,
+		MaxWait:     r.maxWait,
+		MaxQueue:    r.maxQueue,
+		Utilization: util,
+	}
+}

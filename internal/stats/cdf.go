@@ -1,0 +1,236 @@
+// Package stats provides the statistical machinery the paper's analysis
+// rests on: empirical distributions (CDFs and quantiles), log-bucketed
+// histograms, online moments, random-variate samplers for the synthetic
+// workload, and autocorrelation/periodogram tools used to establish the
+// one-day and one-week periodicity of the MSS request stream (§5.2).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CDF accumulates sample values and answers empirical-distribution queries.
+// It is the workhorse behind every cumulative-percentage figure in the
+// paper (Figures 3 and 7–12). The zero value is ready to use.
+type CDF struct {
+	vals   []float64
+	sorted bool
+}
+
+// NewCDF returns a CDF pre-sized for n samples.
+func NewCDF(n int) *CDF { return &CDF{vals: make([]float64, 0, n)} }
+
+// Add records one sample.
+func (c *CDF) Add(v float64) {
+	c.vals = append(c.vals, v)
+	c.sorted = false
+}
+
+// AddN records the sample v with multiplicity n (used for byte-weighted
+// distributions where a request of s bytes contributes weight s).
+func (c *CDF) AddN(v float64, n int) {
+	for i := 0; i < n; i++ {
+		c.Add(v)
+	}
+}
+
+// N reports the number of samples.
+func (c *CDF) N() int { return len(c.vals) }
+
+func (c *CDF) ensureSorted() {
+	if !c.sorted {
+		sort.Float64s(c.vals)
+		c.sorted = true
+	}
+}
+
+// P returns the empirical P(X <= v), in [0, 1]. P of an empty CDF is 0.
+func (c *CDF) P(v float64) float64 {
+	if len(c.vals) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	i := sort.SearchFloat64s(c.vals, math.Nextafter(v, math.Inf(1)))
+	return float64(i) / float64(len(c.vals))
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) using the nearest-rank
+// method. Quantile of an empty CDF is NaN.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.vals) == 0 {
+		return math.NaN()
+	}
+	c.ensureSorted()
+	if q <= 0 {
+		return c.vals[0]
+	}
+	if q >= 1 {
+		return c.vals[len(c.vals)-1]
+	}
+	i := int(math.Ceil(q*float64(len(c.vals)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return c.vals[i]
+}
+
+// Median is Quantile(0.5).
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Mean returns the sample mean, or NaN when empty.
+func (c *CDF) Mean() float64 {
+	if len(c.vals) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, v := range c.vals {
+		s += v
+	}
+	return s / float64(len(c.vals))
+}
+
+// Min returns the smallest sample, or NaN when empty.
+func (c *CDF) Min() float64 {
+	if len(c.vals) == 0 {
+		return math.NaN()
+	}
+	c.ensureSorted()
+	return c.vals[0]
+}
+
+// Max returns the largest sample, or NaN when empty.
+func (c *CDF) Max() float64 {
+	if len(c.vals) == 0 {
+		return math.NaN()
+	}
+	c.ensureSorted()
+	return c.vals[len(c.vals)-1]
+}
+
+// Points samples the CDF at the given x values, returning cumulative
+// fractions; this is how figure series are rendered for printing.
+func (c *CDF) Points(xs []float64) []Point {
+	pts := make([]Point, len(xs))
+	for i, x := range xs {
+		pts[i] = Point{X: x, Y: c.P(x)}
+	}
+	return pts
+}
+
+// Point is a single (x, cumulative fraction) sample of a distribution.
+type Point struct {
+	X, Y float64
+}
+
+// String renders the point as "x=VAL p=FRAC%".
+func (p Point) String() string {
+	return fmt.Sprintf("x=%g p=%.1f%%", p.X, 100*p.Y)
+}
+
+// WeightedCDF is a CDF over (value, weight) pairs — e.g. "fraction of all
+// bytes in files of size <= s" (the data curves of Figures 10–12). The zero
+// value is ready to use.
+type WeightedCDF struct {
+	pairs  []weighted
+	total  float64
+	sorted bool
+}
+
+type weighted struct{ v, w float64 }
+
+// Add records value v carrying weight w (w must be >= 0).
+func (c *WeightedCDF) Add(v, w float64) {
+	if w < 0 {
+		panic("stats: negative weight")
+	}
+	c.pairs = append(c.pairs, weighted{v, w})
+	c.total += w
+	c.sorted = false
+}
+
+// N reports the number of (value, weight) pairs added.
+func (c *WeightedCDF) N() int { return len(c.pairs) }
+
+// TotalWeight reports the sum of all weights.
+func (c *WeightedCDF) TotalWeight() float64 { return c.total }
+
+func (c *WeightedCDF) ensureSorted() {
+	if !c.sorted {
+		sort.Slice(c.pairs, func(i, j int) bool { return c.pairs[i].v < c.pairs[j].v })
+		c.sorted = true
+	}
+}
+
+// P returns the weight fraction with value <= v.
+func (c *WeightedCDF) P(v float64) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	i := sort.Search(len(c.pairs), func(i int) bool { return c.pairs[i].v > v })
+	w := 0.0
+	for _, p := range c.pairs[:i] {
+		w += p.w
+	}
+	return w / c.total
+}
+
+// Quantile returns the smallest value v such that P(v) >= q.
+func (c *WeightedCDF) Quantile(q float64) float64 {
+	if len(c.pairs) == 0 {
+		return math.NaN()
+	}
+	c.ensureSorted()
+	target := q * c.total
+	w := 0.0
+	for _, p := range c.pairs {
+		w += p.w
+		if w >= target {
+			return p.v
+		}
+	}
+	return c.pairs[len(c.pairs)-1].v
+}
+
+// Points samples the weighted CDF at the given x values.
+func (c *WeightedCDF) Points(xs []float64) []Point {
+	pts := make([]Point, len(xs))
+	// One pass: xs must be ascending for efficiency; sort a copy to be safe.
+	sortedXs := append([]float64(nil), xs...)
+	sort.Float64s(sortedXs)
+	c.ensureSorted()
+	res := make(map[float64]float64, len(xs))
+	w, i := 0.0, 0
+	for _, x := range sortedXs {
+		for i < len(c.pairs) && c.pairs[i].v <= x {
+			w += c.pairs[i].w
+			i++
+		}
+		if c.total > 0 {
+			res[x] = w / c.total
+		}
+	}
+	for j, x := range xs {
+		pts[j] = Point{X: x, Y: res[x]}
+	}
+	return pts
+}
+
+// LogSpace returns n points logarithmically spaced in [lo, hi] inclusive;
+// used for the x axes of the paper's log-scale figures.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi <= lo || n < 2 {
+		panic("stats: LogSpace requires 0 < lo < hi and n >= 2")
+	}
+	xs := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	x := lo
+	for i := range xs {
+		xs[i] = x
+		x *= ratio
+	}
+	xs[n-1] = hi
+	return xs
+}

@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram with either linear or logarithmic
+// bucket edges. Unlike CDF it uses O(buckets) memory, so it is the right
+// tool for the multi-million-record trace passes.
+type Histogram struct {
+	edges  []float64 // ascending bucket upper bounds; len = #buckets
+	counts []int64
+	under  int64 // samples below edges[0] lower bound (linear only)
+	over   int64 // samples above the last edge
+	sum    float64
+	n      int64
+}
+
+// NewLinearHistogram builds buckets of equal width spanning [lo, hi).
+func NewLinearHistogram(lo, hi float64, buckets int) *Histogram {
+	if buckets < 1 || hi <= lo {
+		panic("stats: bad linear histogram shape")
+	}
+	edges := make([]float64, buckets)
+	w := (hi - lo) / float64(buckets)
+	for i := range edges {
+		edges[i] = lo + w*float64(i+1)
+	}
+	return &Histogram{edges: edges, counts: make([]int64, buckets)}
+}
+
+// NewLogHistogram builds buckets whose upper edges grow geometrically from
+// lo to hi. Samples below lo land in the first bucket.
+func NewLogHistogram(lo, hi float64, buckets int) *Histogram {
+	if buckets < 1 || lo <= 0 || hi <= lo {
+		panic("stats: bad log histogram shape")
+	}
+	edges := make([]float64, buckets)
+	ratio := math.Pow(hi/lo, 1/float64(buckets))
+	e := lo
+	for i := range edges {
+		e *= ratio
+		edges[i] = e
+	}
+	edges[buckets-1] = hi
+	return &Histogram{edges: edges, counts: make([]int64, buckets)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) { h.AddN(v, 1) }
+
+// AddN records the sample v with multiplicity n.
+func (h *Histogram) AddN(v float64, n int64) {
+	h.n += n
+	h.sum += v * float64(n)
+	if v > h.edges[len(h.edges)-1] {
+		h.over += n
+		return
+	}
+	// Binary search the first edge >= v.
+	lo, hi := 0, len(h.edges)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.edges[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo] += n
+}
+
+// N reports the total sample count, including overflow.
+func (h *Histogram) N() int64 { return h.n }
+
+// Mean reports the sample mean, or NaN when empty.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	return h.sum / float64(h.n)
+}
+
+// CumulativeAt reports the fraction of samples <= v (bucket-resolution).
+func (h *Histogram) CumulativeAt(v float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	var c int64
+	for i, e := range h.edges {
+		if e <= v {
+			c += h.counts[i]
+		} else {
+			break
+		}
+	}
+	return float64(c) / float64(h.n)
+}
+
+// Quantile returns the upper edge of the bucket where the q-th quantile
+// falls. Resolution is one bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	target := int64(math.Ceil(q * float64(h.n)))
+	var c int64
+	for i, cnt := range h.counts {
+		c += cnt
+		if c >= target {
+			return h.edges[i]
+		}
+	}
+	return h.edges[len(h.edges)-1]
+}
+
+// Buckets returns (upperEdge, count) pairs for rendering.
+func (h *Histogram) Buckets() []Bucket {
+	bs := make([]Bucket, len(h.edges))
+	for i := range h.edges {
+		bs[i] = Bucket{UpperEdge: h.edges[i], Count: h.counts[i]}
+	}
+	return bs
+}
+
+// Overflow reports the count of samples above the final edge.
+func (h *Histogram) Overflow() int64 { return h.over }
+
+// Bucket is one histogram cell.
+type Bucket struct {
+	UpperEdge float64
+	Count     int64
+}
+
+// Render draws a crude ASCII bar chart of the histogram, one row per
+// bucket, scaled to width columns. Useful in the cmds' -v mode.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	var max int64
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.counts {
+		bar := 0
+		if max > 0 {
+			bar = int(float64(c) / float64(max) * float64(width))
+		}
+		fmt.Fprintf(&b, "%12.3g | %s %d\n", h.edges[i], strings.Repeat("#", bar), c)
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "%12s | %d\n", ">max", h.over)
+	}
+	return b.String()
+}

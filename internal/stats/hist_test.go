@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLinearHistogram(t *testing.T) {
+	h := NewLinearHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	if h.N() != 10 {
+		t.Fatalf("N = %d", h.N())
+	}
+	for i, b := range h.Buckets() {
+		if b.Count != 1 {
+			t.Errorf("bucket %d count = %d, want 1", i, b.Count)
+		}
+	}
+	if got := h.CumulativeAt(5); got != 0.5 {
+		t.Errorf("CumulativeAt(5) = %v, want 0.5", got)
+	}
+	if got := h.Mean(); got != 5.0 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewLinearHistogram(0, 10, 5)
+	h.Add(100)
+	h.Add(5)
+	if h.Overflow() != 1 {
+		t.Errorf("Overflow = %d, want 1", h.Overflow())
+	}
+	if h.N() != 2 {
+		t.Errorf("N = %d, want 2", h.N())
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	h := NewLogHistogram(1, 1000, 3)
+	// Buckets: (0,10], (10,100], (100,1000].
+	h.Add(5)
+	h.Add(50)
+	h.Add(500)
+	bs := h.Buckets()
+	if len(bs) != 3 {
+		t.Fatalf("buckets = %d", len(bs))
+	}
+	for i, b := range bs {
+		if b.Count != 1 {
+			t.Errorf("bucket %d count = %d, want 1 (edge %v)", i, b.Count, b.UpperEdge)
+		}
+	}
+	if math.Abs(bs[2].UpperEdge-1000) > 1e-9 {
+		t.Errorf("last edge = %v, want 1000", bs[2].UpperEdge)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewLinearHistogram(0, 100, 100)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		h.Add(r.Float64() * 100)
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Errorf("median of uniform(0,100) = %v, want ~50", med)
+	}
+	if q := h.Quantile(1.0); q < 99 {
+		t.Errorf("Quantile(1) = %v, want ~100", q)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewLinearHistogram(0, 1, 2)
+	if !math.IsNaN(h.Quantile(0.5)) || !math.IsNaN(h.Mean()) {
+		t.Error("expected NaN on empty histogram")
+	}
+}
+
+func TestHistogramAddN(t *testing.T) {
+	h := NewLinearHistogram(0, 10, 10)
+	h.AddN(1.5, 5)
+	if h.N() != 5 {
+		t.Errorf("N = %d, want 5", h.N())
+	}
+	if got := h.CumulativeAt(2); got != 1.0 {
+		t.Errorf("CumulativeAt(2) = %v, want 1", got)
+	}
+}
+
+func TestHistogramAgainstCDF(t *testing.T) {
+	// High-resolution histogram quantiles should track exact CDF quantiles.
+	h := NewLogHistogram(0.001, 1000, 2000)
+	var c CDF
+	r := rand.New(rand.NewSource(42))
+	ln := Lognormal{Median: 3, Sigma: 2}
+	for i := 0; i < 20000; i++ {
+		v := ln.Sample(r)
+		if v > 1000 {
+			v = 1000
+		}
+		h.Add(v)
+		c.Add(v)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		hv, cv := h.Quantile(q), c.Quantile(q)
+		if cv == 0 {
+			continue
+		}
+		if rel := math.Abs(hv-cv) / cv; rel > 0.05 {
+			t.Errorf("quantile %v: hist %v vs cdf %v (rel %v)", q, hv, cv, rel)
+		}
+	}
+}
+
+func TestHistogramShapePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLinearHistogram(5, 5, 3) },
+		func() { NewLinearHistogram(0, 10, 0) },
+		func() { NewLogHistogram(0, 10, 3) },
+		func() { NewLogHistogram(10, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for bad histogram shape")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewLinearHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	h.Add(99)
+	out := h.Render(10)
+	if !strings.Contains(out, "#") {
+		t.Errorf("render missing bars: %q", out)
+	}
+	if !strings.Contains(out, ">max") {
+		t.Errorf("render missing overflow row: %q", out)
+	}
+	if h.Render(0) == "" {
+		t.Error("Render(0) should fall back to default width")
+	}
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMomentsBasics(t *testing.T) {
+	var m Moments
+	if !math.IsNaN(m.Mean()) || !math.IsNaN(m.Min()) || !math.IsNaN(m.Max()) {
+		t.Error("empty moments should be NaN")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Add(v)
+	}
+	if m.N() != 8 {
+		t.Fatalf("N = %d", m.N())
+	}
+	if m.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", m.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if got, want := m.Variance(), 32.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if m.Min() != 2 || m.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", m.Min(), m.Max())
+	}
+	if m.Sum() != 40 {
+		t.Errorf("Sum = %v, want 40", m.Sum())
+	}
+}
+
+func TestMomentsVarianceSingle(t *testing.T) {
+	var m Moments
+	m.Add(3)
+	if !math.IsNaN(m.Variance()) {
+		t.Error("variance of one sample should be NaN")
+	}
+}
+
+func TestMomentsMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var all, a, b Moments
+	for i := 0; i < 1000; i++ {
+		v := r.NormFloat64()*5 + 10
+		all.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 {
+		t.Errorf("merged mean %v vs %v", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.Variance()-all.Variance()) > 1e-9 {
+		t.Errorf("merged variance %v vs %v", a.Variance(), all.Variance())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Errorf("merged min/max %v/%v vs %v/%v", a.Min(), a.Max(), all.Min(), all.Max())
+	}
+}
+
+func TestMomentsMergeEmpty(t *testing.T) {
+	var a, b Moments
+	a.Add(1)
+	a.Merge(&b) // merging empty should not change a
+	if a.N() != 1 || a.Mean() != 1 {
+		t.Error("merge of empty changed receiver")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 1 {
+		t.Error("merge into empty failed")
+	}
+}
+
+func TestMomentsMergeEquivalentToAdd(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		clean := func(in []float64) []float64 {
+			var out []float64
+			for _, v := range in {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		xs, ys = clean(xs), clean(ys)
+		var a, b, all Moments
+		for _, v := range xs {
+			a.Add(v)
+			all.Add(v)
+		}
+		for _, v := range ys {
+			b.Add(v)
+			all.Add(v)
+		}
+		a.Merge(&b)
+		if a.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		return math.Abs(a.Mean()-all.Mean()) < 1e-6*(1+math.Abs(all.Mean()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

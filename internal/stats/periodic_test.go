@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthDiurnal builds an hourly series with daily and weekly structure,
+// mimicking the shape of the NCAR read stream.
+func synthDiurnal(weeks int, noise float64, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	n := weeks * 7 * 24
+	s := make([]float64, n)
+	for i := range s {
+		hour := i % 24
+		day := (i / 24) % 7
+		v := 2.0
+		if hour >= 8 && hour <= 17 {
+			v += 4.0
+		}
+		if day == 0 || day == 6 {
+			v *= 0.5
+		}
+		s[i] = v + noise*r.NormFloat64()
+	}
+	return s
+}
+
+func TestAutocorrelationLagZero(t *testing.T) {
+	s := synthDiurnal(4, 0.1, 1)
+	ac := Autocorrelation(s, 200)
+	if math.Abs(ac[0]-1) > 1e-12 {
+		t.Errorf("ac[0] = %v, want 1", ac[0])
+	}
+}
+
+func TestAutocorrelationConstantSeries(t *testing.T) {
+	s := make([]float64, 100)
+	for i := range s {
+		s[i] = 5
+	}
+	ac := Autocorrelation(s, 10)
+	for lag, v := range ac {
+		if v != 0 {
+			t.Errorf("constant series ac[%d] = %v, want 0", lag, v)
+		}
+	}
+}
+
+func TestAutocorrelationDailyPeak(t *testing.T) {
+	s := synthDiurnal(8, 0.3, 2)
+	ac := Autocorrelation(s, 24*8)
+	if ac[24] < 0.5 {
+		t.Errorf("ac at lag 24 = %v, want strong positive", ac[24])
+	}
+	if ac[168] < ac[24] {
+		t.Errorf("weekly lag (%v) should be at least daily lag (%v) for weekly-structured series", ac[168], ac[24])
+	}
+	if ac[12] > ac[24] {
+		t.Errorf("half-day lag %v should be below daily lag %v", ac[12], ac[24])
+	}
+}
+
+func TestAutocorrelationClampsLag(t *testing.T) {
+	s := []float64{1, 2, 3}
+	ac := Autocorrelation(s, 100)
+	if len(ac) != 3 {
+		t.Errorf("len(ac) = %d, want 3", len(ac))
+	}
+	if Autocorrelation(nil, 5) != nil {
+		t.Error("nil series should give nil")
+	}
+}
+
+func TestPeriodogramFindsDayAndWeek(t *testing.T) {
+	s := synthDiurnal(10, 0.2, 3)
+	periods := DominantPeriods(s, 3, 0.1)
+	foundDay, foundWeek := false, false
+	for _, p := range periods {
+		if math.Abs(p-24) < 1.0 {
+			foundDay = true
+		}
+		if math.Abs(p-168) < 8.0 {
+			foundWeek = true
+		}
+	}
+	if !foundDay || !foundWeek {
+		t.Errorf("dominant periods = %v, want to include ~24 and ~168", periods)
+	}
+}
+
+func TestPeriodogramShortSeries(t *testing.T) {
+	if Periodogram([]float64{1, 2}) != nil {
+		t.Error("short series should give nil periodogram")
+	}
+}
+
+func TestPeriodogramPureSine(t *testing.T) {
+	n := 240
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = math.Sin(2 * math.Pi * float64(i) / 24)
+	}
+	pts := Periodogram(s)
+	var best PeriodogramPoint
+	for _, p := range pts {
+		if p.Power > best.Power {
+			best = p
+		}
+	}
+	if math.Abs(best.Period-24) > 0.5 {
+		t.Errorf("peak period = %v, want 24", best.Period)
+	}
+}
+
+func TestAutocorrelationPeaks(t *testing.T) {
+	s := synthDiurnal(8, 0.2, 4)
+	ac := Autocorrelation(s, 24*7+12)
+	peaks := AutocorrelationPeaks(ac, 0.3)
+	has24 := false
+	for _, p := range peaks {
+		if p >= 22 && p <= 26 {
+			has24 = true
+		}
+	}
+	if !has24 {
+		t.Errorf("peaks = %v, want one near 24", peaks)
+	}
+}
+
+func TestDominantPeriodsDeduplicates(t *testing.T) {
+	s := synthDiurnal(6, 0.2, 5)
+	periods := DominantPeriods(s, 2, 0.2)
+	if len(periods) != 2 {
+		t.Fatalf("got %d periods, want 2", len(periods))
+	}
+	if math.Abs(periods[0]-periods[1])/periods[1] < 0.2 {
+		t.Errorf("periods %v not deduplicated", periods)
+	}
+}

@@ -1,0 +1,275 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"filemig/internal/device"
+	"filemig/internal/units"
+)
+
+// The compact trace format, one ASCII line per record:
+//
+//	#filemig-trace v1 epoch=<unix-seconds>
+//	<dt> <src> <dst> <flags> <startup-s> <transfer-ms> <size-bytes> <uid|= > <mss-path> <local-path>
+//
+// dt is the start time in seconds since the previous record's start time
+// (first record: since the epoch) — the delta encoding suggested by
+// Samples' Mache and adopted by the paper (§4.2). flags packs the
+// direction (R/W), compression (C) and error class (Enofile etc.). A uid
+// of "=" marks the same-user flag bit. Fields are whitespace-separated;
+// paths therefore may not contain whitespace (Validate enforces this).
+
+const headerPrefix = "#filemig-trace v1 epoch="
+
+// Writer emits records in the compact format. Records must be written in
+// non-decreasing start-time order (the delta encoding demands it).
+type Writer struct {
+	w         *bufio.Writer
+	epoch     time.Time
+	headerOut bool
+	prevStart time.Time
+	prevUID   uint32
+	prevSet   bool
+	count     int64
+}
+
+// NewWriter returns a Writer using the package Epoch.
+func NewWriter(w io.Writer) *Writer { return NewWriterEpoch(w, Epoch) }
+
+// NewWriterEpoch returns a Writer with an explicit epoch; records must not
+// start before it.
+func NewWriterEpoch(w io.Writer, epoch time.Time) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), epoch: epoch, prevStart: epoch}
+}
+
+// Count reports the number of records written.
+func (w *Writer) Count() int64 { return w.count }
+
+// Write encodes one record.
+func (w *Writer) Write(r *Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if !w.headerOut {
+		if _, err := fmt.Fprintf(w.w, "%s%d\n", headerPrefix, w.epoch.Unix()); err != nil {
+			return err
+		}
+		w.headerOut = true
+	}
+	dt := int64(r.Start.Sub(w.prevStart) / time.Second)
+	if dt < 0 {
+		return fmt.Errorf("trace: record at %v out of order (previous %v)", r.Start, w.prevStart)
+	}
+	flags := encodeFlags(r)
+	uid := strconv.FormatUint(uint64(r.UserID), 10)
+	if w.prevSet && r.UserID == w.prevUID {
+		uid = "="
+	}
+	_, err := fmt.Fprintf(w.w, "%d %s %s %s %d %d %d %s %s %s\n",
+		dt, r.Source(), r.Destination(), flags,
+		int64(r.Startup/time.Second), int64(r.Transfer/time.Millisecond),
+		int64(r.Size), uid, r.MSSPath, r.LocalPath)
+	if err != nil {
+		return err
+	}
+	// Reconstructable state must use the *truncated* start time, or deltas
+	// drift from what the reader reconstructs.
+	w.prevStart = w.prevStart.Add(time.Duration(dt) * time.Second)
+	w.prevUID = r.UserID
+	w.prevSet = true
+	w.count++
+	return nil
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+func encodeFlags(r *Record) string {
+	var b strings.Builder
+	if r.Op == Read {
+		b.WriteByte('R')
+	} else {
+		b.WriteByte('W')
+	}
+	if r.Compressed {
+		b.WriteByte('C')
+	}
+	if r.Err != ErrNone {
+		b.WriteByte('E')
+		b.WriteString(r.Err.String())
+	}
+	return b.String()
+}
+
+func decodeFlags(s string, r *Record) error {
+	if s == "" {
+		return fmt.Errorf("trace: empty flags")
+	}
+	switch s[0] {
+	case 'R':
+		r.Op = Read
+	case 'W':
+		r.Op = Write
+	default:
+		return fmt.Errorf("trace: flags %q must start with R or W", s)
+	}
+	rest := s[1:]
+	if strings.HasPrefix(rest, "C") {
+		r.Compressed = true
+		rest = rest[1:]
+	}
+	if rest == "" {
+		r.Err = ErrNone
+		return nil
+	}
+	if rest[0] != 'E' {
+		return fmt.Errorf("trace: bad flags suffix %q", rest)
+	}
+	name := rest[1:]
+	for code, n := range errNames {
+		if n == name && code != ErrNone {
+			r.Err = code
+			return nil
+		}
+	}
+	return fmt.Errorf("trace: unknown error code %q", name)
+}
+
+// Reader decodes the compact format. It streams: each Next call reads one
+// line.
+type Reader struct {
+	s         *bufio.Scanner
+	epoch     time.Time
+	prevStart time.Time
+	prevUID   uint32
+	started   bool
+	line      int
+}
+
+// NewReader returns a Reader over r. The header line is consumed lazily on
+// the first Next.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 1<<16), 1<<20)
+	return &Reader{s: s}
+}
+
+// Next decodes the next record. It returns io.EOF when the stream ends.
+func (r *Reader) Next() (Record, error) {
+	if !r.started {
+		if !r.s.Scan() {
+			if err := r.s.Err(); err != nil {
+				return Record{}, err
+			}
+			return Record{}, io.EOF
+		}
+		r.line++
+		header := r.s.Text()
+		if !strings.HasPrefix(header, headerPrefix) {
+			return Record{}, fmt.Errorf("trace: missing header, got %q", header)
+		}
+		sec, err := strconv.ParseInt(strings.TrimPrefix(header, headerPrefix), 10, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: bad header epoch: %v", err)
+		}
+		r.epoch = time.Unix(sec, 0).UTC()
+		r.prevStart = r.epoch
+		r.started = true
+	}
+	if !r.s.Scan() {
+		if err := r.s.Err(); err != nil {
+			return Record{}, err
+		}
+		return Record{}, io.EOF
+	}
+	r.line++
+	return r.parseLine(r.s.Text())
+}
+
+func (r *Reader) parseLine(line string) (Record, error) {
+	f := strings.Fields(line)
+	if len(f) != 10 {
+		return Record{}, fmt.Errorf("trace: line %d: %d fields, want 10", r.line, len(f))
+	}
+	var rec Record
+	dt, err := strconv.ParseInt(f[0], 10, 64)
+	if err != nil || dt < 0 {
+		return Record{}, fmt.Errorf("trace: line %d: bad delta %q", r.line, f[0])
+	}
+	rec.Start = r.prevStart.Add(time.Duration(dt) * time.Second)
+	if err := decodeFlags(f[3], &rec); err != nil {
+		return Record{}, fmt.Errorf("trace: line %d: %v", r.line, err)
+	}
+	devName := f[1]
+	if rec.Op == Write {
+		devName = f[2]
+	}
+	cls, err := device.ParseClass(devName)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: line %d: %v", r.line, err)
+	}
+	rec.Device = cls
+	startup, err := strconv.ParseInt(f[4], 10, 64)
+	if err != nil || startup < 0 {
+		return Record{}, fmt.Errorf("trace: line %d: bad startup %q", r.line, f[4])
+	}
+	rec.Startup = time.Duration(startup) * time.Second
+	transfer, err := strconv.ParseInt(f[5], 10, 64)
+	if err != nil || transfer < 0 {
+		return Record{}, fmt.Errorf("trace: line %d: bad transfer %q", r.line, f[5])
+	}
+	rec.Transfer = time.Duration(transfer) * time.Millisecond
+	size, err := strconv.ParseInt(f[6], 10, 64)
+	if err != nil || size < 0 {
+		return Record{}, fmt.Errorf("trace: line %d: bad size %q", r.line, f[6])
+	}
+	rec.Size = units.Bytes(size)
+	if f[7] == "=" {
+		rec.UserID = r.prevUID
+	} else {
+		uid, err := strconv.ParseUint(f[7], 10, 32)
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: line %d: bad uid %q", r.line, f[7])
+		}
+		rec.UserID = uint32(uid)
+	}
+	rec.MSSPath, rec.LocalPath = f[8], f[9]
+	r.prevStart = rec.Start
+	r.prevUID = rec.UserID
+	return rec, nil
+}
+
+// ReadAll decodes every record from r.
+func ReadAll(r io.Reader) ([]Record, error) {
+	tr := NewReader(r)
+	var out []Record
+	for {
+		rec, err := tr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// WriteAll encodes every record to w and flushes.
+func WriteAll(w io.Writer, recs []Record) error {
+	tw := NewWriter(w)
+	if len(recs) > 0 {
+		tw = NewWriterEpoch(w, recs[0].Start)
+	}
+	for i := range recs {
+		if err := tw.Write(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}

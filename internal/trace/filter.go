@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"filemig/internal/device"
+)
+
+// Stream utilities: the small toolbox the paper's authors needed to slice
+// 24 months of trace into analysable views — time windows, device or
+// operation subsets, per-user extracts, and merges of traces captured in
+// parallel (e.g. per bitfile mover).
+
+// Predicate selects records.
+type Predicate func(*Record) bool
+
+// Filter returns the records satisfying every predicate, preserving order.
+func Filter(recs []Record, preds ...Predicate) []Record {
+	out := make([]Record, 0, len(recs))
+	for i := range recs {
+		ok := true
+		for _, p := range preds {
+			if !p(&recs[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, recs[i])
+		}
+	}
+	return out
+}
+
+// ByOp selects one transfer direction.
+func ByOp(op Op) Predicate {
+	return func(r *Record) bool { return r.Op == op }
+}
+
+// ByDevice selects one device class.
+func ByDevice(c device.Class) Predicate {
+	return func(r *Record) bool { return r.Device == c }
+}
+
+// ByUser selects one user's requests.
+func ByUser(uid uint32) Predicate {
+	return func(r *Record) bool { return r.UserID == uid }
+}
+
+// OKOnly drops error records, as the paper's analysis does.
+func OKOnly() Predicate {
+	return func(r *Record) bool { return r.OK() }
+}
+
+// Between selects records with from <= Start < to.
+func Between(from, to time.Time) Predicate {
+	return func(r *Record) bool {
+		return !r.Start.Before(from) && r.Start.Before(to)
+	}
+}
+
+// MinSize selects records moving at least n bytes.
+func MinSize(n int64) Predicate {
+	return func(r *Record) bool { return int64(r.Size) >= n }
+}
+
+// Merge interleaves multiple time-sorted traces into one time-sorted
+// trace (stable across inputs: ties keep input order).
+func Merge(traces ...[]Record) []Record {
+	total := 0
+	for _, t := range traces {
+		total += len(t)
+	}
+	out := make([]Record, 0, total)
+	idx := make([]int, len(traces))
+	for len(out) < total {
+		best := -1
+		for i, t := range traces {
+			if idx[i] >= len(t) {
+				continue
+			}
+			if best < 0 || t[idx[i]].Start.Before(traces[best][idx[best]].Start) {
+				best = i
+			}
+		}
+		out = append(out, traces[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// Clip returns the sub-trace within [from, to), assuming recs are sorted.
+func Clip(recs []Record, from, to time.Time) []Record {
+	lo := sort.Search(len(recs), func(i int) bool { return !recs[i].Start.Before(from) })
+	hi := sort.Search(len(recs), func(i int) bool { return !recs[i].Start.Before(to) })
+	return recs[lo:hi]
+}
+
+// Sample keeps every nth record (n >= 1), a cheap way to downscale a
+// trace while roughly preserving its mix.
+func Sample(recs []Record, n int) []Record {
+	if n <= 1 {
+		return append([]Record(nil), recs...)
+	}
+	out := make([]Record, 0, len(recs)/n+1)
+	for i := 0; i < len(recs); i += n {
+		out = append(out, recs[i])
+	}
+	return out
+}
+
+// Span reports the first and last start times of a non-empty sorted trace.
+func Span(recs []Record) (from, to time.Time, ok bool) {
+	if len(recs) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	return recs[0].Start, recs[len(recs)-1].Start, true
+}

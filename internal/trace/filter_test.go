@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"filemig/internal/device"
+	"filemig/internal/units"
+)
+
+func TestFilterPredicates(t *testing.T) {
+	recs := sampleRecords()
+	reads := Filter(recs, ByOp(Read))
+	for i := range reads {
+		if reads[i].Op != Read {
+			t.Fatal("ByOp leaked a write")
+		}
+	}
+	if len(reads) != 3 {
+		t.Errorf("reads = %d, want 3", len(reads))
+	}
+	silo := Filter(recs, ByDevice(device.ClassSiloTape))
+	if len(silo) != 2 {
+		t.Errorf("silo = %d, want 2", len(silo))
+	}
+	ok := Filter(recs, OKOnly())
+	if len(ok) != 3 {
+		t.Errorf("ok = %d, want 3 (one error record)", len(ok))
+	}
+	u := Filter(recs, ByUser(101))
+	if len(u) != 2 {
+		t.Errorf("user 101 = %d, want 2", len(u))
+	}
+	big := Filter(recs, MinSize(10*units.MB))
+	if len(big) != 1 {
+		t.Errorf("big = %d, want 1 (the 80 MB write)", len(big))
+	}
+	// Conjunction.
+	both := Filter(recs, OKOnly(), ByOp(Read), ByUser(202))
+	if len(both) != 1 {
+		t.Errorf("conjunction = %d, want 1", len(both))
+	}
+}
+
+func TestBetweenAndClip(t *testing.T) {
+	recs := sampleRecords()
+	from := Epoch.Add(12 * time.Second)
+	to := Epoch.Add(400 * time.Second)
+	got := Filter(recs, Between(from, to))
+	if len(got) != 1 || got[0].MSSPath != "/mss/u1/b" {
+		t.Errorf("Between = %v", got)
+	}
+	clipped := Clip(recs, from, to)
+	if len(clipped) != 1 || clipped[0].MSSPath != "/mss/u1/b" {
+		t.Errorf("Clip = %v", clipped)
+	}
+	// Clip boundaries are [from, to).
+	atTo := Clip(recs, Epoch.Add(400*time.Second), Epoch.Add(401*time.Second))
+	if len(atTo) != 1 || atTo[0].MSSPath != "/mss/u2/gone" {
+		t.Errorf("Clip boundary = %v", atTo)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	recs := sampleRecords()
+	a := []Record{recs[0], recs[2]}
+	b := []Record{recs[1], recs[3]}
+	merged := Merge(a, b)
+	if len(merged) != 4 {
+		t.Fatalf("merged = %d", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].Start.Before(merged[i-1].Start) {
+			t.Fatal("merge not time-sorted")
+		}
+	}
+	if len(Merge()) != 0 {
+		t.Error("empty merge should be empty")
+	}
+	if got := Merge(nil, a); len(got) != 2 {
+		t.Errorf("merge with nil = %d", len(got))
+	}
+}
+
+func TestSample(t *testing.T) {
+	recs := sampleRecords()
+	if got := Sample(recs, 2); len(got) != 2 {
+		t.Errorf("sample(2) = %d, want 2", len(got))
+	}
+	if got := Sample(recs, 1); len(got) != len(recs) {
+		t.Errorf("sample(1) = %d, want all", len(got))
+	}
+	s := Sample(recs, 1)
+	s[0].UserID = 999
+	if recs[0].UserID == 999 {
+		t.Error("Sample must copy, not alias")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	recs := sampleRecords()
+	from, to, ok := Span(recs)
+	if !ok || !from.Equal(recs[0].Start) || !to.Equal(recs[3].Start) {
+		t.Errorf("span = %v %v %v", from, to, ok)
+	}
+	if _, _, ok := Span(nil); ok {
+		t.Error("span of empty trace should be not-ok")
+	}
+}

@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"filemig/internal/device"
+	"filemig/internal/units"
+)
+
+// This file emulates the paper's §4.1 collection pipeline. The MSS control
+// and bitfile-mover processes wrote a verbose, deliberately human-readable
+// system log: every field labelled, dates and times in human-readable
+// form, redundant identity information (user name and project number as
+// well as the user id), and several records per I/O tied together by a
+// request sequence number. Roughly 50 MB of log shrank to 10–11 MB of
+// trace per month once redundancy was removed. WriteRawLog produces a
+// faithful imitation of such a log from trace records; ConvertRawLog
+// reassembles trace records from one, exactly the transformation the
+// authors performed.
+
+const rawTimeLayout = "Mon Jan 2 15:04:05 2006" // human-readable, as in real logs
+
+// WriteRawLog renders records in verbose system-log form: for each request
+// a REQUEST line, a MOUNT line (for tape), a TRANSFER line, and a COMPLETE
+// or ERROR line, all sharing a sequence number.
+func WriteRawLog(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	for i := range recs {
+		if err := writeRawRequest(bw, uint64(i+1), &recs[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeRawRequest(w io.Writer, seq uint64, r *Record) error {
+	user := fmt.Sprintf("u%05d", r.UserID)
+	project := 40000 + r.UserID%1000 // redundant with uid, as in real logs
+	ts := r.Start.Format(rawTimeLayout)
+	if _, err := fmt.Fprintf(w,
+		"MSCP: seq=%d date=%q op=%s user=%s uid=%d project=%d mssfile=%s localfile=%s bytes=%d source=%s destination=%s\n",
+		seq, ts, r.Op, user, r.UserID, project, r.MSSPath, r.LocalPath, int64(r.Size), r.Source(), r.Destination()); err != nil {
+		return err
+	}
+	if r.Err == ErrNoFile {
+		_, err := fmt.Fprintf(w, "MSCP: seq=%d ERROR reason=%q\n", seq, "file does not exist")
+		return err
+	}
+	if r.Device == device.ClassSiloTape || r.Device == device.ClassManualTape {
+		mounter := "acs4400"
+		if r.Device == device.ClassManualTape {
+			mounter = "operator"
+		}
+		if _, err := fmt.Fprintf(w, "MSCP: seq=%d MOUNT volume=V%06d drive=D%02d by=%s\n",
+			seq, seq%6000, seq%8, mounter); err != nil {
+			return err
+		}
+	}
+	startTransfer := r.Start.Add(r.Startup)
+	if _, err := fmt.Fprintf(w,
+		"MOVER: seq=%d TRANSFER start=%q startup_seconds=%d compressed=%t\n",
+		seq, startTransfer.Format(rawTimeLayout), int64(r.Startup/time.Second), r.Compressed); err != nil {
+		return err
+	}
+	if r.Err != ErrNone {
+		_, err := fmt.Fprintf(w, "MOVER: seq=%d ERROR reason=%q\n", seq, r.Err.String())
+		return err
+	}
+	_, err := fmt.Fprintf(w, "MOVER: seq=%d COMPLETE transfer_msec=%d status=ok\n",
+		seq, int64(r.Transfer/time.Millisecond))
+	return err
+}
+
+// ConvertRawLog parses a verbose system log back into trace records,
+// reassembling the multiple per-request lines via their sequence numbers,
+// exactly as the paper's preprocessing did. Lines it cannot attribute are
+// counted in skipped.
+func ConvertRawLog(r io.Reader) (recs []Record, skipped int, err error) {
+	type partial struct {
+		rec      Record
+		haveReq  bool
+		haveDone bool
+	}
+	parts := map[uint64]*partial{}
+	var order []uint64
+
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 1<<16), 1<<20)
+	for s.Scan() {
+		line := s.Text()
+		fields, ok := parseRawFields(line)
+		if !ok {
+			skipped++
+			continue
+		}
+		seq, err := strconv.ParseUint(fields["seq"], 10, 64)
+		if err != nil {
+			skipped++
+			continue
+		}
+		p := parts[seq]
+		if p == nil {
+			p = &partial{}
+			parts[seq] = p
+			order = append(order, seq)
+		}
+		switch {
+		case strings.Contains(line, " ERROR "):
+			reason := fields["reason"]
+			switch reason {
+			case "file does not exist", ErrNoFile.String():
+				p.rec.Err = ErrNoFile
+			case ErrMedia.String():
+				p.rec.Err = ErrMedia
+			case ErrTerminated.String():
+				p.rec.Err = ErrTerminated
+			default:
+				p.rec.Err = ErrTerminated
+			}
+			p.haveDone = true
+		case strings.HasPrefix(line, "MSCP: ") && fields["op"] != "":
+			when, err := time.Parse(rawTimeLayout, fields["date"])
+			if err != nil {
+				skipped++
+				continue
+			}
+			p.rec.Start = when
+			if fields["op"] == "write" {
+				p.rec.Op = Write
+			}
+			uid, _ := strconv.ParseUint(fields["uid"], 10, 32)
+			p.rec.UserID = uint32(uid)
+			size, _ := strconv.ParseInt(fields["bytes"], 10, 64)
+			p.rec.Size = units.Bytes(size)
+			p.rec.MSSPath = fields["mssfile"]
+			p.rec.LocalPath = fields["localfile"]
+			devName := fields["source"]
+			if p.rec.Op == Write {
+				devName = fields["destination"]
+			}
+			if cls, err := device.ParseClass(devName); err == nil {
+				p.rec.Device = cls
+			}
+			p.haveReq = true
+		case strings.Contains(line, " TRANSFER "):
+			sec, _ := strconv.ParseInt(fields["startup_seconds"], 10, 64)
+			p.rec.Startup = time.Duration(sec) * time.Second
+			p.rec.Compressed = fields["compressed"] == "true"
+		case strings.Contains(line, " COMPLETE "):
+			ms, _ := strconv.ParseInt(fields["transfer_msec"], 10, 64)
+			p.rec.Transfer = time.Duration(ms) * time.Millisecond
+			p.haveDone = true
+		case strings.Contains(line, " MOUNT "):
+			// Redundant with the REQUEST line's device; dropped, exactly
+			// the information the compact format sheds.
+		default:
+			skipped++
+		}
+	}
+	if err := s.Err(); err != nil {
+		return nil, skipped, err
+	}
+	for _, seq := range order {
+		p := parts[seq]
+		if !p.haveReq {
+			skipped++
+			continue
+		}
+		recs = append(recs, p.rec)
+	}
+	return recs, skipped, nil
+}
+
+// parseRawFields extracts key=value pairs (values optionally quoted).
+func parseRawFields(line string) (map[string]string, bool) {
+	if !strings.HasPrefix(line, "MSCP: ") && !strings.HasPrefix(line, "MOVER: ") {
+		return nil, false
+	}
+	out := map[string]string{}
+	rest := line[strings.Index(line, ": ")+2:]
+	for len(rest) > 0 {
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			break
+		}
+		eq := strings.IndexByte(rest, '=')
+		sp := strings.IndexByte(rest, ' ')
+		if eq < 0 || (sp >= 0 && sp < eq) {
+			// Bare token such as ERROR/MOUNT/TRANSFER/COMPLETE: skip it and
+			// keep scanning — the '=' we found belongs to a later pair.
+			if sp < 0 {
+				break
+			}
+			rest = rest[sp+1:]
+			continue
+		}
+		key := rest[:eq]
+		rest = rest[eq+1:]
+		var val string
+		if strings.HasPrefix(rest, "\"") {
+			end := strings.Index(rest[1:], "\"")
+			if end < 0 {
+				return nil, false
+			}
+			val = rest[1 : 1+end]
+			rest = rest[end+2:]
+		} else {
+			sp := strings.IndexByte(rest, ' ')
+			if sp < 0 {
+				val, rest = rest, ""
+			} else {
+				val, rest = rest[:sp], rest[sp+1:]
+			}
+		}
+		out[key] = val
+	}
+	return out, len(out) > 0
+}

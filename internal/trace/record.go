@@ -1,0 +1,133 @@
+// Package trace defines the file-migration trace format of the paper's
+// §4.2 (Table 2) and implements both directions of the paper's collection
+// pipeline: the verbose human-readable MSS "system log" (§4.1) and the
+// compact machine-readable ASCII trace it is condensed into, with start
+// times delta-encoded and a same-user flag bit, exactly as the paper
+// describes (times in seconds, transfer durations in milliseconds).
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"filemig/internal/device"
+	"filemig/internal/units"
+)
+
+// Op is the direction of a transfer between the Cray and the MSS.
+type Op int
+
+// Transfer directions. Reads move data MSS→Cray (UNICOS iread); writes move
+// Cray→MSS (lwrite).
+const (
+	Read Op = iota
+	Write
+)
+
+// String returns "read" or "write".
+func (o Op) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// ErrCode classifies failed requests. The paper found 4.76% of references
+// had errors, dominated by requests for files that did not exist (§5.1),
+// and excluded them from analysis.
+type ErrCode int
+
+// Error codes carried in the flags field.
+const (
+	ErrNone       ErrCode = iota
+	ErrNoFile             // requested file never existed (the common case)
+	ErrMedia              // media error during transfer
+	ErrTerminated         // request terminated prematurely
+)
+
+var errNames = map[ErrCode]string{
+	ErrNone:       "",
+	ErrNoFile:     "nofile",
+	ErrMedia:      "media",
+	ErrTerminated: "terminated",
+}
+
+// String names the error code; ErrNone is the empty string.
+func (e ErrCode) String() string {
+	if n, ok := errNames[e]; ok {
+		return n
+	}
+	return fmt.Sprintf("err(%d)", int(e))
+}
+
+// Record is one trace record: a single explicit MSS request from the Cray.
+// It carries every Table 2 field. Startup latency has one-second
+// resolution and transfer time one-millisecond resolution, the precisions
+// available from the original system logs.
+type Record struct {
+	Start      time.Time     // wall-clock start of the request
+	Op         Op            // read or write (flag field)
+	Device     device.Class  // MSS device holding the data (source for reads, destination for writes)
+	Err        ErrCode       // error information (flag field)
+	Compressed bool          // compression information (flag field)
+	Startup    time.Duration // latency to first byte
+	Transfer   time.Duration // data transfer duration
+	Size       units.Bytes   // file size in bytes
+	MSSPath    string        // file name on the MSS
+	LocalPath  string        // file name on the Cray
+	UserID     uint32        // requesting user
+}
+
+// Source reports the Table 2 "source" field: the device data came from.
+func (r *Record) Source() string {
+	if r.Op == Read {
+		return r.Device.String()
+	}
+	return "cray"
+}
+
+// Destination reports the Table 2 "destination" field.
+func (r *Record) Destination() string {
+	if r.Op == Read {
+		return "cray"
+	}
+	return r.Device.String()
+}
+
+// OK reports whether the request completed without error; the paper's
+// analysis only admits OK records.
+func (r *Record) OK() bool { return r.Err == ErrNone }
+
+// End reports when the transfer finished.
+func (r *Record) End() time.Time { return r.Start.Add(r.Startup + r.Transfer) }
+
+// Validate checks the invariants the codec relies on.
+func (r *Record) Validate() error {
+	switch {
+	case r.Start.IsZero():
+		return errors.New("trace: record has zero start time")
+	case r.Size < 0:
+		return fmt.Errorf("trace: negative size %d", r.Size)
+	case r.Startup < 0 || r.Transfer < 0:
+		return fmt.Errorf("trace: negative duration (startup %v, transfer %v)", r.Startup, r.Transfer)
+	case r.MSSPath == "" || strings.ContainsAny(r.MSSPath, " \t\n"):
+		return fmt.Errorf("trace: bad MSS path %q", r.MSSPath)
+	case r.LocalPath == "" || strings.ContainsAny(r.LocalPath, " \t\n"):
+		return fmt.Errorf("trace: bad local path %q", r.LocalPath)
+	case r.Op != Read && r.Op != Write:
+		return fmt.Errorf("trace: bad op %d", int(r.Op))
+	}
+	switch r.Device {
+	case device.ClassDisk, device.ClassSiloTape, device.ClassManualTape, device.ClassOptical:
+	default:
+		return fmt.Errorf("trace: bad device class %v", r.Device)
+	}
+	return nil
+}
+
+// Epoch is the reference time trace deltas are measured from when a writer
+// is created without an explicit epoch: the start of the paper's trace
+// period, October 1, 1990 UTC.
+var Epoch = time.Date(1990, time.October, 1, 0, 0, 0, 0, time.UTC)

@@ -1,0 +1,119 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestByteConstants(t *testing.T) {
+	if KB != 1000 || MB != 1000*1000 || GB != 1e9 || TB != 1e12 {
+		t.Fatalf("decimal units expected: KB=%d MB=%d GB=%d TB=%d", KB, MB, GB, TB)
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{0, "0 B"},
+		{999, "999 B"},
+		{Bytes(KB), "1.00 KB"},
+		{Bytes(25 * MB), "25.00 MB"},
+		{Bytes(23 * TB), "23.00 TB"},
+		{Bytes(1200 * MB), "1.20 GB"},
+		{-Bytes(2 * MB), "-2.00 MB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBytesConversions(t *testing.T) {
+	b := Bytes(80 * MB)
+	if b.MB() != 80 {
+		t.Errorf("MB() = %v, want 80", b.MB())
+	}
+	if Bytes(23*TB).TB() != 23 {
+		t.Errorf("TB() = %v, want 23", Bytes(23*TB).TB())
+	}
+	if Bytes(GB).GB() != 1 {
+		t.Errorf("GB() = %v, want 1", Bytes(GB).GB())
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Bytes
+		ok   bool
+	}{
+		{"30MB", Bytes(30 * MB), true},
+		{"1.2 GB", Bytes(1200 * MB), true},
+		{"200 mb", Bytes(200 * MB), true},
+		{"25 TB", Bytes(25 * TB), true},
+		{"12345", 12345, true},
+		{"7 kb", Bytes(7 * KB), true},
+		{"512B", 512, true},
+		{"", 0, false},
+		{"abc", 0, false},
+		{"12XB", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if c.ok && err != nil {
+			t.Errorf("ParseBytes(%q) unexpected error: %v", c.in, err)
+			continue
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("ParseBytes(%q) expected error, got %v", c.in, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBytesRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		b := Bytes(n)
+		got, err := ParseBytes(b.String())
+		if err != nil {
+			return false
+		}
+		// String() rounds to 2 decimals, so allow 1% relative slack above 1 KB.
+		diff := int64(got - b)
+		if diff < 0 {
+			diff = -diff
+		}
+		if b < Bytes(KB) {
+			return diff == 0
+		}
+		return float64(diff) <= 0.01*float64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	d := 98*time.Second + 100*time.Millisecond
+	if got := Seconds(d); got != 98.1 {
+		t.Errorf("Seconds = %v, want 98.1", got)
+	}
+	if got := DurationSeconds(98.1); got != d {
+		t.Errorf("DurationSeconds = %v, want %v", got, d)
+	}
+}
+
+func TestTimeSpans(t *testing.T) {
+	if Day != 24*time.Hour || Week != 7*Day {
+		t.Fatal("time span constants wrong")
+	}
+}

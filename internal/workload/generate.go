@@ -1,0 +1,382 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"filemig/internal/device"
+	"filemig/internal/namespace"
+	"filemig/internal/stats"
+	"filemig/internal/trace"
+)
+
+// Residence/routing model constants (§3.1, §5.1, Table 3). Small files
+// live on the 3090 staging disks until they go cold; big files go straight
+// to tape; cold silo cartridges are eventually shelved and need an
+// operator.
+const (
+	// migrationWindow is how long a ≤30 MB file stays on MSS disk without
+	// a reference before the MSS's internal migration moves it to tape.
+	migrationWindow = 45 * 24 * time.Hour
+	// shelfAge is the age past which a tape-resident file's cartridge has
+	// been moved from the silo to shelf storage.
+	shelfAge = 270 * 24 * time.Hour
+	// manualWriteFraction of tape writes go to operator-mounted drives
+	// (exports and special requests); Table 3 shows only 2% of manual
+	// activity is writes.
+	manualWriteFraction = 0.05
+)
+
+// Result is a generated trace plus the artefacts the analyzers need.
+type Result struct {
+	Config     Config
+	Records    []trace.Record // time-sorted; latency fields zero (simulator fills them)
+	Population *Population
+	Tree       *namespace.Tree
+	Rhythm     *Rhythm
+}
+
+// Generate synthesizes a trace. It is deterministic for a given Config.
+func Generate(cfg Config) (*Result, error) {
+	if cfg.Scale <= 0 || cfg.Scale > 1 {
+		return nil, fmt.Errorf("workload: scale %v out of (0,1]", cfg.Scale)
+	}
+	if cfg.Days < 7 {
+		return nil, fmt.Errorf("workload: need at least 7 days, got %d", cfg.Days)
+	}
+	if cfg.Files < 1 || cfg.Users < 1 {
+		return nil, fmt.Errorf("workload: files (%d) and users (%d) must be positive", cfg.Files, cfg.Users)
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = trace.Epoch
+	}
+	master := rand.New(rand.NewSource(cfg.Seed))
+	treeRng := rand.New(rand.NewSource(master.Int63()))
+	popRng := rand.New(rand.NewSource(master.Int63()))
+	planRng := rand.New(rand.NewSource(master.Int63()))
+	errRng := rand.New(rand.NewSource(master.Int63()))
+	burstRng := rand.New(rand.NewSource(master.Int63()))
+
+	// Namespace scaled to keep the paper's ~6.3 files/directory.
+	nsCfg := namespace.DefaultConfig(1.0, treeRng.Int63())
+	nsCfg.Dirs = maxInt(1, cfg.Files*143245/PaperFiles)
+	nsCfg.Files = cfg.Files
+	if nsCfg.Dirs < nsCfg.MaxDepth+1 {
+		nsCfg.MaxDepth = maxInt(1, nsCfg.Dirs-1)
+	}
+	tree, err := namespace.Generate(nsCfg)
+	if err != nil {
+		return nil, fmt.Errorf("workload: namespace: %v", err)
+	}
+
+	pop := NewPopulation(cfg.Files, cfg.Users, popRng)
+	for i := range pop.Files {
+		tree.AddBytes(i, pop.Files[i].Size)
+	}
+	rhythm := NewRhythm(cfg.Start, cfg.Days, cfg.Holidays, cfg.ReadGrowth)
+
+	g := &generator{cfg: cfg, rhythm: rhythm, tree: tree, pop: pop}
+	var recs []trace.Record
+	for i := range pop.Files {
+		recs = g.emitFile(&pop.Files[i], planRng, recs)
+	}
+	recs = g.emitErrors(errRng, recs)
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start.Before(recs[j].Start) })
+	if cfg.Bursts {
+		packBursts(recs, burstRng)
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start.Before(recs[j].Start) })
+	}
+	return &Result{Config: cfg, Records: recs, Population: pop, Tree: tree, Rhythm: rhythm}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+type generator struct {
+	cfg    Config
+	rhythm *Rhythm
+	tree   *namespace.Tree
+	pop    *Population
+}
+
+// emitFile expands one file into raw trace records: its logical plan,
+// rhythm-mapped timestamps, device routing with residence tracking, and
+// within-eight-hour duplicate requests.
+func (g *generator) emitFile(f *File, rng *rand.Rand, recs []trace.Record) []trace.Record {
+	birth := g.sampleBirth(f, rng)
+	plan := buildPlan(f, birth, g.cfg.end(), rng)
+	if len(plan) == 0 {
+		return recs
+	}
+	mssPath := g.tree.FilePath(f.ID)
+	localPath := fmt.Sprintf("/usr/tmp/u%d/f%d", f.Owner, f.ID)
+
+	// Residence state. Pre-existing files start cold on shelf tape; files
+	// created in-trace materialise with their first write.
+	onDisk := false
+	lastTouch := birth.Add(-2 * shelfAge) // pre-existing: long cold
+	var created time.Time
+	if f.PreExists {
+		created = birth.Add(-2 * shelfAge)
+	}
+
+	for planIdx, p := range plan {
+		at := g.mapToRhythm(p.at, p.op, planIdx == 0, rng)
+		if !at.Before(g.cfg.end()) {
+			continue
+		}
+		var dev device.Class
+		if p.op == trace.Write {
+			if created.IsZero() {
+				created = at
+			}
+			dev = g.routeWrite(f, rng)
+			onDisk = dev == device.ClassDisk
+		} else {
+			dev = g.routeRead(f, at, onDisk, lastTouch, created, rng)
+			// An explicit read recalls small files to the staging disks.
+			if int64(f.Size) <= int64(DiskThreshold) {
+				onDisk = true
+			}
+		}
+		lastTouch = at
+		rec := trace.Record{
+			Start:     at,
+			Op:        p.op,
+			Device:    dev,
+			Size:      f.Size,
+			MSSPath:   mssPath,
+			LocalPath: localPath,
+			UserID:    f.Owner,
+		}
+		recs = append(recs, rec)
+		// Duplicates: batch scripts re-request the same file within the
+		// eight-hour window (§6), on the same device.
+		recs = g.emitDuplicates(rec, rng, recs)
+	}
+	return recs
+}
+
+// sampleBirth places the file's first logical access. Created files are
+// born uniformly across the trace (write intensity is flat); pre-existing
+// files surface with a read, so their first access follows read intensity.
+func (g *generator) sampleBirth(f *File, rng *rand.Rand) time.Time {
+	day := rng.Intn(g.cfg.Days)
+	if f.PreExists {
+		day = g.sampleReadDay(rng)
+	}
+	secs := rng.Int63n(24 * 3600)
+	return g.cfg.Start.AddDate(0, 0, day).Add(time.Duration(secs) * time.Second)
+}
+
+// sampleReadDay draws a trace day proportional to read intensity
+// (weekday, holiday, growth) by rejection.
+func (g *generator) sampleReadDay(rng *rand.Rand) int {
+	max := g.rhythm.MaxReadDayWeight()
+	for {
+		d := rng.Intn(g.cfg.Days)
+		if rng.Float64()*max <= g.rhythm.ReadDayWeight(d) {
+			return d
+		}
+	}
+}
+
+// mapToRhythm rewrites an access's nominal time to honour the calendar:
+// reads are pushed onto acceptable days (weekday/holiday/growth weighting)
+// and given a working-hours hour-of-day; writes keep their day and get a
+// flat hour. A file's first access uses full-strength day rejection (it
+// sets the weekly shape); follow-up reads use a softened acceptance so
+// they stay near their nominal day and Figure 9's short intervals
+// survive. Seconds are drawn uniformly and later rewritten by burst
+// packing.
+func (g *generator) mapToRhythm(at time.Time, op trace.Op, first bool, rng *rand.Rand) time.Time {
+	day := int(at.Sub(g.cfg.Start) / (24 * time.Hour))
+	if day < 0 {
+		day = 0
+	}
+	if day >= g.cfg.Days {
+		return g.cfg.end() // dropped by caller
+	}
+	var hour int
+	if op == trace.Read {
+		max := g.rhythm.MaxReadDayWeight()
+		for tries := 0; tries < 14; tries++ {
+			accept := g.rhythm.ReadDayWeight(day) / max
+			if !first {
+				// Soften the weekday/growth filter for follow-up reads so
+				// they stay near their nominal day and Figure 9's short
+				// intervals survive the calendar remap — but keep holiday
+				// suppression at full strength: nobody reads model output
+				// on Christmas Day no matter when it was written.
+				hol := g.rhythm.HolidayFactor(day)
+				base := accept / hol
+				accept = hol * math.Pow(base, 0.4)
+			}
+			if rng.Float64() <= accept {
+				break
+			}
+			day++
+			if day >= g.cfg.Days {
+				return g.cfg.end()
+			}
+		}
+		hour = g.rhythm.SampleReadHour(rng)
+	} else {
+		hour = g.rhythm.SampleWriteHour(rng)
+	}
+	sec := rng.Int63n(3600)
+	return g.cfg.Start.AddDate(0, 0, day).
+		Add(time.Duration(hour) * time.Hour).
+		Add(time.Duration(sec) * time.Second)
+}
+
+// routeWrite picks the destination device per the MSS placement policy.
+func (g *generator) routeWrite(f *File, rng *rand.Rand) device.Class {
+	if int64(f.Size) <= int64(DiskThreshold) {
+		return device.ClassDisk
+	}
+	if rng.Float64() < manualWriteFraction {
+		return device.ClassManualTape
+	}
+	return device.ClassSiloTape
+}
+
+// routeRead picks the source device from the file's residence state.
+func (g *generator) routeRead(f *File, at time.Time, onDisk bool, lastTouch, created time.Time, rng *rand.Rand) device.Class {
+	small := int64(f.Size) <= int64(DiskThreshold)
+	if small && onDisk && at.Sub(lastTouch) <= migrationWindow {
+		return device.ClassDisk
+	}
+	// The file is on tape: silo if its cartridge is still young, shelf
+	// (operator) once it has aged out.
+	age := at.Sub(created)
+	if created.IsZero() {
+		age = 2 * shelfAge
+	}
+	if age > shelfAge {
+		return device.ClassManualTape
+	}
+	return device.ClassSiloTape
+}
+
+// emitDuplicates appends the §6 repeat requests: Poisson-ish count with
+// the configured mean, offsets lognormal around 40 minutes, capped inside
+// the dedup window.
+func (g *generator) emitDuplicates(rec trace.Record, rng *rand.Rand, recs []trace.Record) []trace.Record {
+	if g.cfg.DuplicateMean <= 0 {
+		return recs
+	}
+	p := g.cfg.DuplicateMean / (1 + g.cfg.DuplicateMean)
+	n := int(stats.Geometric{P: 1 - p}.Sample(rng))
+	for i := 0; i < n; i++ {
+		off := time.Duration(40*lognorm(1.0, rng)) * time.Minute
+		if off >= DedupWindow {
+			off = DedupWindow - time.Minute
+		}
+		dup := rec
+		dup.Start = rec.Start.Add(off)
+		if dup.Start.Before(g.cfg.end()) {
+			recs = append(recs, dup)
+		}
+	}
+	return recs
+}
+
+// emitErrors injects requests for files that never existed (§5.1: 4.76% of
+// references, dominated by nonexistence errors). They carry a size of
+// zero, land on the disk path the lookup would have taken, and fail.
+func (g *generator) emitErrors(rng *rand.Rand, recs []trace.Record) []trace.Record {
+	if g.cfg.ErrorFraction <= 0 {
+		return recs
+	}
+	n := int(float64(len(recs)) * g.cfg.ErrorFraction / (1 - g.cfg.ErrorFraction))
+	for i := 0; i < n; i++ {
+		day := g.sampleReadDay(rng)
+		hour := g.rhythm.SampleReadHour(rng)
+		at := g.cfg.Start.AddDate(0, 0, day).
+			Add(time.Duration(hour) * time.Hour).
+			Add(time.Duration(rng.Int63n(3600)) * time.Second)
+		uid := uint32(1 + rng.Intn(g.cfg.Users))
+		recs = append(recs, trace.Record{
+			Start:     at,
+			Op:        trace.Read,
+			Device:    device.ClassDisk,
+			Err:       trace.ErrNoFile,
+			Size:      0,
+			MSSPath:   fmt.Sprintf("/mss/missing/f%d", rng.Intn(1<<30)),
+			LocalPath: fmt.Sprintf("/usr/tmp/u%d/missing", uid),
+			UserID:    uid,
+		})
+	}
+	return recs
+}
+
+// packBursts rewrites the within-hour second offsets of a time-sorted
+// record slice so requests arrive in sessions: geometric bursts with
+// seconds-scale intra-burst gaps. This produces Figure 7's knee — 90% of
+// successive MSS requests within 10 seconds — while leaving hour-level
+// rhythm untouched.
+func packBursts(recs []trace.Record, rng *rand.Rand) {
+	const (
+		meanBurstLen  = 12.0
+		smallGapMean  = 2.5 // seconds
+		smallGapFloor = 0.5
+	)
+	i := 0
+	for i < len(recs) {
+		// Find the run of records in the same hour.
+		hour := recs[i].Start.Truncate(time.Hour)
+		j := i
+		for j < len(recs) && recs[j].Start.Truncate(time.Hour).Equal(hour) {
+			j++
+		}
+		n := j - i
+		if n > 1 {
+			packHour(recs[i:j], hour, rng, meanBurstLen, smallGapMean, smallGapFloor)
+		}
+		i = j
+	}
+}
+
+func packHour(recs []trace.Record, hour time.Time, rng *rand.Rand, meanBurst, gapMean, gapFloor float64) {
+	n := len(recs)
+	// Expected seconds consumed by small gaps; the rest spreads across
+	// burst boundaries.
+	bursts := float64(n)/meanBurst + 1
+	largeMean := (3600 - float64(n)*gapMean) / bursts
+	if largeMean < 5 {
+		largeMean = 5
+	}
+	offsets := make([]float64, n)
+	t := rng.Float64() * largeMean / 2
+	remaining := 0 // remaining requests in current burst
+	for k := 0; k < n; k++ {
+		if remaining == 0 {
+			if k > 0 {
+				t += rng.ExpFloat64() * largeMean
+			}
+			remaining = 1 + int(stats.Geometric{P: 1 / meanBurst}.Sample(rng))
+		} else {
+			t += gapFloor + rng.ExpFloat64()*gapMean
+		}
+		remaining--
+		offsets[k] = t
+	}
+	// Keep everything inside the hour: rescale only if we overflowed.
+	if last := offsets[n-1]; last >= 3599 {
+		scale := 3599 / last
+		for k := range offsets {
+			offsets[k] *= scale
+		}
+	}
+	for k := range recs {
+		recs[k].Start = hour.Add(time.Duration(offsets[k] * float64(time.Second)))
+	}
+}

@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Rhythm models the calendar structure of MSS activity. Reads are made by
+// humans: they surge at 8 AM when the scientists arrive, tail off slowly
+// after 4 PM (people stay late more than they come early), sag on
+// weekends, dip at Thanksgiving and Christmas, and grow over the two years
+// (Figures 4-6). Writes are made by the machine: batch jobs run around the
+// clock every day of the year, with only a small daytime increase, no
+// weekend or holiday effect, and no growth (the Cray was already at full
+// capacity, §5.2).
+
+// readHourWeights is the relative read intensity per hour of day. The
+// shape implements Figure 4: low overnight, a sharp jump at 8 AM, a broad
+// working-day plateau and a slow evening decay.
+var readHourWeights = [24]float64{
+	// 0   1     2     3     4     5     6     7
+	0.30, 0.25, 0.22, 0.20, 0.20, 0.22, 0.30, 0.50,
+	// 8   9     10    11    12    13    14    15
+	1.30, 1.60, 1.70, 1.70, 1.55, 1.60, 1.65, 1.65,
+	// 16  17    18    19    20    21    22    23
+	1.50, 1.25, 1.00, 0.85, 0.70, 0.60, 0.50, 0.40,
+}
+
+// writeHourWeights implements Figure 4's nearly flat write curve, with the
+// "small increase in write requests during the day" of §5.2.
+var writeHourWeights = [24]float64{
+	0.95, 0.95, 0.95, 0.95, 0.95, 0.95, 0.95, 0.97,
+	1.02, 1.05, 1.08, 1.08, 1.05, 1.05, 1.08, 1.08,
+	1.05, 1.02, 1.00, 0.98, 0.95, 0.95, 0.95, 0.95,
+}
+
+// readDayWeights is the relative read intensity per day of week
+// (0=Sunday). Figure 5: weekends are quiet; Monday starts lowest among
+// weekdays (weekend maintenance and drained batch queues, §5.2).
+var readDayWeights = [7]float64{0.45, 0.95, 1.25, 1.30, 1.30, 1.20, 0.55}
+
+// writeDayWeights: "write requests ... experience little variation over
+// the course of the week, as the Cray CPU runs batch jobs all weekend."
+var writeDayWeights = [7]float64{0.97, 0.96, 1.00, 1.02, 1.02, 1.01, 1.00}
+
+// Rhythm answers intensity queries for a configured trace.
+type Rhythm struct {
+	start      time.Time
+	days       int
+	holidays   bool
+	readGrowth float64
+	holiday    map[int]float64 // day index -> read multiplier
+}
+
+// NewRhythm builds the rhythm model for a trace starting at start and
+// lasting days days.
+func NewRhythm(start time.Time, days int, holidays bool, readGrowth float64) *Rhythm {
+	r := &Rhythm{start: start, days: days, holidays: holidays, readGrowth: readGrowth}
+	if readGrowth <= 0 {
+		r.readGrowth = 1
+	}
+	r.holiday = map[int]float64{}
+	if holidays {
+		r.markHolidays()
+	}
+	return r
+}
+
+// markHolidays suppresses reads around Thanksgiving (the fourth Thursday
+// of November) and the Christmas/New Year week for every year the trace
+// spans. Figure 6 shows these dips in read rate for 1990 and 1991 — and
+// explicitly no write dip ("the Cray doesn't take a Christmas vacation
+// while the scientists do").
+func (r *Rhythm) markHolidays() {
+	end := r.start.AddDate(0, 0, r.days)
+	for year := r.start.Year(); year <= end.Year(); year++ {
+		// Fourth Thursday of November plus the following Friday.
+		nov1 := time.Date(year, time.November, 1, 0, 0, 0, 0, time.UTC)
+		offset := (int(time.Thursday) - int(nov1.Weekday()) + 7) % 7
+		thanksgiving := nov1.AddDate(0, 0, offset+21)
+		r.suppress(thanksgiving, 2, 0.25)
+		// Christmas through New Year.
+		r.suppress(time.Date(year, time.December, 24, 0, 0, 0, 0, time.UTC), 9, 0.30)
+	}
+}
+
+func (r *Rhythm) suppress(from time.Time, days int, factor float64) {
+	for i := 0; i < days; i++ {
+		d := int(from.AddDate(0, 0, i).Sub(r.start).Hours() / 24)
+		if d >= 0 && d < r.days {
+			r.holiday[d] = factor
+		}
+	}
+}
+
+// dayInfo reports the weekday of trace day d.
+func (r *Rhythm) weekday(day int) time.Weekday {
+	return r.start.AddDate(0, 0, day).Weekday()
+}
+
+// growth reports the linear read-growth multiplier on trace day d,
+// normalised to average 1 over the trace.
+func (r *Rhythm) growth(day int) float64 {
+	if r.days <= 1 {
+		return 1
+	}
+	frac := float64(day) / float64(r.days-1)
+	// Linear from g0 to g1 with mean 1: g0 = 2/(1+G), g1 = G*g0.
+	g0 := 2 / (1 + r.readGrowth)
+	return g0 + (r.readGrowth*g0-g0)*frac
+}
+
+// ReadDayWeight reports the relative read intensity of trace day d,
+// combining weekday, holiday and growth effects.
+func (r *Rhythm) ReadDayWeight(day int) float64 {
+	w := readDayWeights[r.weekday(day)] * r.growth(day)
+	if f, ok := r.holiday[day]; ok {
+		w *= f
+	}
+	return w
+}
+
+// WriteDayWeight reports the relative write intensity of trace day d.
+// No growth, no holidays — the batch queue never empties.
+func (r *Rhythm) WriteDayWeight(day int) float64 {
+	w := writeDayWeights[r.weekday(day)]
+	// Figure 6: "write requests increased at the end of the year" — a
+	// mild end-of-December bump while scientists queue up long runs.
+	d := r.start.AddDate(0, 0, day)
+	if r.holidays && d.Month() == time.December && d.Day() >= 20 {
+		w *= 1.10
+	}
+	return w
+}
+
+// HolidayFactor reports the read-suppression multiplier of trace day d
+// (1 on ordinary days).
+func (r *Rhythm) HolidayFactor(day int) float64 {
+	if f, ok := r.holiday[day]; ok {
+		return f
+	}
+	return 1
+}
+
+// MaxReadDayWeight bounds ReadDayWeight over the trace, for rejection
+// sampling.
+func (r *Rhythm) MaxReadDayWeight() float64 {
+	max := 0.0
+	for d := 0; d < r.days; d++ {
+		if w := r.ReadDayWeight(d); w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// SampleReadHour draws an hour of day from the read profile.
+func (r *Rhythm) SampleReadHour(rng *rand.Rand) int {
+	return sampleHour(readHourWeights, rng)
+}
+
+// SampleWriteHour draws an hour of day from the write profile.
+func (r *Rhythm) SampleWriteHour(rng *rand.Rand) int {
+	return sampleHour(writeHourWeights, rng)
+}
+
+func sampleHour(weights [24]float64, rng *rand.Rand) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	u := rng.Float64() * total
+	for h, w := range weights {
+		u -= w
+		if u <= 0 {
+			return h
+		}
+	}
+	return 23
+}
+
+// Days reports the trace length in days.
+func (r *Rhythm) Days() int { return r.days }
+
+// Start reports the trace start.
+func (r *Rhythm) Start() time.Time { return r.start }
+
+// IsHoliday reports whether reads are suppressed on trace day d.
+func (r *Rhythm) IsHoliday(day int) bool {
+	_, ok := r.holiday[day]
+	return ok
+}
