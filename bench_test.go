@@ -319,6 +319,23 @@ func BenchmarkPolicyComparison(b *testing.B) {
 	b.ReportMetric(100*stpMiss, "stpMiss%")
 }
 
+// BenchmarkPolicyComparisonSerialScan is the pre-refactor baseline for
+// BenchmarkPolicyComparison: one worker and every policy forced onto the
+// scan path.
+func BenchmarkPolicyComparisonSerialScan(b *testing.B) {
+	_, accs := fixture(b)
+	capacity := migration.TotalReferencedBytes(accs) / 50
+	for i := 0; i < b.N; i++ {
+		policies := StandardPolicies(accs)
+		for j, p := range policies {
+			policies[j] = migration.ScanOnly{P: p}
+		}
+		if _, err := migration.ComparePoliciesWorkers(accs, capacity, policies, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkCapacitySweep(b *testing.B) {
 	_, accs := fixture(b)
 	fractions := []float64{0.005, 0.015, 0.05}
@@ -334,22 +351,49 @@ func BenchmarkCapacitySweep(b *testing.B) {
 	b.ReportMetric(100*missAt15, "missAt1.5%Cache%") // Smith: ~1% at NCAR rates
 }
 
+// BenchmarkCapacitySweepSerial is the serial baseline for
+// BenchmarkCapacitySweep (STP replays are scan-path either way).
+func BenchmarkCapacitySweepSerial(b *testing.B) {
+	_, accs := fixture(b)
+	fractions := []float64{0.005, 0.015, 0.05}
+	for i := 0; i < b.N; i++ {
+		if _, err := migration.CapacitySweepWorkers(accs, fractions,
+			func() migration.Policy { return migration.STP{K: 1.4} }, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvictionHeap measures the tentpole directly: the same LRU
+// replay with the indexed eviction heap versus the forced scan fallback.
+func BenchmarkEvictionHeap(b *testing.B) {
+	_, accs := fixture(b)
+	capacity := migration.TotalReferencedBytes(accs) / 50
+	run := func(b *testing.B, p migration.Policy) {
+		for i := 0; i < b.N; i++ {
+			c, err := migration.NewCache(migration.CacheConfig{Capacity: capacity, Policy: p})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.Replay(accs)
+		}
+	}
+	b.Run("heap", func(b *testing.B) { run(b, migration.LRU{}) })
+	b.Run("scan", func(b *testing.B) { run(b, migration.ScanOnly{P: migration.LRU{}}) })
+}
+
 func BenchmarkSTPExponentSweep(b *testing.B) {
 	_, accs := fixture(b)
 	capacity := migration.TotalReferencedBytes(accs) / 50
 	ks := []float64{0, 0.5, 1.0, 1.4, 2.0}
 	var best float64
 	for i := 0; i < b.N; i++ {
-		bestMiss := 1.0
-		for _, k := range ks {
-			c, err := migration.NewCache(migration.CacheConfig{
-				Capacity: capacity, Policy: migration.STP{K: k}})
-			if err != nil {
-				b.Fatal(err)
-			}
-			if m := c.Replay(accs).MissRatio(); m < bestMiss {
-				bestMiss, best = m, k
-			}
+		pts, err := migration.STPExponentSweep(accs, capacity, ks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bp, ok := migration.BestExponent(pts); ok {
+			best = bp.K
 		}
 	}
 	b.ReportMetric(best, "bestExponent") // Smith: 1.4 region

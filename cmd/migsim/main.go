@@ -37,6 +37,7 @@ func main() {
 		sweep    = flag.Bool("sweep", false, "capacity sweep for STP^1.4")
 		stpSweep = flag.Bool("stp-sweep", false, "STP exponent sweep at the given capacity")
 		coalesce = flag.Bool("coalesce", false, "coalescing-window analysis")
+		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -55,9 +56,9 @@ func main() {
 				r.Window, r.Requests, r.Savable, 100*r.SavableFraction())
 		}
 	case *sweep:
-		pts, err := migration.CapacitySweep(accs,
+		pts, err := migration.CapacitySweepWorkers(accs,
 			[]float64{0.005, 0.01, 0.015, 0.02, 0.05, 0.10},
-			func() migration.Policy { return migration.STP{K: 1.4} })
+			func() migration.Policy { return migration.STP{K: 1.4} }, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -65,19 +66,17 @@ func main() {
 	case *stpSweep:
 		capacity := units.Bytes(float64(total) * *capFrac)
 		fmt.Printf("STP exponent sweep at %.1f%% cache (%s)\n", 100**capFrac, capacity)
-		var policies []migration.Policy
-		for _, k := range []float64{0, 0.5, 1.0, 1.4, 2.0, 4.0} {
-			policies = append(policies, migration.STP{K: k})
-		}
-		results, err := migration.ComparePolicies(accs, capacity, policies)
+		pts, err := migration.STPExponentSweepWorkers(accs, capacity,
+			[]float64{0, 0.5, 1.0, 1.4, 2.0, 4.0}, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Print(filemig.RenderPolicyComparison(results, days))
+		fmt.Print(filemig.RenderExponentSweep(pts))
 	default:
 		capacity := units.Bytes(float64(total) * *capFrac)
 		fmt.Printf("policy comparison at %.1f%% cache (%s)\n", 100**capFrac, capacity)
-		results, err := migration.ComparePolicies(accs, capacity, filemig.StandardPolicies(accs))
+		results, err := migration.ComparePoliciesWorkers(accs, capacity,
+			filemig.StandardPolicies(accs), *workers)
 		if err != nil {
 			log.Fatal(err)
 		}

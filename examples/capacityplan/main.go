@@ -9,7 +9,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"time"
 
 	"filemig"
 	"filemig/internal/migration"
@@ -27,38 +26,23 @@ func main() {
 	days := float64(p.Workload.Config.Days)
 	fmt.Printf("reference string: %d accesses, %s of distinct data\n\n", len(accs), total)
 
+	// The whole policies × capacities cross product fans out over one
+	// worker pool; each cell is an independent, deterministic replay.
 	fractions := []float64{0.005, 0.01, 0.015, 0.02, 0.05, 0.10}
-	for _, mk := range []func() migration.Policy{
+	sweeps, err := migration.MultiPolicySweep(accs, fractions, []func() migration.Policy{
 		func() migration.Policy { return migration.STP{K: 1.4} },
 		func() migration.Policy { return migration.LRU{} },
 		func() migration.Policy { return migration.LargestFirst{} },
-	} {
-		name := mk().Name()
-		pts, err := migration.CapacitySweep(accs, fractions, mk)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("policy %s\n", name)
-		fmt.Printf("  %9s %9s %12s %16s\n", "capacity", "miss%", "byte miss%", "person-min/day")
-		for _, pt := range pts {
-			fmt.Printf("  %8.1f%% %8.2f%% %11.2f%% %16.1f\n",
-				100*pt.CapacityFraction,
-				100*pt.Result.MissRatio(),
-				100*pt.Result.ByteMissRatio(),
-				pt.Result.PersonMinutesPerDay(days, 75*time.Second))
-		}
-		fmt.Println()
+	}, 0)
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Print(filemig.RenderMultiSweep(sweeps, days))
 
 	// The §6 size-split ablation: how much cache does it take before the
 	// big files stop churning everything out? Report the capacity where
 	// STP's miss ratio first drops under 10%.
-	pts, err := migration.CapacitySweep(accs, fractions,
-		func() migration.Policy { return migration.STP{K: 1.4} })
-	if err != nil {
-		log.Fatal(err)
-	}
-	for _, pt := range pts {
+	for _, pt := range sweeps[0].Points {
 		if pt.Result.MissRatio() < 0.10 {
 			fmt.Printf("STP^1.4 reaches <10%% miss ratio at %.1f%% of the store (%s)\n",
 				100*pt.CapacityFraction,

@@ -1,0 +1,3 @@
+module filemig
+
+go 1.24

@@ -1,6 +1,7 @@
 package migration
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -85,10 +86,13 @@ type CacheResult struct {
 	ReadMisses   int64
 	WriteInserts int64
 	Evictions    int64
-	BytesMissed  units.Bytes
-	BytesRead    units.Bytes
-	Prefetches   int64
-	PrefetchHits int64 // read hits on files present only due to prefetch
+	// StreamThroughs counts accesses to files that cannot be resident:
+	// bigger than the whole cache, or rewrites that grew a file beyond it.
+	StreamThroughs int64
+	BytesMissed    units.Bytes
+	BytesRead      units.Bytes
+	Prefetches     int64
+	PrefetchHits   int64 // read hits on files present only due to prefetch
 }
 
 // MissRatio is read misses over reads.
@@ -118,16 +122,73 @@ func (r CacheResult) PersonMinutesPerDay(days float64, extraLatency time.Duratio
 
 type residentFile struct {
 	CachedFile
-	prefetched bool // resident due to prefetch, not yet demanded
+	prefetched bool    // resident due to prefetch, not yet demanded
+	key        float64 // eviction priority under a KeyedPolicy
+	heapIndex  int     // position in Cache.order; -1 off-heap
+}
+
+// evictHeap is the indexed priority heap over resident files: the top is
+// the next eviction victim — highest key first, ties to the lowest file
+// ID, so victim selection never depends on map iteration order.
+type evictHeap []*residentFile
+
+func (h evictHeap) Len() int { return len(h) }
+func (h evictHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key > h[j].key
+	}
+	return h[i].ID < h[j].ID
+}
+func (h evictHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIndex = i
+	h[j].heapIndex = j
+}
+func (h *evictHeap) Push(x any) {
+	f := x.(*residentFile)
+	f.heapIndex = len(*h)
+	*h = append(*h, f)
+}
+func (h *evictHeap) Pop() any {
+	old := *h
+	n := len(old)
+	f := old[n-1]
+	old[n-1] = nil
+	f.heapIndex = -1
+	*h = old[:n-1]
+	return f
 }
 
 // Cache is the migration simulator: a finite staging disk in front of the
 // tape archive, replaying an access string under a policy.
+//
+// Victim selection is O(log R) when the policy implements KeyedPolicy
+// (its order is maintained in an indexed heap, updated on insert and
+// touch); otherwise each eviction scans the residents in ascending file
+// ID order, so rank-crossing policies stay correct and deterministic.
 type Cache struct {
 	cfg      CacheConfig
 	resident map[int]*residentFile
 	used     units.Bytes
 	res      CacheResult
+
+	keyed    KeyedPolicy // non-nil when cfg.Policy supports heap ordering
+	order    evictHeap
+	stateful bool         // ranks depend on call order (Random)
+	scanIDs  []int        // scratch: candidate IDs for stateful scans
+	ranked   []rankedFile // scratch: scan candidates with ranks
+}
+
+// isStateful reports whether a policy's ranks depend on call order,
+// unwrapping ScanOnly.
+func isStateful(p Policy) bool {
+	switch q := p.(type) {
+	case StatefulPolicy:
+		return true
+	case ScanOnly:
+		return isStateful(q.P)
+	}
+	return false
 }
 
 // NewCache builds a cache simulator.
@@ -138,11 +199,16 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 	if cfg.Policy == nil {
 		return nil, fmt.Errorf("migration: policy required")
 	}
-	return &Cache{
+	c := &Cache{
 		cfg:      cfg,
 		resident: map[int]*residentFile{},
 		res:      CacheResult{Policy: cfg.Policy.Name(), Capacity: cfg.Capacity},
-	}, nil
+	}
+	if kp, ok := cfg.Policy.(KeyedPolicy); ok {
+		c.keyed = kp
+	}
+	c.stateful = isStateful(cfg.Policy)
+	return c, nil
 }
 
 // Replay runs the whole access string and returns the result.
@@ -160,6 +226,13 @@ func (c *Cache) Step(a Access) {
 	if a.Write {
 		c.res.WriteInserts++
 		if hit {
+			if a.Size > c.cfg.Capacity {
+				// The rewrite grew the file beyond the whole cache: it can
+				// no longer be resident and streams through to tape.
+				c.remove(f)
+				c.res.StreamThroughs++
+				return
+			}
 			// A rewrite may change the file's size; adjust occupancy and
 			// evict if the growth overflows the cache.
 			c.used += a.Size - f.CachedFile.Size
@@ -196,55 +269,180 @@ func (c *Cache) Step(a Access) {
 	}
 }
 
+// touch refreshes a resident file's recency and, under a keyed policy,
+// its position in the eviction heap. Policies keyed on insertion time or
+// size (FIFO, largest/smallest-first) return an unchanged key on touch,
+// making hot-path hits O(1).
 func (c *Cache) touch(f *residentFile, now time.Time) {
 	f.LastRef = now
 	f.Refs++
+	if c.keyed != nil {
+		if k := c.keyed.Key(&f.CachedFile); k != f.key {
+			f.key = k
+			heap.Fix(&c.order, f.heapIndex)
+		}
+	}
 }
 
 func (c *Cache) insert(a Access, now time.Time, prefetched bool) {
 	size := a.Size
 	if size > c.cfg.Capacity {
 		// A file bigger than the whole cache can never be resident; it
-		// streams through (counts as a miss each read).
+		// streams through (counts as a miss each read). Only demand
+		// accesses count: a prefetch candidate's size is a guess, not a
+		// reference.
+		if !prefetched {
+			c.res.StreamThroughs++
+		}
 		return
 	}
 	c.shrinkTo(c.cfg.Capacity-size, now, a.FileID)
-	c.resident[a.FileID] = &residentFile{
+	f := &residentFile{
 		CachedFile: CachedFile{
 			ID: a.FileID, Size: size, Inserted: now, LastRef: now, Refs: 1,
 		},
 		prefetched: prefetched,
+		heapIndex:  -1,
 	}
+	c.resident[a.FileID] = f
 	c.used += size
+	if c.keyed != nil {
+		f.key = c.keyed.Key(&f.CachedFile)
+		heap.Push(&c.order, f)
+	}
+}
+
+// remove drops a file from the cache without counting an eviction.
+func (c *Cache) remove(f *residentFile) {
+	c.used -= f.CachedFile.Size
+	delete(c.resident, f.ID)
+	if c.keyed != nil && f.heapIndex >= 0 {
+		heap.Remove(&c.order, f.heapIndex)
+	}
 }
 
 // shrinkTo evicts policy victims until used <= target. The protected file
 // (the one being accessed) is never evicted.
 func (c *Cache) shrinkTo(target units.Bytes, now time.Time, protect int) {
-	for c.used > target {
-		victim := c.pickVictim(now, protect)
-		if victim == nil {
-			return // nothing evictable
+	if c.used <= target {
+		return
+	}
+	if c.keyed != nil {
+		for c.used > target {
+			victim := c.pickHeap(protect)
+			if victim == nil {
+				return // nothing evictable
+			}
+			c.remove(victim)
+			c.res.Evictions++
 		}
-		c.used -= victim.CachedFile.Size
-		delete(c.resident, victim.ID)
-		c.res.Evictions++
+		return
+	}
+	c.shrinkScan(target, now, protect)
+}
+
+// pickHeap returns the heap top, or — when the top is the protected file
+// — the better of the root's children, which is where a binary heap keeps
+// its second-best element.
+func (c *Cache) pickHeap(protect int) *residentFile {
+	if len(c.order) == 0 {
+		return nil
+	}
+	if top := c.order[0]; top.ID != protect {
+		return top
+	}
+	switch len(c.order) {
+	case 1:
+		return nil
+	case 2:
+		return c.order[1]
+	}
+	if c.order.Less(2, 1) {
+		return c.order[2]
+	}
+	return c.order[1]
+}
+
+// rankedFile is a scan candidate paired with its rank at shrink time.
+type rankedFile struct {
+	f    *residentFile
+	rank float64
+}
+
+// rankedBefore reports whether a evicts before b: higher rank first,
+// equal ranks to the lowest file ID — never map iteration order.
+func rankedBefore(a, b rankedFile) bool {
+	if a.rank != b.rank {
+		return a.rank > b.rank
+	}
+	return a.f.ID < b.f.ID
+}
+
+func siftDown(h []rankedFile, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		best := l
+		if r := l + 1; r < len(h) && rankedBefore(h[r], h[l]) {
+			best = r
+		}
+		if !rankedBefore(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
 	}
 }
 
-func (c *Cache) pickVictim(now time.Time, protect int) *residentFile {
-	var best *residentFile
-	bestRank := 0.0
-	for id, f := range c.resident {
-		if id == protect {
-			continue
+// shrinkScan is the eviction path for rank-crossing policies (STP, SAAC,
+// Random). The clock is fixed for the whole shrink and untouched files'
+// ranks cannot move, so every candidate is ranked exactly once; the
+// candidates are then max-heapified on (rank, lowest file ID) and popped
+// until enough space is free. One Rank pass amortises over every victim
+// of the shrink, instead of the historical full re-scan per eviction,
+// and the strict (rank, ID) order makes the victim sequence independent
+// of map iteration order. Stateful policies (Random) additionally rank
+// in ascending file ID order so their draws are reproducible.
+func (c *Cache) shrinkScan(target units.Bytes, now time.Time, protect int) {
+	cands := c.ranked[:0]
+	if c.stateful {
+		ids := c.scanIDs[:0]
+		for id := range c.resident {
+			if id != protect {
+				ids = append(ids, id)
+			}
 		}
-		r := c.cfg.Policy.Rank(&f.CachedFile, now)
-		if best == nil || r > bestRank {
-			best, bestRank = f, r
+		sort.Ints(ids)
+		c.scanIDs = ids
+		for _, id := range ids {
+			f := c.resident[id]
+			cands = append(cands, rankedFile{f, c.cfg.Policy.Rank(&f.CachedFile, now)})
+		}
+	} else {
+		for id, f := range c.resident {
+			if id != protect {
+				cands = append(cands, rankedFile{f, c.cfg.Policy.Rank(&f.CachedFile, now)})
+			}
 		}
 	}
-	return best
+	for i := len(cands)/2 - 1; i >= 0; i-- {
+		siftDown(cands, i)
+	}
+	for c.used > target && len(cands) > 0 {
+		c.remove(cands[0].f)
+		c.res.Evictions++
+		n := len(cands) - 1
+		cands[0] = cands[n]
+		cands[n] = rankedFile{} // release the evicted file
+		cands = cands[:n]
+		siftDown(cands, 0)
+	}
+	for i := range cands {
+		cands[i] = rankedFile{}
+	}
+	c.ranked = cands[:0]
 }
 
 // Result returns the statistics so far.
@@ -264,22 +462,11 @@ type SweepPoint struct {
 
 // CapacitySweep replays the access string at several cache sizes
 // expressed as fractions of the total referenced data, for one policy
-// builder (a fresh Policy per run — Random and OPT carry state).
+// builder (a fresh Policy per run — Random and OPT carry state). The
+// replays run concurrently on the default worker pool; results keep
+// input order.
 func CapacitySweep(accs []Access, fractions []float64, mk func() Policy) ([]SweepPoint, error) {
-	total := TotalReferencedBytes(accs)
-	out := make([]SweepPoint, 0, len(fractions))
-	for _, frac := range fractions {
-		cap := units.Bytes(float64(total) * frac)
-		if cap <= 0 {
-			cap = 1
-		}
-		c, err := NewCache(CacheConfig{Capacity: cap, Policy: mk()})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, SweepPoint{CapacityFraction: frac, Result: c.Replay(accs)})
-	}
-	return out, nil
+	return CapacitySweepWorkers(accs, fractions, mk, 0)
 }
 
 // TotalReferencedBytes sums the distinct files' sizes (last size seen per
@@ -297,19 +484,15 @@ func TotalReferencedBytes(accs []Access) units.Bytes {
 }
 
 // ComparePolicies replays the same access string under each policy at the
-// given capacity and returns results sorted by read miss ratio
-// (best first).
+// given capacity and returns results sorted by read miss ratio (best
+// first). One replay per policy runs concurrently on the default worker
+// pool; each Policy instance must be private to its entry.
 func ComparePolicies(accs []Access, capacity units.Bytes, policies []Policy) ([]CacheResult, error) {
-	out := make([]CacheResult, 0, len(policies))
-	for _, p := range policies {
-		c, err := NewCache(CacheConfig{Capacity: capacity, Policy: p})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, c.Replay(accs))
-	}
+	return ComparePoliciesWorkers(accs, capacity, policies, 0)
+}
+
+func sortByMissRatio(out []CacheResult) {
 	sort.SliceStable(out, func(i, j int) bool { return out[i].MissRatio() < out[j].MissRatio() })
-	return out, nil
 }
 
 // DirPrefetcher prefetches the most recent other files of the directory

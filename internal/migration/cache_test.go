@@ -99,6 +99,81 @@ func TestRewriteAdjustsSize(t *testing.T) {
 	}
 }
 
+func TestRewriteGrowthBeyondCapacityStreamsThrough(t *testing.T) {
+	// Regression: a rewrite that grows a resident file beyond the whole
+	// cache used to leave the cache permanently over-full, because the
+	// grown file was protected from eviction. It must stream through.
+	c, _ := NewCache(CacheConfig{Capacity: units.Bytes(10 * units.MB), Policy: LRU{}})
+	c.Step(acc(0, 1, units.Bytes(2*units.MB), true))
+	c.Step(acc(1, 2, units.Bytes(3*units.MB), true))
+	c.Step(acc(2, 1, units.Bytes(12*units.MB), true)) // grows past capacity
+	if c.Used() > c.cfg.Capacity {
+		t.Fatalf("cache over-full after growth: used %v > capacity %v", c.Used(), c.cfg.Capacity)
+	}
+	if c.Used() != units.Bytes(3*units.MB) || c.Resident() != 1 {
+		t.Errorf("used/resident = %v/%d, want 3 MB/1 (grown file gone)", c.Used(), c.Resident())
+	}
+	res := c.Result()
+	if res.StreamThroughs != 1 {
+		t.Errorf("stream-throughs = %d, want 1", res.StreamThroughs)
+	}
+	if res.Evictions != 0 {
+		t.Errorf("evictions = %d; streaming through is not a policy eviction", res.Evictions)
+	}
+	c.Step(acc(3, 1, units.Bytes(12*units.MB), false))
+	if got := c.Result(); got.ReadMisses != 1 || got.StreamThroughs != 2 {
+		t.Errorf("oversized file must keep missing: misses=%d streamThroughs=%d",
+			got.ReadMisses, got.StreamThroughs)
+	}
+}
+
+func TestCapacityInvariantUnderOversizedRewrites(t *testing.T) {
+	// Occupancy never exceeds capacity even when rewrites grow files past
+	// it, under both heap (LRU) and scan (STP) victim selection.
+	for _, p := range []Policy{LRU{}, STP{K: 1.4}} {
+		cap := units.Bytes(20 * units.MB)
+		c, _ := NewCache(CacheConfig{Capacity: cap, Policy: p})
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 3000; i++ {
+			size := units.Bytes(rng.Int63n(30*units.MB) + 1) // up to 1.5× capacity
+			c.Step(acc(i, rng.Intn(100), size, rng.Intn(2) == 0))
+			if c.Used() > cap {
+				t.Fatalf("%s: occupancy %v exceeds capacity %v at step %d",
+					p.Name(), c.Used(), cap, i)
+			}
+			if len(c.order) != 0 && len(c.order) != c.Resident() {
+				t.Fatalf("%s: heap has %d entries for %d residents at step %d",
+					p.Name(), len(c.order), c.Resident(), i)
+			}
+		}
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	// Repeated replays of the same string must produce byte-identical
+	// results for every policy — including Random (per seed) and the
+	// scan-fallback policies whose ties used to follow map order.
+	accs := syntheticString(6000, 7)
+	capacity := TotalReferencedBytes(accs) / 40
+	for name, mk := range shippedPolicies() {
+		var first CacheResult
+		for run := 0; run < 5; run++ {
+			c, err := NewCache(CacheConfig{Capacity: capacity, Policy: mk(accs)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := c.Replay(accs)
+			if run == 0 {
+				first = res
+				continue
+			}
+			if res != first {
+				t.Fatalf("%s: run %d diverged:\n  first: %+v\n  later: %+v", name, run, first, res)
+			}
+		}
+	}
+}
+
 func TestNewCacheErrors(t *testing.T) {
 	if _, err := NewCache(CacheConfig{Capacity: 0, Policy: LRU{}}); err == nil {
 		t.Error("zero capacity should fail")

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"time"
 
+	"filemig/internal/trace"
 	"filemig/internal/units"
 )
 
@@ -24,11 +25,55 @@ type CachedFile struct {
 }
 
 // Policy ranks eviction candidates. The cache evicts the resident file
-// with the highest Rank until enough space is free. Rank must not mutate
-// the file.
+// with the highest Rank until enough space is free; ties resolve to the
+// lowest file ID. Rank must not mutate the file.
 type Policy interface {
 	Name() string
 	Rank(f *CachedFile, now time.Time) float64
+}
+
+// KeyedPolicy is an optional Policy capability for policies whose victim
+// ordering is time-invariant during replay: the relative order of two
+// resident files never changes between touches, so the cache can keep an
+// indexed priority heap (highest Key evicts first, ties to the lowest
+// file ID) and pick victims in O(log R) instead of scanning every
+// resident file. Key is recomputed only when a file is inserted or
+// touched. Policies whose ranks cross over time (STP, SAAC, Random) must
+// not implement it; they keep the deterministic scan fallback.
+type KeyedPolicy interface {
+	Policy
+	Key(f *CachedFile) float64
+}
+
+// StatefulPolicy marks policies whose Rank consumes mutable state so
+// that rank values depend on call order (Random draws from an rng
+// stream). The cache ranks such policies' candidates in ascending file
+// ID order to keep replays deterministic; pure policies skip that sort.
+// OPT does not need the marker: its cursors mutate, but the value
+// returned for a file never depends on when other files are ranked.
+type StatefulPolicy interface {
+	Policy
+	StatefulRank()
+}
+
+// ScanOnly wraps a policy and hides any KeyedPolicy capability, forcing
+// the cache onto the scan path — used by the equivalence tests and
+// benchmarks to compare heap and scan victim selection.
+type ScanOnly struct{ P Policy }
+
+// Name implements Policy.
+func (s ScanOnly) Name() string { return s.P.Name() }
+
+// Rank implements Policy.
+func (s ScanOnly) Rank(f *CachedFile, now time.Time) float64 { return s.P.Rank(f, now) }
+
+// timeKey maps a timestamp onto a float64 eviction key: seconds relative
+// to the trace epoch. Over the paper's ±2-year window keys are spaced
+// ≤8ns — the same precision class as the scan path's float64 rank
+// seconds (and far below optDead) — so heap and scan victim orders agree
+// for any realistic trace resolution.
+func timeKey(t time.Time) float64 {
+	return t.Sub(trace.Epoch).Seconds()
 }
 
 // STP is Smith's space-time product criterion: evict the file with the
@@ -50,7 +95,7 @@ func (p STP) Name() string {
 
 // Rank implements Policy.
 func (p STP) Rank(f *CachedFile, now time.Time) float64 {
-	age := now.Sub(f.LastRef).Hours() * 24 // in days, as Smith measured
+	age := now.Sub(f.LastRef).Hours() / 24 // in days, as Smith measured
 	if age < 0 {
 		age = 0
 	}
@@ -68,6 +113,9 @@ func (LRU) Rank(f *CachedFile, now time.Time) float64 {
 	return now.Sub(f.LastRef).Seconds()
 }
 
+// Key implements KeyedPolicy: oldest last reference evicts first.
+func (LRU) Key(f *CachedFile) float64 { return -timeKey(f.LastRef) }
+
 // LargestFirst migrates the biggest files first ("pure length" in
 // Lawrie's study): frees the most space per eviction but throws away big
 // hot files.
@@ -79,6 +127,9 @@ func (LargestFirst) Name() string { return "largest-first" }
 // Rank implements Policy.
 func (LargestFirst) Rank(f *CachedFile, _ time.Time) float64 { return float64(f.Size) }
 
+// Key implements KeyedPolicy.
+func (LargestFirst) Key(f *CachedFile) float64 { return float64(f.Size) }
+
 // SmallestFirst is the mirror baseline: keeps big files pinned.
 type SmallestFirst struct{}
 
@@ -87,6 +138,9 @@ func (SmallestFirst) Name() string { return "smallest-first" }
 
 // Rank implements Policy.
 func (SmallestFirst) Rank(f *CachedFile, _ time.Time) float64 { return -float64(f.Size) }
+
+// Key implements KeyedPolicy.
+func (SmallestFirst) Key(f *CachedFile) float64 { return -float64(f.Size) }
 
 // FIFO evicts the file resident longest, ignoring use.
 type FIFO struct{}
@@ -98,6 +152,9 @@ func (FIFO) Name() string { return "FIFO" }
 func (FIFO) Rank(f *CachedFile, now time.Time) float64 {
 	return now.Sub(f.Inserted).Seconds()
 }
+
+// Key implements KeyedPolicy: earliest insertion evicts first.
+func (FIFO) Key(f *CachedFile) float64 { return -timeKey(f.Inserted) }
 
 // Random evicts uniformly at random (deterministic per seed).
 type Random struct {
@@ -114,6 +171,10 @@ func (*Random) Name() string { return "random" }
 
 // Rank implements Policy.
 func (r *Random) Rank(*CachedFile, time.Time) float64 { return r.rng.Float64() }
+
+// StatefulRank implements StatefulPolicy: each Rank call consumes the
+// next rng draw, so candidates must be ranked in a deterministic order.
+func (*Random) StatefulRank() {}
 
 // SAAC approximates Lawrie's "migrate files that became less active"
 // criterion: rank grows with idle time and shrinks with the reference
@@ -151,14 +212,30 @@ func (*OPT) Name() string { return "OPT" }
 func (o *OPT) Rank(f *CachedFile, now time.Time) float64 {
 	next, ok := o.future.NextAfter(f.ID, now)
 	if !ok {
-		// Never referenced again: always safer to evict than any live
-		// file; among dead files prefer the biggest. The 1e12 base
-		// exceeds any realistic next-use distance in seconds while
-		// staying small enough that the size term survives float64
-		// rounding.
-		return 1e12 + float64(f.Size)
+		return optDead + float64(f.Size)
 	}
 	return next.Sub(now).Seconds()
+}
+
+// optDead ranks files that are never referenced again: always safer to
+// evict than any live file; among dead files prefer the biggest. The
+// 1e12 base exceeds any realistic next-use distance in seconds (and any
+// Unix timestamp, so heap keys order the same way) while staying small
+// enough that the size term survives float64 rounding.
+const optDead = 1e12
+
+// Key implements KeyedPolicy: farthest next reference evicts first. A
+// resident file's next reference cannot lie between its last touch and
+// the replay clock — a reference to a resident file is a touch — so the
+// absolute next-reference time recorded at touch time stays the file's
+// true next reference until it is touched again, making OPT's victim
+// ordering time-invariant during a forward replay.
+func (o *OPT) Key(f *CachedFile) float64 {
+	next, ok := o.future.NextAfter(f.ID, f.LastRef)
+	if !ok {
+		return optDead + float64(f.Size)
+	}
+	return timeKey(next)
 }
 
 // FutureIndex answers "when is file f next referenced after t" from a

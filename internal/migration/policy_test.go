@@ -51,6 +51,82 @@ func TestSTPExponentTradesSizeForRecency(t *testing.T) {
 	}
 }
 
+func TestSTPRankPinnedValues(t *testing.T) {
+	// Pin the age unit: Smith measured age in days, so a file last used
+	// exactly one day ago has rank 1^K × size = size for every K. The
+	// historical *24 bug made that age 576 "days".
+	size := units.Bytes(10 * units.MB)
+	day := cf(1, size, 24*time.Hour, 1)
+	twoDays := cf(2, size, 48*time.Hour, 1)
+	threeDays := cf(3, size, 72*time.Hour, 1)
+	cases := []struct {
+		p    STP
+		f    *CachedFile
+		want float64
+	}{
+		{STP{K: 1.4}, day, float64(size)},
+		{STP{K: 1}, day, float64(size)},
+		{STP{K: 1}, twoDays, 2 * float64(size)},
+		{STP{K: 1}, threeDays, 3 * float64(size)},
+		{STP{K: 2}, threeDays, 9 * float64(size)},
+		{STP{K: 0}, threeDays, float64(size)},
+	}
+	for _, c := range cases {
+		if got := c.p.Rank(c.f, t0); got != c.want {
+			t.Errorf("%s.Rank(age %v) = %g, want %g",
+				c.p.Name(), t0.Sub(c.f.LastRef), got, c.want)
+		}
+	}
+	if got := (STP{K: 1.4}).Rank(cf(4, size, -time.Hour, 1), t0); got != 0 {
+		t.Errorf("future LastRef must clamp to age 0, got rank %g", got)
+	}
+}
+
+func TestKeyedPolicyCapability(t *testing.T) {
+	// Policies with time-invariant victim ordering expose Key; the
+	// rank-crossing ones must not, so the cache keeps the scan fallback.
+	keyed := []Policy{LRU{}, FIFO{}, LargestFirst{}, SmallestFirst{}, NewOPT(NewFutureIndex(nil))}
+	for _, p := range keyed {
+		if _, ok := p.(KeyedPolicy); !ok {
+			t.Errorf("%s should implement KeyedPolicy", p.Name())
+		}
+	}
+	scan := []Policy{STP{K: 1.4}, SAAC{}, NewRandom(1), ScanOnly{P: LRU{}}}
+	for _, p := range scan {
+		if _, ok := p.(KeyedPolicy); ok {
+			t.Errorf("%s must not implement KeyedPolicy", p.Name())
+		}
+	}
+}
+
+func TestKeyOrderMatchesRankOrder(t *testing.T) {
+	// For every keyed policy, Key ordering must agree with Rank ordering
+	// at any fixed now (higher rank ⇔ higher key).
+	accs := []Access{
+		{Time: t0.Add(30 * time.Hour), FileID: 1},
+		{Time: t0.Add(90 * time.Hour), FileID: 2},
+	}
+	files := []*CachedFile{
+		cf(1, units.Bytes(4*units.MB), 6*time.Hour, 2),
+		cf(2, units.Bytes(64*units.MB), 3*time.Hour, 1),
+		cf(3, units.Bytes(units.MB), 48*time.Hour, 5),
+		cf(4, units.Bytes(16*units.MB), 12*time.Hour, 1),
+	}
+	for _, p := range []KeyedPolicy{LRU{}, FIFO{}, LargestFirst{}, SmallestFirst{},
+		NewOPT(NewFutureIndex(accs))} {
+		for i, a := range files {
+			for _, b := range files[i+1:] {
+				ra, rb := p.Rank(a, t0), p.Rank(b, t0)
+				ka, kb := p.Key(a), p.Key(b)
+				if (ra > rb) != (ka > kb) || (ra < rb) != (ka < kb) {
+					t.Errorf("%s: rank order (%g vs %g) disagrees with key order (%g vs %g) for files %d/%d",
+						p.Name(), ra, rb, ka, kb, a.ID, b.ID)
+				}
+			}
+		}
+	}
+}
+
 func TestLRURanks(t *testing.T) {
 	p := LRU{}
 	older := cf(1, 1, time.Hour, 1)

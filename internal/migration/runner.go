@@ -1,0 +1,215 @@
+package migration
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"filemig/internal/units"
+)
+
+// The sweep runner: the paper's experiments replay the same reference
+// string many times — once per capacity, policy, or STP exponent — and
+// every replay is independent (a fresh Cache and a fresh Policy per job),
+// so the sweeps fan out over a bounded worker pool. Results are written
+// by job index, preserving input order regardless of completion order,
+// and each job's replay stays single-threaded and deterministic.
+
+// DefaultWorkers is the worker count used when a sweep is given workers
+// <= 0: one per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// forEachJob runs fn(0..jobs-1) on at most workers goroutines and
+// returns the first error by job order. workers <= 0 means
+// DefaultWorkers; workers == 1 runs serially on the calling goroutine.
+func forEachJob(jobs, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers <= 1 {
+		for i := 0; i < jobs; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, jobs)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < jobs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CapacitySweepWorkers is CapacitySweep with an explicit worker count
+// (<= 0 for the default, 1 to force a serial run).
+func CapacitySweepWorkers(accs []Access, fractions []float64, mk func() Policy,
+	workers int) ([]SweepPoint, error) {
+	total := TotalReferencedBytes(accs)
+	// Build every job's policy serially before fanning out: builders may
+	// close over shared state (a seed counter, say) and are not required
+	// to be goroutine-safe.
+	policies := make([]Policy, len(fractions))
+	for i := range policies {
+		policies[i] = mk()
+	}
+	out := make([]SweepPoint, len(fractions))
+	err := forEachJob(len(fractions), workers, func(i int) error {
+		frac := fractions[i]
+		cap := units.Bytes(float64(total) * frac)
+		if cap <= 0 {
+			cap = 1
+		}
+		c, err := NewCache(CacheConfig{Capacity: cap, Policy: policies[i]})
+		if err != nil {
+			return err
+		}
+		out[i] = SweepPoint{CapacityFraction: frac, Result: c.Replay(accs)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ComparePoliciesWorkers is ComparePolicies with an explicit worker
+// count. Each policy instance is used by exactly one job, so stateful
+// policies (Random, OPT) are safe as long as they are not shared between
+// entries.
+func ComparePoliciesWorkers(accs []Access, capacity units.Bytes, policies []Policy,
+	workers int) ([]CacheResult, error) {
+	out := make([]CacheResult, len(policies))
+	err := forEachJob(len(policies), workers, func(i int) error {
+		c, err := NewCache(CacheConfig{Capacity: capacity, Policy: policies[i]})
+		if err != nil {
+			return err
+		}
+		out[i] = c.Replay(accs)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortByMissRatio(out)
+	return out, nil
+}
+
+// PolicySweep is one policy's full capacity sweep within a
+// MultiPolicySweep.
+type PolicySweep struct {
+	Policy string
+	Points []SweepPoint
+}
+
+// MultiPolicySweep runs the full policies × fractions cross product
+// through one worker pool and returns one sweep per builder, in input
+// order — the capacity-planning experiment behind §2.3.
+func MultiPolicySweep(accs []Access, fractions []float64, mks []func() Policy,
+	workers int) ([]PolicySweep, error) {
+	total := TotalReferencedBytes(accs)
+	out := make([]PolicySweep, len(mks))
+	// One serial builder pass per cell — builders need not be
+	// goroutine-safe, and every job needs a private policy instance.
+	policies := make([][]Policy, len(mks))
+	for i, mk := range mks {
+		p := mk()
+		if p == nil {
+			return nil, fmt.Errorf("migration: policy builder %d returned nil", i)
+		}
+		out[i] = PolicySweep{Policy: p.Name(), Points: make([]SweepPoint, len(fractions))}
+		policies[i] = make([]Policy, len(fractions))
+		for j := range fractions {
+			policies[i][j] = mk()
+		}
+	}
+	err := forEachJob(len(mks)*len(fractions), workers, func(job int) error {
+		pi, fi := job/len(fractions), job%len(fractions)
+		frac := fractions[fi]
+		cap := units.Bytes(float64(total) * frac)
+		if cap <= 0 {
+			cap = 1
+		}
+		c, err := NewCache(CacheConfig{Capacity: cap, Policy: policies[pi][fi]})
+		if err != nil {
+			return err
+		}
+		out[pi].Points[fi] = SweepPoint{CapacityFraction: frac, Result: c.Replay(accs)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ExponentPoint is one STP exponent's outcome in an exponent sweep.
+type ExponentPoint struct {
+	K      float64
+	Result CacheResult
+}
+
+// STPExponentSweep replays the access string under STP^k for each
+// exponent at the given capacity — Smith's ablation that singled out
+// K=1.4 — fanning the replays over the default worker pool.
+func STPExponentSweep(accs []Access, capacity units.Bytes, ks []float64) ([]ExponentPoint, error) {
+	return STPExponentSweepWorkers(accs, capacity, ks, 0)
+}
+
+// STPExponentSweepWorkers is STPExponentSweep with an explicit worker
+// count.
+func STPExponentSweepWorkers(accs []Access, capacity units.Bytes, ks []float64,
+	workers int) ([]ExponentPoint, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("migration: sweep capacity must be positive")
+	}
+	out := make([]ExponentPoint, len(ks))
+	err := forEachJob(len(ks), workers, func(i int) error {
+		c, err := NewCache(CacheConfig{Capacity: capacity, Policy: STP{K: ks[i]}})
+		if err != nil {
+			return err
+		}
+		out[i] = ExponentPoint{K: ks[i], Result: c.Replay(accs)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BestExponent returns the exponent with the lowest read miss ratio
+// (first such on ties, in input order).
+func BestExponent(pts []ExponentPoint) (ExponentPoint, bool) {
+	if len(pts) == 0 {
+		return ExponentPoint{}, false
+	}
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if p.Result.MissRatio() < best.Result.MissRatio() {
+			best = p
+		}
+	}
+	return best, true
+}

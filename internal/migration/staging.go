@@ -3,6 +3,7 @@ package migration
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 	"time"
 
 	"filemig/internal/units"
@@ -32,6 +33,8 @@ type StagingManager struct {
 	resident map[int]*stagedFile
 	copyq    copyQueue
 	copyBusy time.Time // when the tape copier frees up
+	stateful bool      // policy ranks depend on call order (Random)
+	scanIDs  []int     // scratch for stateful victim scans
 
 	stats StagingStats
 }
@@ -103,7 +106,11 @@ func NewStagingManager(cfg StagingConfig) (*StagingManager, error) {
 	if cfg.Policy == nil {
 		cfg.Policy = STP{K: 1.4}
 	}
-	return &StagingManager{cfg: cfg, resident: map[int]*stagedFile{}}, nil
+	return &StagingManager{
+		cfg:      cfg,
+		resident: map[int]*stagedFile{},
+		stateful: isStateful(cfg.Policy),
+	}, nil
 }
 
 // Replay runs the access string (time-sorted) through the staging layer.
@@ -235,13 +242,40 @@ func (m *StagingManager) makeRoom(target units.Bytes, protect int) {
 	}
 }
 
+// pickVictim picks the highest-ranked candidate, equal ranks resolving
+// to the lowest file ID — never map iteration order. Stateful policies
+// (Random) additionally rank in ascending file ID order so their draws
+// are reproducible; pure policies keep the O(R) unordered pass.
 func (m *StagingManager) pickVictim(protect int, dirty bool) *stagedFile {
+	if m.stateful {
+		return m.pickVictimOrdered(protect, dirty)
+	}
 	var best *stagedFile
 	bestRank := 0.0
 	for id, f := range m.resident {
 		if id == protect || f.dirty != dirty {
 			continue
 		}
+		r := m.cfg.Policy.Rank(&f.CachedFile, m.now)
+		if best == nil || r > bestRank || (r == bestRank && id < best.ID) {
+			best, bestRank = f, r
+		}
+	}
+	return best
+}
+
+func (m *StagingManager) pickVictimOrdered(protect int, dirty bool) *stagedFile {
+	m.scanIDs = m.scanIDs[:0]
+	for id, f := range m.resident {
+		if id != protect && f.dirty == dirty {
+			m.scanIDs = append(m.scanIDs, id)
+		}
+	}
+	sort.Ints(m.scanIDs)
+	var best *stagedFile
+	bestRank := 0.0
+	for _, id := range m.scanIDs {
+		f := m.resident[id]
 		r := m.cfg.Policy.Rank(&f.CachedFile, m.now)
 		if best == nil || r > bestRank {
 			best, bestRank = f, r

@@ -54,6 +54,38 @@ func RenderPolicyComparison(results []migration.CacheResult, days float64) strin
 // versus the disk path to first byte (Table 3: ~104s silo vs ~30s disk).
 const extraTapeLatency = 75 * time.Second
 
+// RenderExponentSweep prints an STP exponent ablation.
+func RenderExponentSweep(points []migration.ExponentPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %10s %12s %12s\n", "exponent", "miss%", "byte miss%", "evictions")
+	for _, p := range points {
+		fmt.Fprintf(&b, "STP^%-6.2g %9.2f%% %11.2f%% %12d\n",
+			p.K, 100*p.Result.MissRatio(), 100*p.Result.ByteMissRatio(), p.Result.Evictions)
+	}
+	if best, ok := migration.BestExponent(points); ok {
+		fmt.Fprintf(&b, "best exponent: %g (%.2f%% miss)\n", best.K, 100*best.Result.MissRatio())
+	}
+	return b.String()
+}
+
+// RenderMultiSweep prints one capacity sweep per policy.
+func RenderMultiSweep(sweeps []migration.PolicySweep, days float64) string {
+	var b strings.Builder
+	for _, s := range sweeps {
+		fmt.Fprintf(&b, "policy %s\n", s.Policy)
+		fmt.Fprintf(&b, "  %9s %9s %12s %16s\n", "capacity", "miss%", "byte miss%", "person-min/day")
+		for _, pt := range s.Points {
+			fmt.Fprintf(&b, "  %8.1f%% %8.2f%% %11.2f%% %16.1f\n",
+				100*pt.CapacityFraction,
+				100*pt.Result.MissRatio(),
+				100*pt.Result.ByteMissRatio(),
+				pt.Result.PersonMinutesPerDay(days, extraTapeLatency))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
 // RenderSweep prints a capacity sweep.
 func RenderSweep(points []migration.SweepPoint) string {
 	var b strings.Builder
