@@ -1,0 +1,20 @@
+#!/bin/sh
+# Doc-lint gate: vet, gofmt, and doc-comment coverage for the packages
+# whose godoc matters most (the facade and the trace wire formats).
+# Run from the repository root: .github/doclint.sh
+set -e
+
+echo "== go vet =="
+go vet ./...
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== doclint (internal/trace, facade) =="
+go run .github/doclint/doclint.go internal/trace .
+echo "doc lint clean"

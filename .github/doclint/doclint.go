@@ -1,0 +1,131 @@
+// Command doclint fails when an exported identifier in the given package
+// directories lacks a doc comment, or when a package lacks a package
+// comment. It keeps `go doc` output useful for the packages whose API
+// matters most (the facade and the trace wire formats).
+//
+// Usage (from the repository root, via .github/doclint.sh):
+//
+//	go run .github/doclint/doclint.go internal/trace .
+//
+// The directory lives under .github/ so the Go tool's ./... wildcard
+// ignores it; it is only built when CI names the file explicitly.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint <package-dir> [package-dir...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		bad += lintDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d exported identifiers without doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintDir checks every non-test Go file directly inside dir and reports
+// the number of undocumented exported identifiers.
+func lintDir(dir string) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		os.Exit(2)
+	}
+	fset := token.NewFileSet()
+	bad := 0
+	pkgDoc := false
+	files := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files++
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+			os.Exit(2)
+		}
+		if f.Doc != nil {
+			pkgDoc = true
+		}
+		bad += lintFile(fset, f)
+	}
+	if files > 0 && !pkgDoc {
+		fmt.Printf("%s: package has no package comment\n", dir)
+		bad++
+	}
+	return bad
+}
+
+// lintFile reports undocumented exported declarations in one file.
+func lintFile(fset *token.FileSet, f *ast.File) int {
+	bad := 0
+	report := func(pos token.Pos, what, name string) {
+		fmt.Printf("%s: exported %s %s has no doc comment\n", fset.Position(pos), what, name)
+		bad++
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedReceiver(d) {
+				continue
+			}
+			if d.Doc == nil {
+				report(d.Pos(), "function", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if n.IsExported() && d.Doc == nil && s.Doc == nil {
+							report(n.Pos(), "value", n.Name)
+							break // one report per spec line is enough
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (functions without receivers count as exported scope).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}

@@ -9,6 +9,7 @@ package filemig
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -91,6 +92,176 @@ func BenchmarkTable2TraceCodec(b *testing.B) {
 			b.Fatalf("decode: %v (%d records)", err, len(got))
 		}
 	}
+	b.ReportMetric(float64(len(encoded))/float64(n), "bytes/rec")
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "recs/s")
+}
+
+// BenchmarkTraceCodecBinary is BenchmarkTable2TraceCodec over the binary
+// b1 format: same records, fewer bytes, faster decode. Compare the two
+// benchmarks' MB/s, recs/s and bytes/rec.
+func BenchmarkTraceCodecBinary(b *testing.B) {
+	p, _ := fixture(b)
+	n := len(p.Records)
+	if n > 20000 {
+		n = 20000
+	}
+	recs := p.Records[:n]
+	var buf bytes.Buffer
+	if err := trace.WriteAllFormat(&buf, recs, trace.FormatBinary); err != nil {
+		b.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	b.SetBytes(int64(len(encoded)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := trace.ReadAll(bytes.NewReader(encoded))
+		if err != nil || len(got) != n {
+			b.Fatalf("decode: %v (%d records)", err, len(got))
+		}
+	}
+	b.ReportMetric(float64(len(encoded))/float64(n), "bytes/rec")
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "recs/s")
+}
+
+// BenchmarkStreamAnalyze is the tentpole benchmark for the streaming
+// analysis path: the same encoded trace analysed by materializing every
+// record first (slice) versus the sharded stream (serial and parallel).
+// ReportAllocs shows total allocation; the liveRecs metric shows the
+// memory shape — how many records each path holds at once: the whole
+// trace for the slice path, at most (workers+2) shards for the stream.
+func BenchmarkStreamAnalyze(b *testing.B) {
+	p, _ := fixture(b)
+	var buf bytes.Buffer
+	if err := trace.WriteAllFormat(&buf, p.Records, trace.FormatBinary); err != nil {
+		b.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	const shardDur = 28 * 24 * time.Hour
+	const workers = 4
+	// Records the stream path can hold at once: the largest window of
+	// workers+2 consecutive shards.
+	maxLive := maxShardWindow(p.Records, shardDur, workers+2)
+	opts := core.Options{DedupWindow: workload.DedupWindow}
+	check := func(b *testing.B, r *core.Report) {
+		if r.Table3.GrandTotal == 0 {
+			b.Fatal("empty report")
+		}
+	}
+	b.Run("slice", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ReportMetric(float64(len(p.Records)), "liveRecs")
+		for i := 0; i < b.N; i++ {
+			recs, err := trace.ReadAll(bytes.NewReader(encoded))
+			if err != nil {
+				b.Fatal(err)
+			}
+			a := core.New(opts)
+			a.AddAll(recs)
+			check(b, a.Report())
+		}
+	})
+	for _, w := range []int{1, workers} {
+		b.Run(fmt.Sprintf("stream-workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			live := maxLive
+			if w == 1 {
+				live = maxShardWindow(p.Records, shardDur, 1)
+			}
+			b.ReportMetric(float64(live), "liveRecs")
+			for i := 0; i < b.N; i++ {
+				src, err := trace.OpenStream(bytes.NewReader(encoded))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := core.AnalyzeStream(core.StreamOptions{
+					Options: opts, Workers: w, ShardDuration: shardDur}, src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				check(b, rep)
+			}
+		})
+	}
+	// In-memory variants isolate the analysis itself from codec decode,
+	// showing the parallel sharding win on its own.
+	b.Run("inmem-slice", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := core.New(opts)
+			a.AddAll(p.Records)
+			check(b, a.Report())
+		}
+	})
+	b.Run("inmem-stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := core.AnalyzeStream(core.StreamOptions{
+				Options: opts, Workers: workers, ShardDuration: shardDur},
+				trace.SliceStream(p.Records))
+			if err != nil {
+				b.Fatal(err)
+			}
+			check(b, rep)
+		}
+	})
+}
+
+// maxShardWindow reports the most records any n consecutive time shards
+// of the given width hold.
+func maxShardWindow(recs []trace.Record, shard time.Duration, n int) int {
+	if len(recs) == 0 {
+		return 0
+	}
+	origin := recs[0].Start.Truncate(24 * time.Hour)
+	counts := map[int64]int{}
+	var last int64
+	for i := range recs {
+		k := int64(recs[i].Start.Sub(origin) / shard)
+		counts[k]++
+		if k > last {
+			last = k
+		}
+	}
+	best := 0
+	for k := int64(0); k <= last; k++ {
+		sum := 0
+		for j := k; j < k+int64(n) && j <= last; j++ {
+			sum += counts[j]
+		}
+		if sum > best {
+			best = sum
+		}
+	}
+	return best
+}
+
+// BenchmarkGenerateStream compares materializing generation against the
+// lazy plan-merge stream feeding the analysis directly — the RunStream
+// pipeline against Run with SkipSimulation.
+func BenchmarkGenerateStream(b *testing.B) {
+	cfg := Config{Scale: 0.005, Seed: 1993, SkipSimulation: true}
+	b.Run("materialized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p, err := Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if p.Report.Table3.GrandTotal == 0 {
+				b.Fatal("empty report")
+			}
+		}
+	})
+	b.Run("streamed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := RunStream(StreamConfig{Config: cfg, Workers: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Table3.GrandTotal == 0 {
+				b.Fatal("empty report")
+			}
+		}
+	})
 }
 
 func BenchmarkTable3OverallStats(b *testing.B) {

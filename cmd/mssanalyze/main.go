@@ -4,11 +4,19 @@
 // Usage:
 //
 //	mssanalyze -i trace.txt -all
+//	mssanalyze -i trace.b1 -stream -workers 8     # sharded streaming analysis
 //	mssanalyze -scale 0.02 -id table3 -id figure7
 //	tracegen -scale 0.01 -sim | mssanalyze -all
 //
 // With -scale and no -i, a synthetic trace is generated and simulated
-// in-process.
+// in-process. The input codec (ASCII v1 or binary b1) is auto-detected;
+// -format forces one. With -stream, records are never materialized:
+// the trace is cut into time shards analysed on a bounded worker pool
+// (-workers, -shard-days), producing byte-identical output in shard-sized
+// memory — the coalesce experiment is skipped there, as it needs the raw
+// request list, and in generate mode the MSS simulation is skipped too
+// (latency columns stay empty), since simulation replays the whole
+// trace.
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"filemig"
 	"filemig/internal/core"
@@ -36,22 +45,47 @@ func main() {
 	log.SetPrefix("mssanalyze: ")
 	var ids idList
 	var (
-		in    = flag.String("i", "", "input trace file ('-' for stdin); empty = generate")
-		scale = flag.Float64("scale", 0.01, "scale when generating")
-		seed  = flag.Int64("seed", 1, "seed when generating")
-		all   = flag.Bool("all", false, "print every table and figure")
+		in        = flag.String("i", "", "input trace file ('-' for stdin); empty = generate")
+		scale     = flag.Float64("scale", 0.01, "scale when generating")
+		seed      = flag.Int64("seed", 1, "seed when generating")
+		all       = flag.Bool("all", false, "print every table and figure")
+		stream    = flag.Bool("stream", false, "sharded streaming analysis (bounded memory)")
+		workers   = flag.Int("workers", 0, "streaming analysis worker pool size (0 = one per CPU)")
+		shardDays = flag.Int("shard-days", 0, "streaming shard width in days (0 = 28)")
+		format    = flag.String("format", "auto", "input format: auto, ascii or binary")
 	)
 	flag.Var(&ids, "id", "experiment to print (table3, figure7, ...); repeatable")
 	flag.Parse()
+	if !*stream && (*workers != 0 || *shardDays != 0) {
+		log.Fatal("-workers and -shard-days only apply with -stream")
+	}
+	if *in == "" && *format != "auto" {
+		log.Fatal("-format only applies when reading a trace with -i")
+	}
 
 	var p *filemig.Pipeline
-	if *in == "" {
+	streamed := false
+	switch {
+	case *in == "" && *stream:
+		fmt.Fprintln(os.Stderr,
+			"mssanalyze: note: -stream generates without the MSS simulator; latency columns (Table 3, Figure 3) will be empty")
+		rep, err := filemig.RunStream(filemig.StreamConfig{
+			Config:        filemig.Config{Scale: *scale, Seed: *seed},
+			Workers:       *workers,
+			ShardDuration: time.Duration(*shardDays) * 24 * time.Hour,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		p = &filemig.Pipeline{Report: rep}
+		streamed = true
+	case *in == "":
 		var err error
 		p, err = filemig.Run(filemig.Config{Scale: *scale, Seed: *seed})
 		if err != nil {
 			log.Fatal(err)
 		}
-	} else {
+	default:
 		f := os.Stdin
 		if *in != "-" {
 			var err error
@@ -61,18 +95,42 @@ func main() {
 			}
 			defer f.Close()
 		}
-		recs, err := trace.ReadAll(f)
+		src, err := trace.OpenStreamFlag(f, *format)
 		if err != nil {
 			log.Fatal(err)
 		}
-		a := core.New(core.Options{DedupWindow: workload.DedupWindow})
-		a.AddAll(recs)
-		p = &filemig.Pipeline{Records: recs, Report: a.Report()}
+		if *stream {
+			rep, err := core.AnalyzeStream(core.StreamOptions{
+				Options:       core.Options{DedupWindow: workload.DedupWindow},
+				Workers:       *workers,
+				ShardDuration: time.Duration(*shardDays) * 24 * time.Hour,
+			}, src)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p = &filemig.Pipeline{Report: rep}
+			streamed = true
+		} else {
+			recs, err := trace.Collect(src)
+			if err != nil {
+				log.Fatal(err)
+			}
+			a := core.New(core.Options{DedupWindow: workload.DedupWindow})
+			a.AddAll(recs)
+			p = &filemig.Pipeline{Records: recs, Report: a.Report()}
+		}
 	}
 
+	render := func(e filemig.Experiment) {
+		if streamed && e.ID == "coalesce" {
+			fmt.Printf("== %s ==\n(skipped: coalescing needs the raw request list; rerun without -stream)\n\n", e.Title)
+			return
+		}
+		fmt.Printf("== %s ==\n%s\n", e.Title, e.Render(p))
+	}
 	if *all || len(ids) == 0 {
 		for _, e := range filemig.Experiments() {
-			fmt.Printf("== %s ==\n%s\n", e.Title, e.Render(p))
+			render(e)
 		}
 		return
 	}
@@ -81,6 +139,6 @@ func main() {
 		if !ok {
 			log.Fatalf("unknown experiment %q (try table3, figure7, periodicity, coalesce)", id)
 		}
-		fmt.Printf("== %s ==\n%s\n", e.Title, e.Render(p))
+		render(e)
 	}
 }

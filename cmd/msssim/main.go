@@ -5,7 +5,11 @@
 // Usage:
 //
 //	msssim -i trace.txt
+//	msssim -i trace.b1 -format binary
 //	msssim -scale 0.01 -write-behind
+//
+// The input codec (ASCII v1 or binary b1) is auto-detected; -format
+// forces one.
 package main
 
 import (
@@ -25,14 +29,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("msssim: ")
 	var (
-		in    = flag.String("i", "", "input trace ('-' for stdin); empty = generate")
-		scale = flag.Float64("scale", 0.01, "scale when generating")
-		seed  = flag.Int64("seed", 1, "seed")
-		wb    = flag.Bool("write-behind", false, "enable eager write-behind (§6)")
-		silo  = flag.Int("silo-drives", 0, "override silo drive count")
-		ops   = flag.Int("operators", 0, "override operator count")
+		in     = flag.String("i", "", "input trace ('-' for stdin); empty = generate")
+		scale  = flag.Float64("scale", 0.01, "scale when generating")
+		seed   = flag.Int64("seed", 1, "seed")
+		wb     = flag.Bool("write-behind", false, "enable eager write-behind (§6)")
+		silo   = flag.Int("silo-drives", 0, "override silo drive count")
+		ops    = flag.Int("operators", 0, "override operator count")
+		format = flag.String("format", "auto", "input format: auto, ascii or binary")
 	)
 	flag.Parse()
+	if *in == "" && *format != "auto" {
+		log.Fatal("-format only applies when reading a trace with -i")
+	}
 
 	var recs []trace.Record
 	if *in == "" {
@@ -51,9 +59,11 @@ func main() {
 			}
 			defer f.Close()
 		}
-		var err error
-		recs, err = trace.ReadAll(f)
+		src, err := trace.OpenStreamFlag(f, *format)
 		if err != nil {
+			log.Fatal(err)
+		}
+		if recs, err = trace.Collect(src); err != nil {
 			log.Fatal(err)
 		}
 	}

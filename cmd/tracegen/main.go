@@ -1,14 +1,18 @@
 // Command tracegen synthesizes an NCAR-like mass-storage trace in the
-// paper's compact format (§4.2) and writes it to a file or stdout.
+// paper's compact ASCII format (§4.2) or the binary b1 format and writes
+// it to a file or stdout.
 //
 // Usage:
 //
 //	tracegen -scale 0.02 -seed 1 -o trace.txt
+//	tracegen -scale 0.05 -format binary -o trace.b1
 //	tracegen -scale 0.01 -sim           # with simulated latencies
 //	tracegen -scale 0.001 -raw          # verbose system-log form (§4.1)
 //
 // Scale 1.0 reproduces the paper's two-year, ~3.5M-request trace; start
-// small.
+// small. Without -sim or -raw, records stream from the generator into
+// the encoder one at a time, so large traces never materialize in
+// memory.
 package main
 
 import (
@@ -31,6 +35,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "deterministic RNG seed")
 		days     = flag.Int("days", workload.PaperSpanDays, "trace length in days")
 		out      = flag.String("o", "-", "output file ('-' for stdout)")
+		format   = flag.String("format", "ascii", "trace wire format: ascii or binary")
 		sim      = flag.Bool("sim", false, "replay through the MSS simulator to fill latencies")
 		raw      = flag.Bool("raw", false, "emit the verbose system-log format instead")
 		noBursts = flag.Bool("no-bursts", false, "disable session burst packing")
@@ -38,22 +43,17 @@ func main() {
 	)
 	flag.Parse()
 
+	wireFormat, err := trace.ParseFormat(*format)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *raw && wireFormat != trace.FormatASCII {
+		log.Fatal("-raw emits the verbose ASCII system-log form; -format binary does not apply")
+	}
 	cfg := workload.DefaultConfig(*scale, *seed)
 	cfg.Days = *days
 	cfg.Bursts = !*noBursts
 	cfg.Holidays = !*noHoli
-	res, err := workload.Generate(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	recs := res.Records
-	if *sim {
-		s := mss.NewSimulator(mss.DefaultConfig(*seed))
-		recs, err = s.Replay(recs)
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
 
 	var w io.Writer = os.Stdout
 	if *out != "-" {
@@ -68,14 +68,58 @@ func main() {
 		}()
 		w = f
 	}
-	if *raw {
-		err = trace.WriteRawLog(w, recs)
+
+	var n int64
+	if *sim || *raw {
+		// The simulator and the raw-log renderer both need the whole
+		// trace; materialize it.
+		res, err := workload.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recs := res.Records
+		if *sim {
+			s := mss.NewSimulator(mss.DefaultConfig(*seed))
+			recs, err = s.Replay(recs)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *raw {
+			err = trace.WriteRawLog(w, recs)
+		} else {
+			err = trace.WriteAllFormat(w, recs, wireFormat)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		n = int64(len(recs))
 	} else {
-		err = trace.WriteAll(w, recs)
-	}
-	if err != nil {
-		log.Fatal(err)
+		// Streaming path: generator → encoder, one record at a time. The
+		// epoch is the first record's start, matching WriteAllFormat, so
+		// the two paths quantize deltas on the same one-second grid.
+		sr, err := workload.GenerateStream(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		first, err := sr.Stream.Next()
+		if err != nil && err != io.EOF {
+			log.Fatal(err)
+		}
+		if err == nil {
+			tw := trace.NewFormatWriterEpoch(w, wireFormat, first.Start)
+			if err := tw.Write(&first); err != nil {
+				log.Fatal(err)
+			}
+			if _, err := trace.Copy(tw, sr.Stream); err != nil {
+				log.Fatal(err)
+			}
+			if err := tw.Flush(); err != nil {
+				log.Fatal(err)
+			}
+			n = tw.Count()
+		}
 	}
 	fmt.Fprintf(os.Stderr, "tracegen: %d records over %d days (%d files, %d users)\n",
-		len(recs), cfg.Days, cfg.Files, cfg.Users)
+		n, cfg.Days, cfg.Files, cfg.Users)
 }

@@ -89,4 +89,31 @@ func TestCmdPipelines(t *testing.T) {
 	if !strings.Contains(out, "8h0m0s") {
 		t.Errorf("migsim coalesce output missing 8h row:\n%s", out)
 	}
+
+	// tracegen -format binary, then every consumer auto-detects it.
+	traceBin := run("tracegen", nil, "-scale", "0.001", "-seed", "3", "-days", "60", "-format", "binary")
+	if !bytes.HasPrefix(traceBin, []byte("#filemig-trace b1")) {
+		t.Fatalf("binary tracegen output missing b1 header: %.40q", traceBin)
+	}
+	if len(traceBin) >= len(run("tracegen", nil, "-scale", "0.001", "-seed", "3", "-days", "60")) {
+		t.Error("binary encoding not smaller than ascii")
+	}
+	fromBin := string(run("mssanalyze", traceBin, "-i", "-", "-id", "table4"))
+	if !strings.Contains(fromBin, "Number of files") {
+		t.Errorf("mssanalyze could not auto-detect binary input:\n%s", fromBin)
+	}
+	out = string(run("msssim", traceBin, "-i", "-", "-format", "binary"))
+	if !strings.Contains(out, "tape mounts") {
+		t.Errorf("msssim -format binary failed:\n%s", out)
+	}
+
+	// mssanalyze -stream must match the slice path byte for byte on the
+	// shared experiments.
+	slice := string(run("mssanalyze", traceBin, "-i", "-", "-id", "table3", "-id", "figure8"))
+	streamed := string(run("mssanalyze", traceBin, "-i", "-", "-stream", "-workers", "3",
+		"-shard-days", "7", "-id", "table3", "-id", "figure8"))
+	if slice != streamed {
+		t.Errorf("-stream output differs from slice path:\n--- slice ---\n%s\n--- stream ---\n%s",
+			slice, streamed)
+	}
 }

@@ -64,10 +64,11 @@ type Pipeline struct {
 	Sim      *mss.Simulator // nil when SkipSimulation
 }
 
-// Run executes generate → simulate → analyse.
-func Run(cfg Config) (*Pipeline, error) {
+// workloadConfig maps the facade Config onto the generator's, applying
+// the scale validation and optional overrides once for Run and RunStream.
+func (cfg Config) workloadConfig() (workload.Config, error) {
 	if cfg.Scale <= 0 || cfg.Scale > 1 {
-		return nil, fmt.Errorf("filemig: scale %v out of (0,1]", cfg.Scale)
+		return workload.Config{}, fmt.Errorf("filemig: scale %v out of (0,1]", cfg.Scale)
 	}
 	wcfg := workload.DefaultConfig(cfg.Scale, cfg.Seed)
 	if cfg.Days > 0 {
@@ -78,6 +79,15 @@ func Run(cfg Config) (*Pipeline, error) {
 	}
 	if cfg.Holidays != nil {
 		wcfg.Holidays = *cfg.Holidays
+	}
+	return wcfg, nil
+}
+
+// Run executes generate → simulate → analyse.
+func Run(cfg Config) (*Pipeline, error) {
+	wcfg, err := cfg.workloadConfig()
+	if err != nil {
+		return nil, err
 	}
 	res, err := workload.Generate(wcfg)
 	if err != nil {
@@ -97,6 +107,43 @@ func Run(cfg Config) (*Pipeline, error) {
 	a.AddAll(p.Records)
 	p.Report = a.Report()
 	return p, nil
+}
+
+// StreamConfig configures RunStream, the bounded-memory variant of Run.
+type StreamConfig struct {
+	// Config carries the workload knobs. SkipSimulation is implied: the
+	// streaming path never runs the MSS simulator, so latency fields stay
+	// zero (Table 3's latency rows and Figure 3 will be empty), exactly
+	// as with Run{SkipSimulation: true}.
+	Config
+
+	// ShardDuration is the analysis time partition width; zero means
+	// core.DefaultShardDuration (four weeks).
+	ShardDuration time.Duration
+
+	// Workers bounds the analysis worker pool; <= 0 means one per CPU.
+	Workers int
+}
+
+// RunStream executes generate → analyse as a streaming pipeline: records
+// flow one at a time from the workload generator into the sharded
+// analysis, so peak memory holds shards in flight rather than the whole
+// trace. The Report is byte-identical to the one Run produces for the
+// same workload with SkipSimulation set.
+func RunStream(cfg StreamConfig) (*core.Report, error) {
+	wcfg, err := cfg.workloadConfig()
+	if err != nil {
+		return nil, err
+	}
+	sr, err := workload.GenerateStream(wcfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.AnalyzeStream(core.StreamOptions{
+		Options:       core.Options{Start: wcfg.Start, Days: wcfg.Days, Tree: sr.Tree},
+		ShardDuration: cfg.ShardDuration,
+		Workers:       cfg.Workers,
+	}, sr.Stream)
 }
 
 // Accesses converts the pipeline's records into the migration

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"filemig/internal/core"
 	"filemig/internal/migration"
 )
 
@@ -57,6 +58,34 @@ func TestRunSkipSimulation(t *testing.T) {
 		if r.Startup != 0 {
 			t.Fatal("latencies should be zero without simulation")
 		}
+	}
+}
+
+func TestRunStreamMatchesSkipSimulation(t *testing.T) {
+	cfg := Config{Scale: 0.003, Seed: 11, Days: 90, SkipSimulation: true}
+	p, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunStream(StreamConfig{Config: cfg, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.RenderTable3(p.Report.Table3) + core.RenderTable4(p.Report.Table4) +
+		core.RenderFigure8(p.Report.Figure8)
+	got := core.RenderTable3(rep.Table3) + core.RenderTable4(rep.Table4) +
+		core.RenderFigure8(rep.Figure8)
+	if want != got {
+		t.Fatalf("RunStream diverged from Run:\n--- Run ---\n%s\n--- RunStream ---\n%s", want, got)
+	}
+	if rep.Table3.GrandTotal == 0 {
+		t.Fatal("RunStream produced an empty report")
+	}
+}
+
+func TestRunStreamValidatesScale(t *testing.T) {
+	if _, err := RunStream(StreamConfig{Config: Config{Scale: 0}}); err == nil {
+		t.Fatal("zero scale accepted")
 	}
 }
 

@@ -7,7 +7,9 @@
 // (Figure 8), per-file interreference intervals (Figure 9), dynamic and
 // static size distributions (Figures 10-11), directory sizes (Figure 12),
 // and the file-store summary (Table 4). Everything is computed in one
-// streaming pass over a trace.
+// pass over a trace — either record by record through Analysis.Add, or
+// shard by shard through AnalyzeStream, which fans time partitions of a
+// trace.Stream over a worker pool and merges byte-identical results.
 package core
 
 import (
@@ -45,28 +47,35 @@ type Options struct {
 }
 
 // Analysis accumulates one streaming pass. Create with New, feed records
-// in time order with Add, then call Report.
+// in time order with Add, then call Report. AnalyzeStream builds the same
+// Report from a trace.Stream by running per-shard Analyses in parallel
+// and merging them; to keep the two paths byte-identical, every
+// accumulator below is either an exact integer sum, a sample list whose
+// queries are order-insensitive, or per-file state replayed in record
+// order at merge time.
 type Analysis struct {
 	opts  Options
 	start time.Time
 	days  int
 
-	// Table 3 accumulators: [op][device class].
+	// Table 3 accumulators: [op][device class]. Bytes are summed as
+	// integers (exact, order-independent); latency as (count, µs-sum).
 	refs    map[trace.Op]map[device.Class]int64
 	bytes   map[trace.Op]map[device.Class]int64
-	latency map[trace.Op]map[device.Class]*stats.Moments
+	latency map[trace.Op]map[device.Class]*latencyAgg
 	errors  int64
 	total   int64
 
 	// Figure 3: latency to first byte per device.
 	latCDF map[device.Class]*stats.CDF
 
-	// Figures 4-6: calendar series, GB and request counts.
-	hourBytes  [24][2]float64 // [hour][op]
+	// Figures 4-6: calendar series, raw bytes and request counts; the
+	// GB conversions happen once, at Report time.
+	hourBytes  [24][2]int64 // [hour][op]
 	hourCount  [24][2]int64
-	dayBytes   [7][2]float64
-	weekBytes  map[int][2]float64 // week index -> [op] bytes
-	hourlyReqs []float64          // request count per absolute hour (periodicity)
+	dayBytes   [7][2]int64
+	weekBytes  map[int][2]int64 // week index -> [op] bytes
+	hourlyReqs []float64        // request count per absolute hour (periodicity)
 	hourlyRead []float64
 
 	// Figure 7: global inter-request intervals.
@@ -79,6 +88,18 @@ type Analysis struct {
 	// Figure 10: dynamic size distributions.
 	dynFiles map[trace.Op]*stats.CDF
 	dynBytes map[trace.Op]*stats.WeightedCDF
+}
+
+// latencyAgg accumulates a mean latency exactly: an integer microsecond
+// sum and a count merge across shards without floating-point drift.
+type latencyAgg struct {
+	n      int64
+	micros int64
+}
+
+// meanSeconds reports the mean latency in seconds.
+func (l *latencyAgg) meanSeconds() float64 {
+	return float64(l.micros) / float64(l.n) / 1e6
 }
 
 type fileState struct {
@@ -102,9 +123,9 @@ func New(opts Options) *Analysis {
 		opts:      opts,
 		refs:      map[trace.Op]map[device.Class]int64{},
 		bytes:     map[trace.Op]map[device.Class]int64{},
-		latency:   map[trace.Op]map[device.Class]*stats.Moments{},
+		latency:   map[trace.Op]map[device.Class]*latencyAgg{},
 		latCDF:    map[device.Class]*stats.CDF{},
-		weekBytes: map[int][2]float64{},
+		weekBytes: map[int][2]int64{},
 		interCDF:  &stats.CDF{},
 		files:     map[string]*fileState{},
 		dynFiles:  map[trace.Op]*stats.CDF{trace.Read: {}, trace.Write: {}},
@@ -113,13 +134,28 @@ func New(opts Options) *Analysis {
 	for _, op := range []trace.Op{trace.Read, trace.Write} {
 		a.refs[op] = map[device.Class]int64{}
 		a.bytes[op] = map[device.Class]int64{}
-		a.latency[op] = map[device.Class]*stats.Moments{}
+		a.latency[op] = map[device.Class]*latencyAgg{}
 	}
 	return a
 }
 
 // Add feeds one record. Records must arrive in non-decreasing start order.
 func (a *Analysis) Add(r *trace.Record) {
+	if !a.addShared(r) {
+		return
+	}
+	a.addInterval(r.Start)
+	a.addFileAccess(r.MSSPath, r.Op, r.Start, r.Size)
+}
+
+// addShared accumulates the whole-system statistics (Tables 3, Figures
+// 3-6 and 10, the periodicity series). These merge across shards with
+// plain sums and sample-list concatenation, unlike the inter-request
+// intervals (addInterval) and per-file state (addFileAccess), which need
+// cross-shard context at merge time. It reports whether the record is a
+// good reference; error references are excluded from all further
+// analysis, as in the paper (§5.1).
+func (a *Analysis) addShared(r *trace.Record) bool {
 	a.total++
 	if a.start.IsZero() {
 		a.start = a.opts.Start
@@ -128,9 +164,8 @@ func (a *Analysis) Add(r *trace.Record) {
 		}
 	}
 	if !r.OK() {
-		// The paper excludes error references from all analysis (§5.1).
 		a.errors++
-		return
+		return false
 	}
 	day := int(r.Start.Sub(a.start) / (24 * time.Hour))
 	if day+1 > a.days {
@@ -140,13 +175,14 @@ func (a *Analysis) Add(r *trace.Record) {
 	// Table 3.
 	a.refs[r.Op][r.Device]++
 	a.bytes[r.Op][r.Device] += int64(r.Size)
-	m := a.latency[r.Op][r.Device]
-	if m == nil {
-		m = &stats.Moments{}
-		a.latency[r.Op][r.Device] = m
-	}
 	if r.Startup > 0 {
-		m.Add(r.Startup.Seconds())
+		l := a.latency[r.Op][r.Device]
+		if l == nil {
+			l = &latencyAgg{}
+			a.latency[r.Op][r.Device] = l
+		}
+		l.n++
+		l.micros += int64(r.Startup / time.Microsecond)
 	}
 
 	// Figure 3.
@@ -164,13 +200,12 @@ func (a *Analysis) Add(r *trace.Record) {
 	if r.Op == trace.Write {
 		opIdx = 1
 	}
-	gb := float64(r.Size) / float64(units.GB)
-	a.hourBytes[r.Start.Hour()][opIdx] += gb
+	a.hourBytes[r.Start.Hour()][opIdx] += int64(r.Size)
 	a.hourCount[r.Start.Hour()][opIdx]++
-	a.dayBytes[int(r.Start.Weekday())][opIdx] += gb
+	a.dayBytes[int(r.Start.Weekday())][opIdx] += int64(r.Size)
 	week := day / 7
 	wb := a.weekBytes[week]
-	wb[opIdx] += gb
+	wb[opIdx] += int64(r.Size)
 	a.weekBytes[week] = wb
 
 	// Periodicity series.
@@ -186,44 +221,53 @@ func (a *Analysis) Add(r *trace.Record) {
 		}
 	}
 
-	// Figure 7.
-	if !a.lastStart.IsZero() {
-		a.interCDF.Add(r.Start.Sub(a.lastStart).Seconds())
-	}
-	a.lastStart = r.Start
-
 	// Figure 10 (dynamic sizes): every access counts.
 	a.dynFiles[r.Op].Add(float64(r.Size))
 	a.dynBytes[r.Op].Add(float64(r.Size), float64(r.Size))
+	return true
+}
 
-	// Part two per-file state with dedup.
-	f := a.files[r.MSSPath]
+// addInterval feeds Figure 7: the interval from the previous good
+// reference anywhere in the trace to this one.
+func (a *Analysis) addInterval(start time.Time) {
+	if !a.lastStart.IsZero() {
+		a.interCDF.Add(start.Sub(a.lastStart).Seconds())
+	}
+	a.lastStart = start
+}
+
+// addFileAccess advances one file's part-two state (reference counts,
+// interreference gaps) under the §5.3 dedup rule. Dedup depends only on
+// the file's own access history in time order, which is what lets the
+// shard merge replay each shard's accesses through this same method.
+func (a *Analysis) addFileAccess(path string, op trace.Op, start time.Time, size units.Bytes) {
+	f := a.files[path]
 	if f == nil {
 		f = &fileState{}
-		a.files[r.MSSPath] = f
+		a.files[path] = f
 	}
-	f.size = r.Size
+	f.size = size
 	survives := false
-	if r.Op == trace.Read {
-		if !f.everRead || r.Start.Sub(f.lastRead) >= a.opts.DedupWindow {
+	if op == trace.Read {
+		if !f.everRead || start.Sub(f.lastRead) >= a.opts.DedupWindow {
 			f.reads++
-			f.lastRead = r.Start
+			f.lastRead = start
 			f.everRead = true
 			survives = true
 		}
 	} else {
-		if !f.everWrite || r.Start.Sub(f.lastWrite) >= a.opts.DedupWindow {
+		if !f.everWrite || start.Sub(f.lastWrite) >= a.opts.DedupWindow {
 			f.writes++
-			f.lastWrite = r.Start
+			f.lastWrite = start
 			f.everWrite = true
 			survives = true
 		}
 	}
 	if survives {
 		if !f.lastDedup.IsZero() {
-			f.gaps = append(f.gaps, r.Start.Sub(f.lastDedup).Hours()/24)
+			f.gaps = append(f.gaps, start.Sub(f.lastDedup).Hours()/24)
 		}
-		f.lastDedup = r.Start
+		f.lastDedup = start
 	}
 }
 

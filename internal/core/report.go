@@ -235,7 +235,7 @@ func (a *Analysis) Report() *Report {
 	}
 	r.Table3 = a.buildTable3()
 	r.Table4, r.Figure12 = a.buildFileStore()
-	r.Figure4 = Figure4{ReadGB: col(a.hourBytes, 0), WriteGB: col(a.hourBytes, 1), Days: a.days}
+	r.Figure4 = Figure4{ReadGB: gbCol(a.hourBytes, 0), WriteGB: gbCol(a.hourBytes, 1), Days: a.days}
 	r.Figure5 = a.buildFigure5()
 	r.Figure6 = a.buildFigure6()
 	r.Figure8, r.Figure9 = a.buildFileFigures()
@@ -249,13 +249,17 @@ func (a *Analysis) Report() *Report {
 	return r
 }
 
-func col(src [24][2]float64, idx int) [24]float64 {
+// gbCol converts one op's column of an hourly byte-count table to GB.
+func gbCol(src [24][2]int64, idx int) [24]float64 {
 	var out [24]float64
 	for i := range src {
-		out[i] = src[i][idx]
+		out[i] = gb(src[i][idx])
 	}
 	return out
 }
+
+// gb converts an exact byte count to decimal gigabytes.
+func gb(b int64) float64 { return float64(b) / float64(units.GB) }
 
 func (a *Analysis) buildTable3() Table3 {
 	t := Table3{Cells: map[trace.Op]map[device.Class]Cell{}, ErrorRefs: a.errors, GrandTotal: a.total}
@@ -263,8 +267,8 @@ func (a *Analysis) buildTable3() Table3 {
 		t.Cells[op] = map[device.Class]Cell{}
 		for _, dev := range RefDevices {
 			c := Cell{Refs: a.refs[op][dev], Bytes: units.Bytes(a.bytes[op][dev])}
-			if m := a.latency[op][dev]; m != nil && m.N() > 0 {
-				c.MeanLatency = units.DurationSeconds(m.Mean())
+			if l := a.latency[op][dev]; l != nil && l.n > 0 {
+				c.MeanLatency = units.DurationSeconds(l.meanSeconds())
 			}
 			t.Cells[op][dev] = c
 			t.TotalRefs += c.Refs
@@ -280,8 +284,8 @@ func (a *Analysis) buildFigure5() Figure5 {
 		Weeks:   float64(a.days) / 7,
 	}
 	for d := 0; d < 7; d++ {
-		f.ReadGB[d] = a.dayBytes[d][0]
-		f.WriteGB[d] = a.dayBytes[d][1]
+		f.ReadGB[d] = gb(a.dayBytes[d][0])
+		f.WriteGB[d] = gb(a.dayBytes[d][1])
 	}
 	return f
 }
@@ -297,8 +301,8 @@ func (a *Analysis) buildFigure6() Figure6 {
 		b := a.weekBytes[w]
 		f.Weeks = append(f.Weeks, WeekPoint{
 			Week:     w,
-			ReadGBh:  b[0] / (7 * 24),
-			WriteGBh: b[1] / (7 * 24),
+			ReadGBh:  gb(b[0]) / (7 * 24),
+			WriteGBh: gb(b[1]) / (7 * 24),
 		})
 	}
 	return f

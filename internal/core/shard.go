@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"filemig/internal/stats"
+	"filemig/internal/trace"
+)
+
+// The sharded streaming analysis path. AnalyzeStream consumes a
+// trace.Stream instead of a []trace.Record: records are cut into
+// time-partitioned shards, each shard is accumulated by an independent
+// worker, and the per-shard partials are merged in shard order. Peak
+// memory holds only the shards currently in flight (bounded by the
+// worker count), never the whole trace. The merge is constructed to be
+// byte-identical to the slice path (New + AddAll + Report):
+//
+//   - counts and byte totals are integer sums, which are associative;
+//   - distribution samples are concatenated in shard order, so every
+//     sample list ends up in exactly the record order the slice path
+//     would have produced it in;
+//   - Figure 7's boundary intervals (last record of shard k to first
+//     record of shard k+1) are inserted between the shard-internal
+//     interval lists during the merge;
+//   - per-file dedup state, which depends only on each file's own access
+//     history, is advanced by replaying every shard's access log through
+//     the same addFileAccess the slice path uses.
+//
+// TestStreamEquivalence pins all of this down by comparing rendered
+// output from both paths.
+
+// DefaultShardDuration is the time span of one analysis shard when
+// StreamOptions does not specify one: four weeks, long enough that
+// shard-boundary bookkeeping is negligible, short enough that a two-year
+// trace still fans out over two dozen workers.
+const DefaultShardDuration = 28 * 24 * time.Hour
+
+// StreamOptions configures AnalyzeStream.
+type StreamOptions struct {
+	Options
+
+	// ShardDuration is the width of each time partition. Zero means
+	// DefaultShardDuration.
+	ShardDuration time.Duration
+
+	// Workers bounds the shard worker pool. <= 0 means one per CPU; 1
+	// runs every shard on the calling goroutine.
+	Workers int
+}
+
+// shardAccum is one shard's partial analysis: a shard-local Analysis for
+// everything that merges by sums and concatenation, the shard's first and
+// last good-reference times for Figure 7's boundary intervals, and the
+// shard's records themselves, replayed through the per-file dedup at
+// merge time.
+type shardAccum struct {
+	sub     *Analysis
+	firstOK time.Time
+	lastOK  time.Time
+	recs    []trace.Record
+}
+
+// accumulateShard runs one shard's records through a fresh Analysis.
+func accumulateShard(opts Options, recs []trace.Record) *shardAccum {
+	sh := &shardAccum{sub: New(opts), recs: recs}
+	// Pre-size the periodicity series to the shard's last hour so the
+	// grow-by-append loop in addShared allocates once per shard.
+	if len(recs) > 0 && !opts.Start.IsZero() {
+		if hi := int(recs[len(recs)-1].Start.Sub(opts.Start) / time.Hour); hi >= 0 {
+			sh.sub.hourlyReqs = make([]float64, 0, hi+1)
+			sh.sub.hourlyRead = make([]float64, 0, hi+1)
+		}
+	}
+	for i := range recs {
+		r := &recs[i]
+		if !sh.sub.addShared(r) {
+			continue
+		}
+		sh.sub.addInterval(r.Start)
+		if sh.firstOK.IsZero() {
+			sh.firstOK = r.Start
+		}
+		sh.lastOK = r.Start
+	}
+	return sh
+}
+
+// merge folds one shard into the master analysis. Shards must be merged
+// in time order.
+func (a *Analysis) merge(sh *shardAccum) {
+	sub := sh.sub
+	a.total += sub.total
+	a.errors += sub.errors
+	if sub.days > a.days {
+		a.days = sub.days
+	}
+	for _, op := range []trace.Op{trace.Read, trace.Write} {
+		for dev, n := range sub.refs[op] {
+			a.refs[op][dev] += n
+		}
+		for dev, n := range sub.bytes[op] {
+			a.bytes[op][dev] += n
+		}
+		for dev, l := range sub.latency[op] {
+			m := a.latency[op][dev]
+			if m == nil {
+				m = &latencyAgg{}
+				a.latency[op][dev] = m
+			}
+			m.n += l.n
+			m.micros += l.micros
+		}
+		a.dynFiles[op].Merge(sub.dynFiles[op])
+		a.dynBytes[op].Merge(sub.dynBytes[op])
+	}
+	for dev, c := range sub.latCDF {
+		m := a.latCDF[dev]
+		if m == nil {
+			m = &stats.CDF{}
+			a.latCDF[dev] = m
+		}
+		m.Merge(c)
+	}
+	for h := range a.hourBytes {
+		a.hourBytes[h][0] += sub.hourBytes[h][0]
+		a.hourBytes[h][1] += sub.hourBytes[h][1]
+		a.hourCount[h][0] += sub.hourCount[h][0]
+		a.hourCount[h][1] += sub.hourCount[h][1]
+	}
+	for d := range a.dayBytes {
+		a.dayBytes[d][0] += sub.dayBytes[d][0]
+		a.dayBytes[d][1] += sub.dayBytes[d][1]
+	}
+	for w, b := range sub.weekBytes {
+		wb := a.weekBytes[w]
+		wb[0] += b[0]
+		wb[1] += b[1]
+		a.weekBytes[w] = wb
+	}
+	for len(a.hourlyReqs) < len(sub.hourlyReqs) {
+		a.hourlyReqs = append(a.hourlyReqs, 0)
+		a.hourlyRead = append(a.hourlyRead, 0)
+	}
+	for i, v := range sub.hourlyReqs {
+		a.hourlyReqs[i] += v
+		a.hourlyRead[i] += sub.hourlyRead[i]
+	}
+
+	// Figure 7: the boundary interval precedes the shard's internal
+	// intervals, matching global record order.
+	if !sh.firstOK.IsZero() {
+		a.addInterval(sh.firstOK)
+		a.interCDF.Merge(sub.interCDF)
+		a.lastStart = sh.lastOK
+	}
+
+	// Part two: replay the shard's good references through the same dedup
+	// transition the slice path uses.
+	for i := range sh.recs {
+		if r := &sh.recs[i]; r.OK() {
+			a.addFileAccess(r.MSSPath, r.Op, r.Start, r.Size)
+		}
+	}
+}
+
+// AnalyzeStream computes the paper's full Report from a record stream by
+// fanning time-partitioned shards over a bounded worker pool. The result
+// is byte-identical to feeding the same records through New + AddAll +
+// Report, but peak memory is proportional to a shard, not the trace, and
+// the shards accumulate concurrently. Records must arrive in
+// non-decreasing start order (the codec readers guarantee this).
+func AnalyzeStream(opts StreamOptions, src trace.Stream) (*Report, error) {
+	if opts.ShardDuration <= 0 {
+		opts.ShardDuration = DefaultShardDuration
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	first, err := src.Next()
+	if err == io.EOF {
+		return New(opts.Options).Report(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the calendar origin exactly as Analysis.addShared would, so
+	// every shard computes the same day/hour indices.
+	origin := opts.Start
+	if origin.IsZero() {
+		origin = first.Start.Truncate(24 * time.Hour)
+	}
+	opts.Start = origin
+	master := New(opts.Options)
+	master.start = origin
+
+	if workers == 1 {
+		return analyzeSerial(opts, master, first, src)
+	}
+	return analyzeParallel(opts, master, first, src, workers)
+}
+
+// shardIndex places a record in its time partition.
+func shardIndex(origin time.Time, d time.Duration, at time.Time) int64 {
+	off := at.Sub(origin)
+	idx := int64(off / d)
+	if off < 0 && off%d != 0 {
+		idx-- // floor division for records before the origin
+	}
+	return idx
+}
+
+// nextShard reads one shard's worth of records. first is the record that
+// opened the shard (already read); the returned next is the record that
+// opens the following shard, or zero with done=true at EOF.
+func nextShard(opts StreamOptions, first trace.Record, src trace.Stream) (
+	batch []trace.Record, next trace.Record, done bool, err error) {
+	idx := shardIndex(opts.Start, opts.ShardDuration, first.Start)
+	batch = append(batch, first)
+	prev := first.Start
+	for {
+		r, err := src.Next()
+		if err == io.EOF {
+			return batch, trace.Record{}, true, nil
+		}
+		if err != nil {
+			return nil, trace.Record{}, false, err
+		}
+		if r.Start.Before(prev) {
+			return nil, trace.Record{}, false,
+				fmt.Errorf("core: stream out of order: %v after %v", r.Start, prev)
+		}
+		prev = r.Start
+		if shardIndex(opts.Start, opts.ShardDuration, r.Start) != idx {
+			return batch, r, false, nil
+		}
+		batch = append(batch, r)
+	}
+}
+
+// analyzeSerial is the workers == 1 path: accumulate and merge one shard
+// at a time on the calling goroutine.
+func analyzeSerial(opts StreamOptions, master *Analysis, first trace.Record, src trace.Stream) (*Report, error) {
+	for {
+		batch, next, done, err := nextShard(opts, first, src)
+		if err != nil {
+			return nil, err
+		}
+		master.merge(accumulateShard(opts.Options, batch))
+		if done {
+			return master.Report(), nil
+		}
+		first = next
+	}
+}
+
+// analyzeParallel fans shards over a worker pool and merges results in
+// shard order. In-flight shards are bounded by the pool size: a semaphore
+// token is held from the moment a shard is cut until it has been merged.
+func analyzeParallel(opts StreamOptions, master *Analysis, first trace.Record, src trace.Stream, workers int) (*Report, error) {
+	type job struct {
+		idx   int
+		batch []trace.Record
+	}
+	type result struct {
+		idx int
+		sh  *shardAccum
+	}
+	jobs := make(chan job)
+	results := make(chan result)
+	sem := make(chan struct{}, workers+1)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				results <- result{idx: j.idx, sh: accumulateShard(opts.Options, j.batch)}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Merger: fold results in shard order, buffering out-of-order
+	// arrivals (at most the pool size).
+	mergeDone := make(chan struct{})
+	go func() {
+		defer close(mergeDone)
+		pending := map[int]*shardAccum{}
+		next := 0
+		for res := range results {
+			pending[res.idx] = res.sh
+			for sh, ok := pending[next]; ok; sh, ok = pending[next] {
+				delete(pending, next)
+				master.merge(sh)
+				next++
+				<-sem
+			}
+		}
+	}()
+
+	var readErr error
+	idx := 0
+	for {
+		batch, next, done, err := nextShard(opts, first, src)
+		if err != nil {
+			readErr = err
+			break
+		}
+		sem <- struct{}{}
+		jobs <- job{idx: idx, batch: batch}
+		idx++
+		if done {
+			break
+		}
+		first = next
+	}
+	close(jobs)
+	<-mergeDone
+	if readErr != nil {
+		return nil, readErr
+	}
+	return master.Report(), nil
+}

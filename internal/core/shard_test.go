@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"filemig/internal/trace"
+	"filemig/internal/workload"
+)
+
+// renderAll concatenates every rendered table and figure the analysis
+// produces, so a single string comparison covers the whole Report.
+func renderAll(r *Report) string {
+	out := RenderTable3(r.Table3) +
+		RenderTable4(r.Table4) +
+		RenderFigure3(r) +
+		RenderFigure4(r.Figure4) +
+		RenderFigure5(r.Figure5) +
+		RenderFigure6(r.Figure6) +
+		RenderFigure7(r.Figure7) +
+		RenderFigure8(r.Figure8) +
+		RenderFigure9(r.Figure9) +
+		RenderFigure10(r.Figure10) +
+		RenderFigure11(r.Figure11) +
+		RenderFigure12(r.Figure12) +
+		RenderPeriodicity(r)
+	out += fmt.Sprintf("days=%d autocorr=%v\n", r.Days, r.ReadAutocorrelation(48)[:2])
+	return out
+}
+
+func streamFixture(t *testing.T) *workload.Result {
+	t.Helper()
+	cfg := workload.DefaultConfig(0.004, 77)
+	cfg.Days = 180
+	res, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatalf("workload.Generate: %v", err)
+	}
+	if len(res.Records) < 2000 {
+		t.Fatalf("fixture too small: %d records", len(res.Records))
+	}
+	return res
+}
+
+// TestStreamEquivalence is the acceptance test for the sharded streaming
+// path: for a generated trace, AnalyzeStream must produce byte-identical
+// rendered tables and figures to the slice path, for every combination of
+// worker count and shard width — including shards far narrower than the
+// dedup window.
+func TestStreamEquivalence(t *testing.T) {
+	res := streamFixture(t)
+	opts := Options{Start: res.Config.Start, Days: res.Config.Days, Tree: res.Tree}
+
+	slice := New(opts)
+	slice.AddAll(res.Records)
+	want := renderAll(slice.Report())
+
+	for _, tc := range []struct {
+		workers int
+		shard   time.Duration
+	}{
+		{1, DefaultShardDuration},
+		{1, 24 * time.Hour},
+		{4, DefaultShardDuration},
+		{4, 7 * 24 * time.Hour},
+		{4, 3 * time.Hour}, // narrower than the 8 h dedup window
+		{16, 13 * 24 * time.Hour},
+	} {
+		t.Run(fmt.Sprintf("workers=%d/shard=%v", tc.workers, tc.shard), func(t *testing.T) {
+			rep, err := AnalyzeStream(StreamOptions{
+				Options:       opts,
+				ShardDuration: tc.shard,
+				Workers:       tc.workers,
+			}, trace.SliceStream(res.Records))
+			if err != nil {
+				t.Fatalf("AnalyzeStream: %v", err)
+			}
+			got := renderAll(rep)
+			if got != want {
+				t.Fatalf("stream analysis diverged from slice path:\n%s",
+					firstDiff(want, got))
+			}
+		})
+	}
+}
+
+// TestStreamEquivalenceNoTreeNoStart exercises the auto-derived origin
+// (Options.Start zero) and the trace-derived directory statistics
+// (Options.Tree nil), which follow different code paths.
+func TestStreamEquivalenceNoTreeNoStart(t *testing.T) {
+	res := streamFixture(t)
+	slice := New(Options{})
+	slice.AddAll(res.Records)
+	want := renderAll(slice.Report())
+
+	rep, err := AnalyzeStream(StreamOptions{ShardDuration: 11 * 24 * time.Hour, Workers: 3},
+		trace.SliceStream(res.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderAll(rep); got != want {
+		t.Fatalf("stream analysis diverged from slice path:\n%s", firstDiff(want, got))
+	}
+}
+
+// TestStreamEquivalenceThroughCodec runs the stream path straight off an
+// encoded trace — the mssanalyze -stream scenario — and compares it with
+// decoding everything first.
+func TestStreamEquivalenceThroughCodec(t *testing.T) {
+	res := streamFixture(t)
+	for _, f := range []trace.Format{trace.FormatASCII, trace.FormatBinary} {
+		var enc pipeBuffer
+		if err := trace.WriteAllFormat(&enc, res.Records, f); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := trace.ReadAll(newPipeReader(&enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slice := New(Options{})
+		slice.AddAll(recs)
+		want := renderAll(slice.Report())
+
+		src, err := trace.OpenStream(newPipeReader(&enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := AnalyzeStream(StreamOptions{Workers: 4, ShardDuration: 9 * 24 * time.Hour}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderAll(rep); got != want {
+			t.Fatalf("%v: codec stream diverged:\n%s", f, firstDiff(want, got))
+		}
+	}
+}
+
+// pipeBuffer is a minimal append-only buffer we can re-read many times.
+type pipeBuffer struct{ b []byte }
+
+func (p *pipeBuffer) Write(b []byte) (int, error) {
+	p.b = append(p.b, b...)
+	return len(b), nil
+}
+
+type pipeReader struct {
+	b []byte
+	i int
+}
+
+func newPipeReader(p *pipeBuffer) io.Reader { return &pipeReader{b: p.b} }
+
+func (r *pipeReader) Read(b []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(b, r.b[r.i:])
+	r.i += n
+	return n, nil
+}
+
+func TestStreamEmptyAndErrors(t *testing.T) {
+	rep, err := AnalyzeStream(StreamOptions{}, trace.SliceStream(nil))
+	if err != nil {
+		t.Fatalf("empty stream: %v", err)
+	}
+	if rep.Table3.GrandTotal != 0 {
+		t.Fatalf("empty stream produced %d records", rep.Table3.GrandTotal)
+	}
+
+	res := streamFixture(t)
+	recs := append([]trace.Record(nil), res.Records[:100]...)
+	recs[50], recs[10] = recs[10], recs[50] // break the sort order
+	for _, workers := range []int{1, 4} {
+		if _, err := AnalyzeStream(StreamOptions{Workers: workers, ShardDuration: time.Hour},
+			trace.SliceStream(recs)); err == nil {
+			t.Fatalf("workers=%d: out-of-order stream accepted", workers)
+		}
+	}
+}
+
+// TestStreamReportFieldsMatch compares the raw (pre-render) periodicity
+// series, which the renderers only summarise.
+func TestStreamReportFieldsMatch(t *testing.T) {
+	res := streamFixture(t)
+	slice := New(Options{Start: res.Config.Start})
+	slice.AddAll(res.Records)
+	want := slice.Report()
+
+	rep, err := AnalyzeStream(StreamOptions{
+		Options: Options{Start: res.Config.Start},
+		Workers: 4,
+	}, trace.SliceStream(res.Records))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.HourlyRequests, want.HourlyRequests) {
+		t.Fatal("HourlyRequests series diverged")
+	}
+	if !reflect.DeepEqual(rep.HourlyReads, want.HourlyReads) {
+		t.Fatal("HourlyReads series diverged")
+	}
+	if rep.Days != want.Days {
+		t.Fatalf("Days = %d, want %d", rep.Days, want.Days)
+	}
+}
+
+// firstDiff locates the first line where two renderings disagree.
+func firstDiff(want, got string) string {
+	w, g := want, got
+	line := 1
+	for len(w) > 0 && len(g) > 0 {
+		wl, gl := cutLine(&w), cutLine(&g)
+		if wl != gl {
+			return fmt.Sprintf("line %d:\nwant: %q\ngot:  %q", line, wl, gl)
+		}
+		line++
+	}
+	return fmt.Sprintf("length mismatch: want %d bytes, got %d bytes", len(want), len(got))
+}
+
+func cutLine(s *string) string {
+	for i := 0; i < len(*s); i++ {
+		if (*s)[i] == '\n' {
+			l := (*s)[:i]
+			*s = (*s)[i+1:]
+			return l
+		}
+	}
+	l := *s
+	*s = ""
+	return l
+}

@@ -39,6 +39,17 @@ func (c *CDF) AddN(v float64, n int) {
 // N reports the number of samples.
 func (c *CDF) N() int { return len(c.vals) }
 
+// Merge appends every sample of other to c, in other's insertion order —
+// exactly as if each had been Added individually. Used by the sharded
+// streaming analysis to fold per-shard distributions together.
+func (c *CDF) Merge(other *CDF) {
+	if other == nil || len(other.vals) == 0 {
+		return
+	}
+	c.vals = append(c.vals, other.vals...)
+	c.sorted = false
+}
+
 func (c *CDF) ensureSorted() {
 	if !c.sorted {
 		sort.Float64s(c.vals)
@@ -152,6 +163,21 @@ func (c *WeightedCDF) Add(v, w float64) {
 
 // N reports the number of (value, weight) pairs added.
 func (c *WeightedCDF) N() int { return len(c.pairs) }
+
+// Merge appends every (value, weight) pair of other to c in insertion
+// order. The total is re-accumulated pair by pair, so a sequence of
+// shard-local Adds followed by in-order Merges produces bit-identical
+// state to one sequential Add stream.
+func (c *WeightedCDF) Merge(other *WeightedCDF) {
+	if other == nil || len(other.pairs) == 0 {
+		return
+	}
+	c.pairs = append(c.pairs, other.pairs...)
+	for _, p := range other.pairs {
+		c.total += p.w
+	}
+	c.sorted = false
+}
 
 // TotalWeight reports the sum of all weights.
 func (c *WeightedCDF) TotalWeight() float64 { return c.total }

@@ -225,3 +225,55 @@ func TestPointString(t *testing.T) {
 		t.Errorf("String = %q", got)
 	}
 }
+
+func TestCDFMerge(t *testing.T) {
+	var whole, a, b CDF
+	for i := 0; i < 100; i++ {
+		v := float64((i * 37) % 100)
+		whole.Add(v)
+		if i < 60 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	a.Merge(&CDF{}) // empty merge is a no-op
+	a.Merge(nil)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if got, want := a.Quantile(q), whole.Quantile(q); got != want {
+			t.Fatalf("Quantile(%v) = %v after merge, want %v", q, got, want)
+		}
+	}
+	if got, want := a.Mean(), whole.Mean(); got != want {
+		t.Fatalf("Mean = %v after in-order merge, want %v", got, want)
+	}
+}
+
+func TestWeightedCDFMerge(t *testing.T) {
+	var whole, a, b WeightedCDF
+	for i := 0; i < 50; i++ {
+		v, w := float64(i%7), float64(1+i%3)
+		whole.Add(v, w)
+		if i < 20 {
+			a.Add(v, w)
+		} else {
+			b.Add(v, w)
+		}
+	}
+	a.Merge(&b)
+	a.Merge(&WeightedCDF{})
+	a.Merge(nil)
+	if a.N() != whole.N() || a.TotalWeight() != whole.TotalWeight() {
+		t.Fatalf("merged N/total = %d/%v, want %d/%v",
+			a.N(), a.TotalWeight(), whole.N(), whole.TotalWeight())
+	}
+	for _, x := range []float64{0, 1, 3, 6} {
+		if got, want := a.P(x), whole.P(x); got != want {
+			t.Fatalf("P(%v) = %v after merge, want %v", x, got, want)
+		}
+	}
+}

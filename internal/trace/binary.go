@@ -1,0 +1,306 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"filemig/internal/device"
+	"filemig/internal/units"
+)
+
+// The compact binary trace format ("#filemig-trace b1"), the
+// machine-efficient sibling of the ASCII v1 codec in codec.go. Both carry
+// exactly the same information at the same quantisation (delta start
+// times in whole seconds, startup in seconds, transfer in milliseconds),
+// so a trace can be transcoded between them losslessly. The full wire
+// layout is specified in docs/trace-format.md; briefly, after a one-line
+// ASCII header each record is
+//
+//	flags(1 byte) dt startup transfer size [uid] mssPath localPath
+//
+// with every integer a uvarint and paths length-prefixed. The flags byte
+// packs direction, compression, error class, device class and the
+// same-user bit — the same flag and delta packing the paper used to
+// condense its system logs (§4.2), taken one step further than ASCII
+// digits allow.
+
+const binaryHeaderPrefix = "#filemig-trace b1 epoch="
+
+// Flag-byte layout (bit 7 is reserved and must be zero).
+const (
+	binFlagWrite      = 1 << 0
+	binFlagCompressed = 1 << 1
+	binErrShift       = 2 // bits 2-3: ErrCode
+	binDevShift       = 4 // bits 4-5: device class wire code
+	binFlagSameUser   = 1 << 6
+	binFlagReserved   = 1 << 7
+)
+
+// maxBinaryPathLen bounds the length-prefixed path fields; anything larger
+// in the wire stream is treated as corruption rather than allocated.
+const maxBinaryPathLen = 1 << 16
+
+// Wire codes for device classes are explicit so the format stays stable
+// even if the device.Class enum is ever reordered.
+var devToWire = map[device.Class]byte{
+	device.ClassDisk:       0,
+	device.ClassSiloTape:   1,
+	device.ClassManualTape: 2,
+	device.ClassOptical:    3,
+}
+
+var wireToDev = [4]device.Class{
+	device.ClassDisk,
+	device.ClassSiloTape,
+	device.ClassManualTape,
+	device.ClassOptical,
+}
+
+// BinaryWriter emits records in the binary b1 format. Like the ASCII
+// Writer, records must be written in non-decreasing start-time order.
+type BinaryWriter struct {
+	w         *bufio.Writer
+	epoch     time.Time
+	headerOut bool
+	prevStart time.Time
+	prevUID   uint32
+	prevSet   bool
+	count     int64
+	scratch   []byte
+}
+
+// NewBinaryWriter returns a BinaryWriter using the package Epoch.
+func NewBinaryWriter(w io.Writer) *BinaryWriter { return NewBinaryWriterEpoch(w, Epoch) }
+
+// NewBinaryWriterEpoch returns a BinaryWriter with an explicit epoch;
+// records must not start before it.
+func NewBinaryWriterEpoch(w io.Writer, epoch time.Time) *BinaryWriter {
+	return &BinaryWriter{w: bufio.NewWriterSize(w, 1<<16), epoch: epoch, prevStart: epoch}
+}
+
+// Count reports the number of records written.
+func (w *BinaryWriter) Count() int64 { return w.count }
+
+// Write encodes one record.
+func (w *BinaryWriter) Write(r *Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if !w.headerOut {
+		if _, err := fmt.Fprintf(w.w, "%s%d\n", binaryHeaderPrefix, w.epoch.Unix()); err != nil {
+			return err
+		}
+		w.headerOut = true
+	}
+	dt := int64(r.Start.Sub(w.prevStart) / time.Second)
+	if dt < 0 {
+		return fmt.Errorf("trace: record at %v out of order (previous %v)", r.Start, w.prevStart)
+	}
+	devCode, ok := devToWire[r.Device]
+	if !ok {
+		return fmt.Errorf("trace: device class %v has no binary wire code", r.Device)
+	}
+	if r.Err < 0 || r.Err > 3 {
+		return fmt.Errorf("trace: error code %d does not fit the binary flags byte", int(r.Err))
+	}
+	if len(r.MSSPath) > maxBinaryPathLen || len(r.LocalPath) > maxBinaryPathLen {
+		return fmt.Errorf("trace: path longer than %d bytes cannot be encoded", maxBinaryPathLen)
+	}
+	var flags byte
+	if r.Op == Write {
+		flags |= binFlagWrite
+	}
+	if r.Compressed {
+		flags |= binFlagCompressed
+	}
+	flags |= byte(r.Err) << binErrShift
+	flags |= devCode << binDevShift
+	sameUser := w.prevSet && r.UserID == w.prevUID
+	if sameUser {
+		flags |= binFlagSameUser
+	}
+
+	b := w.scratch[:0]
+	b = append(b, flags)
+	b = binary.AppendUvarint(b, uint64(dt))
+	b = binary.AppendUvarint(b, uint64(r.Startup/time.Second))
+	b = binary.AppendUvarint(b, uint64(r.Transfer/time.Millisecond))
+	b = binary.AppendUvarint(b, uint64(r.Size))
+	if !sameUser {
+		b = binary.AppendUvarint(b, uint64(r.UserID))
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.MSSPath)))
+	b = append(b, r.MSSPath...)
+	b = binary.AppendUvarint(b, uint64(len(r.LocalPath)))
+	b = append(b, r.LocalPath...)
+	w.scratch = b[:0]
+	if _, err := w.w.Write(b); err != nil {
+		return err
+	}
+	// Like the ASCII writer, track the *truncated* start time so deltas
+	// agree with what the reader reconstructs.
+	w.prevStart = w.prevStart.Add(time.Duration(dt) * time.Second)
+	w.prevUID = r.UserID
+	w.prevSet = true
+	w.count++
+	return nil
+}
+
+// Flush flushes buffered output.
+func (w *BinaryWriter) Flush() error { return w.w.Flush() }
+
+// BinaryReader decodes the binary b1 format. It streams: each Next call
+// decodes one record.
+type BinaryReader struct {
+	r         *bufio.Reader
+	prevStart time.Time
+	prevUID   uint32
+	started   bool
+	rec       int64
+}
+
+// NewBinaryReader returns a BinaryReader over r. The header line is
+// consumed lazily on the first Next.
+func NewBinaryReader(r io.Reader) *BinaryReader {
+	return &BinaryReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next decodes the next record. It returns io.EOF when the stream ends
+// cleanly and io.ErrUnexpectedEOF (wrapped) when it ends mid-record.
+func (r *BinaryReader) Next() (Record, error) {
+	if !r.started {
+		line, err := r.r.ReadString('\n')
+		if err == io.EOF && line == "" {
+			return Record{}, io.EOF
+		}
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: binary header: %v", err)
+		}
+		line = strings.TrimSuffix(line, "\n")
+		if !strings.HasPrefix(line, binaryHeaderPrefix) {
+			return Record{}, fmt.Errorf("trace: missing binary header, got %q", line)
+		}
+		sec, err := strconv.ParseInt(strings.TrimPrefix(line, binaryHeaderPrefix), 10, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("trace: bad binary header epoch: %v", err)
+		}
+		r.prevStart = time.Unix(sec, 0).UTC()
+		r.started = true
+	}
+	flags, err := r.r.ReadByte()
+	if err == io.EOF {
+		return Record{}, io.EOF
+	}
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: record %d: %v", r.rec+1, err)
+	}
+	rec, err := r.decodeBody(flags)
+	if err != nil {
+		return Record{}, fmt.Errorf("trace: record %d: %w", r.rec+1, err)
+	}
+	r.rec++
+	return rec, nil
+}
+
+// decodeBody decodes everything after the flags byte. All errors are
+// returned, never panicked, so truncated or corrupt input fails cleanly.
+func (r *BinaryReader) decodeBody(flags byte) (Record, error) {
+	var rec Record
+	if flags&binFlagReserved != 0 {
+		return rec, fmt.Errorf("reserved flag bit set (0x%02x)", flags)
+	}
+	if flags&binFlagWrite != 0 {
+		rec.Op = Write
+	}
+	rec.Compressed = flags&binFlagCompressed != 0
+	rec.Err = ErrCode(flags >> binErrShift & 3)
+	rec.Device = wireToDev[flags>>binDevShift&3]
+
+	dt, err := r.uvarint("start delta", maxWireSeconds)
+	if err != nil {
+		return rec, err
+	}
+	rec.Start = r.prevStart.Add(time.Duration(dt) * time.Second)
+	startup, err := r.uvarint("startup", maxWireSeconds)
+	if err != nil {
+		return rec, err
+	}
+	rec.Startup = time.Duration(startup) * time.Second
+	transfer, err := r.uvarint("transfer", maxWireMillis)
+	if err != nil {
+		return rec, err
+	}
+	rec.Transfer = time.Duration(transfer) * time.Millisecond
+	size, err := r.uvarint("size", math.MaxInt64)
+	if err != nil {
+		return rec, err
+	}
+	rec.Size = units.Bytes(size)
+	if flags&binFlagSameUser != 0 {
+		rec.UserID = r.prevUID
+	} else {
+		uid, err := r.uvarint("uid", 1<<32-1)
+		if err != nil {
+			return rec, err
+		}
+		rec.UserID = uint32(uid)
+	}
+	if rec.MSSPath, err = r.path("mss path"); err != nil {
+		return rec, err
+	}
+	if rec.LocalPath, err = r.path("local path"); err != nil {
+		return rec, err
+	}
+	r.prevStart = rec.Start
+	r.prevUID = rec.UserID
+	return rec, nil
+}
+
+// Wire-field bounds: durations must survive conversion to int64
+// nanoseconds without wrapping, so corrupt varints fail loudly instead
+// of decoding to garbage timestamps.
+const (
+	maxWireSeconds = uint64(math.MaxInt64 / int64(time.Second))
+	maxWireMillis  = uint64(math.MaxInt64 / int64(time.Millisecond))
+)
+
+// uvarint reads one varint field, converting a mid-record EOF into
+// io.ErrUnexpectedEOF and rejecting values above max.
+func (r *BinaryReader) uvarint(field string, max uint64) (uint64, error) {
+	v, err := binary.ReadUvarint(r.r)
+	if err == io.EOF {
+		return 0, fmt.Errorf("%s: %w", field, io.ErrUnexpectedEOF)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", field, err)
+	}
+	if v > max {
+		return 0, fmt.Errorf("%s %d out of range (max %d)", field, v, max)
+	}
+	return v, nil
+}
+
+// path reads one length-prefixed path field.
+func (r *BinaryReader) path(field string) (string, error) {
+	n, err := r.uvarint(field+" length", maxBinaryPathLen)
+	if err != nil {
+		return "", err
+	}
+	if n == 0 {
+		return "", fmt.Errorf("%s length must be positive", field)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.r, buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return "", fmt.Errorf("%s: %w", field, io.ErrUnexpectedEOF)
+		}
+		return "", fmt.Errorf("%s: %w", field, err)
+	}
+	return string(buf), nil
+}

@@ -12,7 +12,7 @@ import (
 	"filemig/internal/units"
 )
 
-// The compact trace format, one ASCII line per record:
+// The compact ASCII trace format, one line per record:
 //
 //	#filemig-trace v1 epoch=<unix-seconds>
 //	<dt> <src> <dst> <flags> <startup-s> <transfer-ms> <size-bytes> <uid|= > <mss-path> <local-path>
@@ -23,6 +23,10 @@ import (
 // direction (R/W), compression (C) and error class (Enofile etc.). A uid
 // of "=" marks the same-user flag bit. Fields are whitespace-separated;
 // paths therefore may not contain whitespace (Validate enforces this).
+//
+// The full grammar, and the layout of the binary b1 sibling format
+// (binary.go), are specified in docs/trace-format.md. ReadAll and
+// OpenStream auto-detect which of the two they are given.
 
 const headerPrefix = "#filemig-trace v1 epoch="
 
@@ -244,32 +248,17 @@ func (r *Reader) parseLine(line string) (Record, error) {
 	return rec, nil
 }
 
-// ReadAll decodes every record from r.
+// ReadAll decodes every record from r, auto-detecting the wire format
+// (ASCII v1 or binary b1) from the header.
 func ReadAll(r io.Reader) ([]Record, error) {
-	tr := NewReader(r)
-	var out []Record
-	for {
-		rec, err := tr.Next()
-		if err == io.EOF {
-			return out, nil
-		}
-		if err != nil {
-			return out, err
-		}
-		out = append(out, rec)
+	s, err := OpenStream(r)
+	if err != nil {
+		return nil, err
 	}
+	return Collect(s)
 }
 
-// WriteAll encodes every record to w and flushes.
+// WriteAll encodes every record to w in the ASCII v1 format and flushes.
 func WriteAll(w io.Writer, recs []Record) error {
-	tw := NewWriter(w)
-	if len(recs) > 0 {
-		tw = NewWriterEpoch(w, recs[0].Start)
-	}
-	for i := range recs {
-		if err := tw.Write(&recs[i]); err != nil {
-			return err
-		}
-	}
-	return tw.Flush()
+	return WriteAllFormat(w, recs, FormatASCII)
 }

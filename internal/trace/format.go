@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Wire-format selection and auto-detection. Both formats announce
+// themselves with a one-line ASCII header ("#filemig-trace v1 ..." or
+// "#filemig-trace b1 ..."), so readers can sniff the format without any
+// out-of-band signal; see docs/trace-format.md.
+
+// Format identifies a trace wire format.
+type Format int
+
+// The two wire formats: the human-readable ASCII v1 codec and the compact
+// binary b1 codec. They are loss-free transcodings of each other.
+const (
+	FormatASCII Format = iota
+	FormatBinary
+)
+
+// String names the format the way the -format flags spell it.
+func (f Format) String() string {
+	switch f {
+	case FormatASCII:
+		return "ascii"
+	case FormatBinary:
+		return "binary"
+	}
+	return fmt.Sprintf("format(%d)", int(f))
+}
+
+// ParseFormat parses a -format flag value: "ascii"/"v1" or
+// "binary"/"b1".
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "ascii", "v1", "text":
+		return FormatASCII, nil
+	case "binary", "b1", "bin":
+		return FormatBinary, nil
+	}
+	return 0, fmt.Errorf("trace: unknown format %q (want ascii or binary)", s)
+}
+
+// NewFormatWriter returns the codec writer for the given format, using
+// the package Epoch.
+func NewFormatWriter(w io.Writer, f Format) FlushSink {
+	return NewFormatWriterEpoch(w, f, Epoch)
+}
+
+// NewFormatWriterEpoch returns the codec writer for the given format with
+// an explicit epoch.
+func NewFormatWriterEpoch(w io.Writer, f Format, epoch time.Time) FlushSink {
+	if f == FormatBinary {
+		return NewBinaryWriterEpoch(w, epoch)
+	}
+	return NewWriterEpoch(w, epoch)
+}
+
+// sniffLen covers "#filemig-trace XX" — enough of the header line to tell
+// the two formats apart.
+const sniffLen = len(headerPrefix) - len(" epoch=")
+
+// emptyStream is what OpenStream returns for zero-byte input: a stream
+// that is immediately at io.EOF, matching the ASCII Reader's tolerance
+// for empty traces.
+type emptyStream struct{}
+
+// Next reports the end of the (empty) stream.
+func (emptyStream) Next() (Record, error) { return Record{}, io.EOF }
+
+// OpenStream sniffs the header of an encoded trace and returns the
+// matching codec reader as a Stream. Zero-byte input yields an empty
+// stream; an unrecognised header is an error.
+func OpenStream(r io.Reader) (Stream, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(sniffLen)
+	if err == io.EOF && len(head) == 0 {
+		return emptyStream{}, nil
+	}
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("trace: sniffing format: %v", err)
+	}
+	f, ferr := sniffFormat(head)
+	if ferr != nil {
+		return nil, ferr
+	}
+	if f == FormatBinary {
+		return NewBinaryReader(br), nil
+	}
+	return NewReader(br), nil
+}
+
+// sniffFormat classifies a peeked header prefix.
+func sniffFormat(head []byte) (Format, error) {
+	const common = "#filemig-trace "
+	if len(head) < sniffLen || string(head[:len(common)]) != common {
+		return 0, fmt.Errorf("trace: unrecognised header %q", head)
+	}
+	switch string(head[len(common):sniffLen]) {
+	case "v1":
+		return FormatASCII, nil
+	case "b1":
+		return FormatBinary, nil
+	}
+	return 0, fmt.Errorf("trace: unrecognised trace version in header %q", head)
+}
+
+// NewFormatReader returns the codec reader for a known format as a
+// Stream, without sniffing the header.
+func NewFormatReader(r io.Reader, f Format) Stream {
+	if f == FormatBinary {
+		return NewBinaryReader(r)
+	}
+	return NewReader(r)
+}
+
+// OpenStreamFlag resolves a -format flag value into a record Stream:
+// "auto" sniffs the header, anything else names a codec (ParseFormat
+// spellings). It backs the -format flag of mssanalyze and msssim.
+func OpenStreamFlag(r io.Reader, flag string) (Stream, error) {
+	if flag == "auto" {
+		return OpenStream(r)
+	}
+	f, err := ParseFormat(flag)
+	if err != nil {
+		return nil, err
+	}
+	return NewFormatReader(r, f), nil
+}
+
+// WriteAllFormat encodes every record to w in the given format and
+// flushes. Like WriteAll, the epoch is the first record's start time.
+func WriteAllFormat(w io.Writer, recs []Record, f Format) error {
+	epoch := Epoch
+	if len(recs) > 0 {
+		epoch = recs[0].Start
+	}
+	tw := NewFormatWriterEpoch(w, f, epoch)
+	for i := range recs {
+		if err := tw.Write(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}

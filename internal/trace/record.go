@@ -1,9 +1,16 @@
 // Package trace defines the file-migration trace format of the paper's
 // §4.2 (Table 2) and implements both directions of the paper's collection
 // pipeline: the verbose human-readable MSS "system log" (§4.1) and the
-// compact machine-readable ASCII trace it is condensed into, with start
+// compact machine-readable trace it is condensed into, with start
 // times delta-encoded and a same-user flag bit, exactly as the paper
 // describes (times in seconds, transfer durations in milliseconds).
+//
+// Two interchangeable wire formats carry the compact trace — ASCII v1
+// and the varint binary b1 — auto-detected on read (OpenStream, ReadAll)
+// and specified in docs/trace-format.md. The Stream and Sink interfaces
+// move records through the pipeline one at a time, so traces larger than
+// memory flow from codec readers through filters into the analysis
+// without ever materializing as a slice.
 package trace
 
 import (

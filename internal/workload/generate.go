@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"time"
 
 	"filemig/internal/device"
@@ -40,56 +39,19 @@ type Result struct {
 }
 
 // Generate synthesizes a trace. It is deterministic for a given Config.
+// It is the materializing form of GenerateStream: the same records, as a
+// slice.
 func Generate(cfg Config) (*Result, error) {
-	if cfg.Scale <= 0 || cfg.Scale > 1 {
-		return nil, fmt.Errorf("workload: scale %v out of (0,1]", cfg.Scale)
-	}
-	if cfg.Days < 7 {
-		return nil, fmt.Errorf("workload: need at least 7 days, got %d", cfg.Days)
-	}
-	if cfg.Files < 1 || cfg.Users < 1 {
-		return nil, fmt.Errorf("workload: files (%d) and users (%d) must be positive", cfg.Files, cfg.Users)
-	}
-	if cfg.Start.IsZero() {
-		cfg.Start = trace.Epoch
-	}
-	master := rand.New(rand.NewSource(cfg.Seed))
-	treeRng := rand.New(rand.NewSource(master.Int63()))
-	popRng := rand.New(rand.NewSource(master.Int63()))
-	planRng := rand.New(rand.NewSource(master.Int63()))
-	errRng := rand.New(rand.NewSource(master.Int63()))
-	burstRng := rand.New(rand.NewSource(master.Int63()))
-
-	// Namespace scaled to keep the paper's ~6.3 files/directory.
-	nsCfg := namespace.DefaultConfig(1.0, treeRng.Int63())
-	nsCfg.Dirs = maxInt(1, cfg.Files*143245/PaperFiles)
-	nsCfg.Files = cfg.Files
-	if nsCfg.Dirs < nsCfg.MaxDepth+1 {
-		nsCfg.MaxDepth = maxInt(1, nsCfg.Dirs-1)
-	}
-	tree, err := namespace.Generate(nsCfg)
+	sr, err := GenerateStream(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("workload: namespace: %v", err)
+		return nil, err
 	}
-
-	pop := NewPopulation(cfg.Files, cfg.Users, popRng)
-	for i := range pop.Files {
-		tree.AddBytes(i, pop.Files[i].Size)
+	recs, err := trace.Collect(sr.Stream)
+	if err != nil {
+		return nil, err
 	}
-	rhythm := NewRhythm(cfg.Start, cfg.Days, cfg.Holidays, cfg.ReadGrowth)
-
-	g := &generator{cfg: cfg, rhythm: rhythm, tree: tree, pop: pop}
-	var recs []trace.Record
-	for i := range pop.Files {
-		recs = g.emitFile(&pop.Files[i], planRng, recs)
-	}
-	recs = g.emitErrors(errRng, recs)
-	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start.Before(recs[j].Start) })
-	if cfg.Bursts {
-		packBursts(recs, burstRng)
-		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Start.Before(recs[j].Start) })
-	}
-	return &Result{Config: cfg, Records: recs, Population: pop, Tree: tree, Rhythm: rhythm}, nil
+	return &Result{Config: sr.Config, Records: recs, Population: sr.Population,
+		Tree: sr.Tree, Rhythm: sr.Rhythm}, nil
 }
 
 func maxInt(a, b int) int {
@@ -106,17 +68,21 @@ type generator struct {
 	pop    *Population
 }
 
-// emitFile expands one file into raw trace records: its logical plan,
-// rhythm-mapped timestamps, device routing with residence tracking, and
-// within-eight-hour duplicate requests.
-func (g *generator) emitFile(f *File, rng *rand.Rand, recs []trace.Record) []trace.Record {
+// planFile expands one file into compact planned accesses: its logical
+// plan, rhythm-mapped timestamps, device routing with residence tracking,
+// and within-eight-hour duplicate requests. Each planned access carries
+// its global emission sequence number, the tie-break that makes the
+// streaming merge reproduce a stable sort of the eager emission order.
+// A plannedAccess is a quarter the size of a trace.Record (the paths,
+// size and user are per-file and materialize only when the stream
+// assembles the record), which is what lets GenerateStream hold the plan
+// instead of the trace.
+func (g *generator) planFile(f *File, rng *rand.Rand, seq *int32) []plannedAccess {
 	birth := g.sampleBirth(f, rng)
 	plan := buildPlan(f, birth, g.cfg.end(), rng)
 	if len(plan) == 0 {
-		return recs
+		return nil
 	}
-	mssPath := g.tree.FilePath(f.ID)
-	localPath := fmt.Sprintf("/usr/tmp/u%d/f%d", f.Owner, f.ID)
 
 	// Residence state. Pre-existing files start cold on shelf tape; files
 	// created in-trace materialise with their first write.
@@ -127,6 +93,7 @@ func (g *generator) emitFile(f *File, rng *rand.Rand, recs []trace.Record) []tra
 		created = birth.Add(-2 * shelfAge)
 	}
 
+	var accs []plannedAccess
 	for planIdx, p := range plan {
 		at := g.mapToRhythm(p.at, p.op, planIdx == 0, rng)
 		if !at.Before(g.cfg.end()) {
@@ -147,21 +114,28 @@ func (g *generator) emitFile(f *File, rng *rand.Rand, recs []trace.Record) []tra
 			}
 		}
 		lastTouch = at
-		rec := trace.Record{
-			Start:     at,
-			Op:        p.op,
-			Device:    dev,
-			Size:      f.Size,
-			MSSPath:   mssPath,
-			LocalPath: localPath,
-			UserID:    f.Owner,
-		}
-		recs = append(recs, rec)
+		accs = appendAccess(accs, at, p.op, dev, seq)
 		// Duplicates: batch scripts re-request the same file within the
 		// eight-hour window (§6), on the same device.
-		recs = g.emitDuplicates(rec, rng, recs)
+		accs = g.planDuplicates(at, p.op, dev, rng, seq, accs)
 	}
-	return recs
+	return accs
+}
+
+// plannedAccess is one routed raw access before record assembly: when it
+// happens, which way the data moves, and which device serves it.
+type plannedAccess struct {
+	at  time.Time
+	seq int32 // global emission order; stable-sort tie-break
+	op  uint8 // trace.Op
+	dev uint8 // device.Class
+}
+
+// appendAccess appends one planned access and advances the sequence.
+func appendAccess(accs []plannedAccess, at time.Time, op trace.Op, dev device.Class, seq *int32) []plannedAccess {
+	accs = append(accs, plannedAccess{at: at, seq: *seq, op: uint8(op), dev: uint8(dev)})
+	*seq++
+	return accs
 }
 
 // sampleBirth places the file's first logical access. Created files are
@@ -266,12 +240,14 @@ func (g *generator) routeRead(f *File, at time.Time, onDisk bool, lastTouch, cre
 	return device.ClassSiloTape
 }
 
-// emitDuplicates appends the §6 repeat requests: Poisson-ish count with
+// planDuplicates appends the §6 repeat requests: Poisson-ish count with
 // the configured mean, offsets lognormal around 40 minutes, capped inside
-// the dedup window.
-func (g *generator) emitDuplicates(rec trace.Record, rng *rand.Rand, recs []trace.Record) []trace.Record {
+// the dedup window. Duplicates repeat the same operation on the same
+// device.
+func (g *generator) planDuplicates(at time.Time, op trace.Op, dev device.Class,
+	rng *rand.Rand, seq *int32, accs []plannedAccess) []plannedAccess {
 	if g.cfg.DuplicateMean <= 0 {
-		return recs
+		return accs
 	}
 	p := g.cfg.DuplicateMean / (1 + g.cfg.DuplicateMean)
 	n := int(stats.Geometric{P: 1 - p}.Sample(rng))
@@ -280,23 +256,25 @@ func (g *generator) emitDuplicates(rec trace.Record, rng *rand.Rand, recs []trac
 		if off >= DedupWindow {
 			off = DedupWindow - time.Minute
 		}
-		dup := rec
-		dup.Start = rec.Start.Add(off)
-		if dup.Start.Before(g.cfg.end()) {
-			recs = append(recs, dup)
+		dupAt := at.Add(off)
+		if dupAt.Before(g.cfg.end()) {
+			accs = appendAccess(accs, dupAt, op, dev, seq)
 		}
 	}
-	return recs
+	return accs
 }
 
-// emitErrors injects requests for files that never existed (§5.1: 4.76% of
-// references, dominated by nonexistence errors). They carry a size of
-// zero, land on the disk path the lookup would have taken, and fail.
-func (g *generator) emitErrors(rng *rand.Rand, recs []trace.Record) []trace.Record {
+// buildErrors materialises the error requests for files that never
+// existed (§5.1: 4.76% of references, dominated by nonexistence errors).
+// They carry a size of zero, land on the disk path the lookup would have
+// taken, and fail. planned is the number of good accesses already
+// planned; the error count keeps the configured fraction of the total.
+func (g *generator) buildErrors(rng *rand.Rand, planned int) []trace.Record {
 	if g.cfg.ErrorFraction <= 0 {
-		return recs
+		return nil
 	}
-	n := int(float64(len(recs)) * g.cfg.ErrorFraction / (1 - g.cfg.ErrorFraction))
+	n := int(float64(planned) * g.cfg.ErrorFraction / (1 - g.cfg.ErrorFraction))
+	recs := make([]trace.Record, 0, n)
 	for i := 0; i < n; i++ {
 		day := g.sampleReadDay(rng)
 		hour := g.rhythm.SampleReadHour(rng)
@@ -318,32 +296,13 @@ func (g *generator) emitErrors(rng *rand.Rand, recs []trace.Record) []trace.Reco
 	return recs
 }
 
-// packBursts rewrites the within-hour second offsets of a time-sorted
-// record slice so requests arrive in sessions: geometric bursts with
-// seconds-scale intra-burst gaps. This produces Figure 7's knee — 90% of
-// successive MSS requests within 10 seconds — while leaving hour-level
-// rhythm untouched.
-func packBursts(recs []trace.Record, rng *rand.Rand) {
-	const (
-		meanBurstLen  = 12.0
-		smallGapMean  = 2.5 // seconds
-		smallGapFloor = 0.5
-	)
-	i := 0
-	for i < len(recs) {
-		// Find the run of records in the same hour.
-		hour := recs[i].Start.Truncate(time.Hour)
-		j := i
-		for j < len(recs) && recs[j].Start.Truncate(time.Hour).Equal(hour) {
-			j++
-		}
-		n := j - i
-		if n > 1 {
-			packHour(recs[i:j], hour, rng, meanBurstLen, smallGapMean, smallGapFloor)
-		}
-		i = j
-	}
-}
+// Burst-packing parameters (Figure 7): sessions of about a dozen
+// requests with seconds-scale intra-burst gaps.
+const (
+	meanBurstLen  = 12.0
+	smallGapMean  = 2.5 // seconds
+	smallGapFloor = 0.5
+)
 
 func packHour(recs []trace.Record, hour time.Time, rng *rand.Rand, meanBurst, gapMean, gapFloor float64) {
 	n := len(recs)

@@ -1,0 +1,289 @@
+package workload
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"filemig/internal/device"
+	"filemig/internal/namespace"
+	"filemig/internal/trace"
+	"filemig/internal/units"
+)
+
+// GenerateStream is the streaming form of Generate. Planning — reference
+// plans, calendar mapping, device routing, duplicates, errors — still
+// happens up front (it must: the shared RNG streams are consumed in file
+// order to stay deterministic), but the plan is held as compact
+// plannedAccess entries, roughly a quarter of a materialized
+// trace.Record. Records themselves are assembled lazily, one at a time,
+// by a k-way merge over the per-file plans, with burst packing applied
+// per hour bucket on the fly. Generate is Collect(GenerateStream), so
+// the two are identical record for record; TestGenerateStreamMatchesGenerate
+// pins it.
+
+// StreamResult is a generated trace as a stream, plus the artefacts the
+// analyzers need.
+type StreamResult struct {
+	Config     Config
+	Stream     trace.Stream // time-sorted; latency fields zero
+	Population *Population
+	Tree       *namespace.Tree
+	Rhythm     *Rhythm
+	Planned    int // number of records the stream will yield
+}
+
+// GenerateStream synthesizes a trace as a record stream. It is
+// deterministic for a given Config and yields exactly the records
+// Generate would return, in the same order.
+func GenerateStream(cfg Config) (*StreamResult, error) {
+	if cfg.Scale <= 0 || cfg.Scale > 1 {
+		return nil, fmt.Errorf("workload: scale %v out of (0,1]", cfg.Scale)
+	}
+	if cfg.Days < 7 {
+		return nil, fmt.Errorf("workload: need at least 7 days, got %d", cfg.Days)
+	}
+	if cfg.Files < 1 || cfg.Users < 1 {
+		return nil, fmt.Errorf("workload: files (%d) and users (%d) must be positive", cfg.Files, cfg.Users)
+	}
+	if cfg.Start.IsZero() {
+		cfg.Start = trace.Epoch
+	}
+	master := rand.New(rand.NewSource(cfg.Seed))
+	treeRng := rand.New(rand.NewSource(master.Int63()))
+	popRng := rand.New(rand.NewSource(master.Int63()))
+	planRng := rand.New(rand.NewSource(master.Int63()))
+	errRng := rand.New(rand.NewSource(master.Int63()))
+	burstRng := rand.New(rand.NewSource(master.Int63()))
+
+	// Namespace scaled to keep the paper's ~6.3 files/directory.
+	nsCfg := namespace.DefaultConfig(1.0, treeRng.Int63())
+	nsCfg.Dirs = maxInt(1, cfg.Files*143245/PaperFiles)
+	nsCfg.Files = cfg.Files
+	if nsCfg.Dirs < nsCfg.MaxDepth+1 {
+		nsCfg.MaxDepth = maxInt(1, nsCfg.Dirs-1)
+	}
+	tree, err := namespace.Generate(nsCfg)
+	if err != nil {
+		return nil, fmt.Errorf("workload: namespace: %v", err)
+	}
+
+	pop := NewPopulation(cfg.Files, cfg.Users, popRng)
+	for i := range pop.Files {
+		tree.AddBytes(i, pop.Files[i].Size)
+	}
+	rhythm := NewRhythm(cfg.Start, cfg.Days, cfg.Holidays, cfg.ReadGrowth)
+
+	// Plan phase: file order, shared RNG, compact output. The sequence
+	// counter records eager emission order so the merge can reproduce a
+	// stable time sort.
+	g := &generator{cfg: cfg, rhythm: rhythm, tree: tree, pop: pop}
+	var seq int32
+	planned := 0
+	ms := &mergeStream{}
+	for i := range pop.Files {
+		f := &pop.Files[i]
+		accs := g.planFile(f, planRng, &seq)
+		if len(accs) == 0 {
+			continue
+		}
+		planned += len(accs)
+		// Stable per-file time sort; merge tie-breaks on seq, so the
+		// global order equals a stable sort of the eager emission order.
+		sort.SliceStable(accs, func(a, b int) bool { return accs[a].at.Before(accs[b].at) })
+		ms.cursors = append(ms.cursors, &fileCursor{
+			accs:  accs,
+			size:  f.Size,
+			mss:   tree.FilePath(f.ID),
+			local: fmt.Sprintf("/usr/tmp/u%d/f%d", f.Owner, f.ID),
+			uid:   f.Owner,
+		})
+	}
+	errs := g.buildErrors(errRng, planned)
+	planned += len(errs)
+	if len(errs) > 0 {
+		sort.SliceStable(errs, func(a, b int) bool { return errs[a].Start.Before(errs[b].Start) })
+		// Error records were emitted after every file record, so their
+		// sequence numbers all rank behind the file cursors' on ties.
+		ms.cursors = append(ms.cursors, &errCursor{recs: errs, baseSeq: seq})
+	}
+	heap.Init(ms)
+
+	var s trace.Stream = ms
+	if cfg.Bursts {
+		s = &burstStream{src: ms, rng: burstRng}
+	}
+	return &StreamResult{Config: cfg, Stream: s, Population: pop, Tree: tree,
+		Rhythm: rhythm, Planned: planned}, nil
+}
+
+// cursor is one sorted run feeding the merge: a file's planned accesses
+// or the error-record run.
+type cursor interface {
+	empty() bool
+	at() time.Time
+	seq() int32
+	pop() trace.Record
+}
+
+// fileCursor assembles records lazily from one file's planned accesses.
+type fileCursor struct {
+	accs  []plannedAccess
+	i     int
+	size  units.Bytes
+	mss   string
+	local string
+	uid   uint32
+}
+
+func (c *fileCursor) empty() bool   { return c.i >= len(c.accs) }
+func (c *fileCursor) at() time.Time { return c.accs[c.i].at }
+func (c *fileCursor) seq() int32    { return c.accs[c.i].seq }
+
+func (c *fileCursor) pop() trace.Record {
+	pa := &c.accs[c.i]
+	c.i++
+	return trace.Record{
+		Start:     pa.at,
+		Op:        trace.Op(pa.op),
+		Device:    device.Class(pa.dev),
+		Size:      c.size,
+		MSSPath:   c.mss,
+		LocalPath: c.local,
+		UserID:    c.uid,
+	}
+}
+
+// errCursor yields the pre-built error records.
+type errCursor struct {
+	recs    []trace.Record
+	i       int
+	baseSeq int32
+}
+
+func (c *errCursor) empty() bool   { return c.i >= len(c.recs) }
+func (c *errCursor) at() time.Time { return c.recs[c.i].Start }
+func (c *errCursor) seq() int32    { return c.baseSeq + int32(c.i) }
+
+func (c *errCursor) pop() trace.Record {
+	r := c.recs[c.i]
+	c.i++
+	return r
+}
+
+// mergeStream is a k-way merge over per-file cursors, ordered by
+// (time, sequence) — exactly a stable time sort of the eager emission
+// order. It doubles as the heap it merges with.
+type mergeStream struct {
+	cursors []cursor
+}
+
+// Len, Less, Swap, Push and Pop implement heap.Interface.
+func (m *mergeStream) Len() int { return len(m.cursors) }
+
+func (m *mergeStream) Less(a, b int) bool {
+	ca, cb := m.cursors[a], m.cursors[b]
+	ta, tb := ca.at(), cb.at()
+	if !ta.Equal(tb) {
+		return ta.Before(tb)
+	}
+	return ca.seq() < cb.seq()
+}
+
+func (m *mergeStream) Swap(a, b int) { m.cursors[a], m.cursors[b] = m.cursors[b], m.cursors[a] }
+
+func (m *mergeStream) Push(x any) { m.cursors = append(m.cursors, x.(cursor)) }
+
+func (m *mergeStream) Pop() any {
+	c := m.cursors[len(m.cursors)-1]
+	m.cursors = m.cursors[:len(m.cursors)-1]
+	return c
+}
+
+// Next yields the globally next record.
+func (m *mergeStream) Next() (trace.Record, error) {
+	if len(m.cursors) == 0 {
+		return trace.Record{}, io.EOF
+	}
+	c := m.cursors[0]
+	rec := c.pop()
+	if c.empty() {
+		heap.Pop(m)
+	} else {
+		heap.Fix(m, 0)
+	}
+	return rec, nil
+}
+
+// burstStream rewrites within-hour second offsets so requests arrive in
+// sessions (Figure 7's knee: 90% of successive requests within 10
+// seconds), buffering one hour of records at a time. Hour-level rhythm is
+// untouched, and packed offsets stay inside the hour and in order, so the
+// output remains time-sorted.
+type burstStream struct {
+	src     trace.Stream
+	rng     *rand.Rand
+	buf     []trace.Record
+	i       int
+	pending trace.Record
+	hasPend bool
+	done    bool
+}
+
+// Next yields the next burst-packed record.
+func (b *burstStream) Next() (trace.Record, error) {
+	for {
+		if b.i < len(b.buf) {
+			r := b.buf[b.i]
+			b.i++
+			return r, nil
+		}
+		if b.done {
+			return trace.Record{}, io.EOF
+		}
+		if err := b.fill(); err != nil {
+			return trace.Record{}, err
+		}
+	}
+}
+
+// fill buffers the next hour's records and packs them into bursts.
+func (b *burstStream) fill() error {
+	b.buf = b.buf[:0]
+	b.i = 0
+	var hour time.Time
+	if b.hasPend {
+		b.buf = append(b.buf, b.pending)
+		b.hasPend = false
+		hour = b.pending.Start.Truncate(time.Hour)
+	}
+	for {
+		r, err := b.src.Next()
+		if err == io.EOF {
+			b.done = true
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if len(b.buf) == 0 {
+			hour = r.Start.Truncate(time.Hour)
+			b.buf = append(b.buf, r)
+			continue
+		}
+		if r.Start.Truncate(time.Hour).Equal(hour) {
+			b.buf = append(b.buf, r)
+			continue
+		}
+		b.pending = r
+		b.hasPend = true
+		break
+	}
+	if len(b.buf) > 1 {
+		packHour(b.buf, hour, b.rng, meanBurstLen, smallGapMean, smallGapFloor)
+	}
+	return nil
+}
