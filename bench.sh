@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# bench.sh — run the hot-path tentpole benchmarks and emit BENCH_PR3.json
+# (benchmark name → ns/op, B/op, allocs/op), so the performance
+# trajectory is tracked in-repo from PR 3 on. The committed
+# BENCH_PR3.json is a ≥5-iteration snapshot from the PR's own benching
+# box; CI regenerates one with BENCHTIME=1x as a smoke pass and uploads
+# it as an artifact — don't commit 1x numbers over the snapshot.
+#
+#   ./bench.sh            # 5 iterations per benchmark
+#   BENCHTIME=20x ./bench.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BENCHES='BenchmarkStreamAnalyze|BenchmarkPolicyComparison$|BenchmarkCoalescingSavings'
+OUT=BENCH_PR3.json
+
+raw=$(go test -run '^$' -bench "$BENCHES" -benchtime "${BENCHTIME:-5x}" -benchmem -count 1 .)
+echo "$raw"
+
+echo "$raw" | awk '
+BEGIN { printf "{\n" }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    ns = "null"; b = "null"; al = "null"
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "B/op")      b  = $(i-1)
+        if ($i == "allocs/op") al = $(i-1)
+    }
+    printf "%s  \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", sep, name, ns, b, al
+    sep = ",\n"
+}
+END { printf "\n}\n" }
+' > "$OUT"
+
+echo "wrote $OUT"

@@ -185,6 +185,7 @@ func BenchmarkStreamAnalyze(b *testing.B) {
 	// In-memory variants isolate the analysis itself from codec decode,
 	// showing the parallel sharding win on its own.
 	b.Run("inmem-slice", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			a := core.New(opts)
 			a.AddAll(p.Records)
@@ -192,6 +193,7 @@ func BenchmarkStreamAnalyze(b *testing.B) {
 		}
 	})
 	b.Run("inmem-stream", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rep, err := core.AnalyzeStream(core.StreamOptions{
 				Options: opts, Workers: workers, ShardDuration: shardDur},
@@ -454,9 +456,11 @@ func BenchmarkPeriodicityDetection(b *testing.B) {
 
 func BenchmarkCoalescingSavings(b *testing.B) {
 	p, _ := fixture(b)
+	b.ReportAllocs()
 	var frac float64
+	c := migration.NewCoalescer(nil)
 	for i := 0; i < b.N; i++ {
-		frac = migration.Coalesce(p.Records, DedupWindow).SavableFraction()
+		frac = c.Run(p.Records, DedupWindow).SavableFraction()
 	}
 	b.ReportMetric(100*frac, "savable%") // paper: ~33%
 }
@@ -475,6 +479,7 @@ func BenchmarkCoalescingWindowSweep(b *testing.B) {
 func BenchmarkPolicyComparison(b *testing.B) {
 	_, accs := fixture(b)
 	capacity := migration.TotalReferencedBytes(accs) / 50
+	b.ReportAllocs()
 	var stpMiss float64
 	for i := 0; i < b.N; i++ {
 		results, err := migration.ComparePolicies(accs, capacity, StandardPolicies(accs))

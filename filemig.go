@@ -25,6 +25,7 @@ package filemig
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"filemig/internal/core"
@@ -62,6 +63,24 @@ type Pipeline struct {
 	Records  []trace.Record // with simulated latencies unless SkipSimulation
 	Report   *core.Report
 	Sim      *mss.Simulator // nil when SkipSimulation
+
+	// interner is the pipeline's shared MSS-path table: every per-path
+	// consumer hanging off this Pipeline (Accesses, Coalesce) interns
+	// through it instead of rebuilding a private string map. internMu
+	// serialises those consumers — the Interner itself is not safe for
+	// concurrent use, and both methods were previously independent
+	// read-only passes over Records.
+	internMu sync.Mutex
+	interner *trace.Interner
+}
+
+// pathInterner lazily builds the shared path table; callers must hold
+// internMu for the whole time they use it.
+func (p *Pipeline) pathInterner() *trace.Interner {
+	if p.interner == nil {
+		p.interner = trace.NewInterner()
+	}
+	return p.interner
 }
 
 // workloadConfig maps the facade Config onto the generator's, applying
@@ -147,15 +166,21 @@ func RunStream(cfg StreamConfig) (*core.Report, error) {
 }
 
 // Accesses converts the pipeline's records into the migration
-// simulator's access string.
+// simulator's access string, through the pipeline's shared interner.
+// Safe for concurrent use with Coalesce.
 func (p *Pipeline) Accesses() []migration.Access {
-	return migration.AccessesFromRecords(p.Records)
+	p.internMu.Lock()
+	defer p.internMu.Unlock()
+	return migration.AccessesFromRecordsInterned(p.pathInterner(), p.Records)
 }
 
 // Coalesce runs the §6 request-coalescing analysis at the paper's
-// eight-hour window.
+// eight-hour window, through the pipeline's shared interner. Safe for
+// concurrent use with Accesses.
 func (p *Pipeline) Coalesce() migration.CoalesceResult {
-	return migration.Coalesce(p.Records, workload.DedupWindow)
+	p.internMu.Lock()
+	defer p.internMu.Unlock()
+	return migration.NewCoalescer(p.pathInterner()).Run(p.Records, workload.DedupWindow)
 }
 
 // StandardPolicies returns the paper-relevant online policy set plus the

@@ -53,21 +53,29 @@ type Options struct {
 // accumulator below is either an exact integer sum, a sample list whose
 // queries are order-insensitive, or per-file state replayed in record
 // order at merge time.
+//
+// The per-record hot path is flat: the op×class accumulators are fixed
+// arrays indexed by (op index, device class), and per-file state lives in
+// a FileID-indexed slice arena behind a trace.Interner rather than a
+// string-keyed map of pointers, so a record's file lookup is one interner
+// probe and the rest of Add touches only dense array slots.
 type Analysis struct {
 	opts  Options
 	start time.Time
 	days  int
 
-	// Table 3 accumulators: [op][device class]. Bytes are summed as
-	// integers (exact, order-independent); latency as (count, µs-sum).
-	refs    map[trace.Op]map[device.Class]int64
-	bytes   map[trace.Op]map[device.Class]int64
-	latency map[trace.Op]map[device.Class]*latencyAgg
+	// Table 3 accumulators: [op index][device class]. Bytes are summed as
+	// integers (exact, order-independent); latency as (count, µs-sum)
+	// cells held inline — no per-cell allocation.
+	refs    [2][device.NClasses]int64
+	bytes   [2][device.NClasses]int64
+	latency [2][device.NClasses]latencyAgg
 	errors  int64
 	total   int64
 
-	// Figure 3: latency to first byte per device.
-	latCDF map[device.Class]*stats.CDF
+	// Figure 3: latency to first byte per device class; nil until the
+	// class shows a positive startup latency.
+	latCDF [device.NClasses]*stats.CDF
 
 	// Figures 4-6: calendar series, raw bytes and request counts; the
 	// GB conversions happen once, at Report time.
@@ -82,12 +90,38 @@ type Analysis struct {
 	lastStart time.Time
 	interCDF  *stats.CDF
 
-	// Part two: per-file state (keyed by MSS path).
-	files map[string]*fileState
+	// Part two: per-file state in a FileID-indexed arena. The interner
+	// assigns dense IDs in first-seen record order, which also fixes the
+	// (deterministic) iteration order of every per-file report loop.
+	interner *trace.Interner
+	files    []fileState
 
-	// Figure 10: dynamic size distributions.
-	dynFiles map[trace.Op]*stats.CDF
-	dynBytes map[trace.Op]*stats.WeightedCDF
+	// Figure 9: interreference gaps, appended in record order as each
+	// surviving access closes one — per-file gap lists are never stored.
+	gapCDF *stats.CDF
+
+	// Figure 10: dynamic size distributions, [op index].
+	dynFiles [2]*stats.CDF
+	dynBytes [2]*stats.WeightedCDF
+}
+
+// opIndex collapses the two transfer directions onto array indices 0
+// (read) and 1 (write).
+func opIndex(op trace.Op) int {
+	if op == trace.Write {
+		return 1
+	}
+	return 0
+}
+
+// classIndex maps a device class onto its accumulator slot; classes
+// outside the known range share the ClassUnknown slot rather than
+// corrupting memory on malformed records.
+func classIndex(c device.Class) int {
+	if i := int(c); i >= 0 && i < device.NClasses {
+		return i
+	}
+	return int(device.ClassUnknown)
 }
 
 // latencyAgg accumulates a mean latency exactly: an integer microsecond
@@ -102,6 +136,8 @@ func (l *latencyAgg) meanSeconds() float64 {
 	return float64(l.micros) / float64(l.n) / 1e6
 }
 
+// fileState is one file's part-two accumulator, held inline in the
+// FileID-indexed arena — fixed size, no per-file heap pointers.
 type fileState struct {
 	size      units.Bytes
 	reads     int64
@@ -109,7 +145,6 @@ type fileState struct {
 	lastRead  time.Time
 	lastWrite time.Time
 	lastDedup time.Time // last access surviving dedup, either op
-	gaps      []float64 // interreference intervals in days (deduped)
 	everRead  bool
 	everWrite bool
 }
@@ -119,24 +154,15 @@ func New(opts Options) *Analysis {
 	if opts.DedupWindow == 0 {
 		opts.DedupWindow = workload.DedupWindow
 	}
-	a := &Analysis{
+	return &Analysis{
 		opts:      opts,
-		refs:      map[trace.Op]map[device.Class]int64{},
-		bytes:     map[trace.Op]map[device.Class]int64{},
-		latency:   map[trace.Op]map[device.Class]*latencyAgg{},
-		latCDF:    map[device.Class]*stats.CDF{},
 		weekBytes: map[int][2]int64{},
 		interCDF:  &stats.CDF{},
-		files:     map[string]*fileState{},
-		dynFiles:  map[trace.Op]*stats.CDF{trace.Read: {}, trace.Write: {}},
-		dynBytes:  map[trace.Op]*stats.WeightedCDF{trace.Read: {}, trace.Write: {}},
+		interner:  trace.NewInterner(),
+		gapCDF:    &stats.CDF{},
+		dynFiles:  [2]*stats.CDF{{}, {}},
+		dynBytes:  [2]*stats.WeightedCDF{{}, {}},
 	}
-	for _, op := range []trace.Op{trace.Read, trace.Write} {
-		a.refs[op] = map[device.Class]int64{}
-		a.bytes[op] = map[device.Class]int64{}
-		a.latency[op] = map[device.Class]*latencyAgg{}
-	}
-	return a
 }
 
 // Add feeds one record. Records must arrive in non-decreasing start order.
@@ -171,35 +197,26 @@ func (a *Analysis) addShared(r *trace.Record) bool {
 	if day+1 > a.days {
 		a.days = day + 1
 	}
+	opIdx, cls := opIndex(r.Op), classIndex(r.Device)
 
 	// Table 3.
-	a.refs[r.Op][r.Device]++
-	a.bytes[r.Op][r.Device] += int64(r.Size)
+	a.refs[opIdx][cls]++
+	a.bytes[opIdx][cls] += int64(r.Size)
 	if r.Startup > 0 {
-		l := a.latency[r.Op][r.Device]
-		if l == nil {
-			l = &latencyAgg{}
-			a.latency[r.Op][r.Device] = l
-		}
+		l := &a.latency[opIdx][cls]
 		l.n++
 		l.micros += int64(r.Startup / time.Microsecond)
-	}
 
-	// Figure 3.
-	if r.Startup > 0 {
-		c := a.latCDF[r.Device]
+		// Figure 3.
+		c := a.latCDF[cls]
 		if c == nil {
 			c = &stats.CDF{}
-			a.latCDF[r.Device] = c
+			a.latCDF[cls] = c
 		}
 		c.Add(r.Startup.Seconds())
 	}
 
 	// Figures 4-6.
-	opIdx := 0
-	if r.Op == trace.Write {
-		opIdx = 1
-	}
 	a.hourBytes[r.Start.Hour()][opIdx] += int64(r.Size)
 	a.hourCount[r.Start.Hour()][opIdx]++
 	a.dayBytes[int(r.Start.Weekday())][opIdx] += int64(r.Size)
@@ -222,8 +239,8 @@ func (a *Analysis) addShared(r *trace.Record) bool {
 	}
 
 	// Figure 10 (dynamic sizes): every access counts.
-	a.dynFiles[r.Op].Add(float64(r.Size))
-	a.dynBytes[r.Op].Add(float64(r.Size), float64(r.Size))
+	a.dynFiles[opIdx].Add(float64(r.Size))
+	a.dynBytes[opIdx].Add(float64(r.Size), float64(r.Size))
 	return true
 }
 
@@ -239,13 +256,15 @@ func (a *Analysis) addInterval(start time.Time) {
 // addFileAccess advances one file's part-two state (reference counts,
 // interreference gaps) under the §5.3 dedup rule. Dedup depends only on
 // the file's own access history in time order, which is what lets the
-// shard merge replay each shard's accesses through this same method.
+// shard merge replay each shard's accesses through this same method. The
+// file is resolved through the interner: a known path costs one map
+// probe, a new one extends the arena by a single inline slot.
 func (a *Analysis) addFileAccess(path string, op trace.Op, start time.Time, size units.Bytes) {
-	f := a.files[path]
-	if f == nil {
-		f = &fileState{}
-		a.files[path] = f
+	id := a.interner.Intern(path)
+	if int(id) == len(a.files) {
+		a.files = append(a.files, fileState{})
 	}
+	f := &a.files[id]
 	f.size = size
 	survives := false
 	if op == trace.Read {
@@ -265,7 +284,7 @@ func (a *Analysis) addFileAccess(path string, op trace.Op, start time.Time, size
 	}
 	if survives {
 		if !f.lastDedup.IsZero() {
-			f.gaps = append(f.gaps, start.Sub(f.lastDedup).Hours()/24)
+			a.gapCDF.Add(start.Sub(f.lastDedup).Hours() / 24)
 		}
 		f.lastDedup = start
 	}
@@ -278,15 +297,8 @@ func (a *Analysis) AddAll(recs []trace.Record) {
 	}
 }
 
-// dirOf extracts the directory of an MSS path.
-func dirOf(path string) string {
-	if i := strings.LastIndexByte(path, '/'); i > 0 {
-		return path[:i]
-	}
-	return "/"
-}
-
-// depthOf counts path components below the root.
+// depthOf counts path components below the root. (Directory derivation
+// itself lives in trace.Interner, the single copy of that rule.)
 func depthOf(path string) int {
 	return strings.Count(path, "/")
 }

@@ -418,12 +418,6 @@ func TestRenderersProduceOutput(t *testing.T) {
 }
 
 func TestDirDepthHelpers(t *testing.T) {
-	if dirOf("/mss/a/b/f1") != "/mss/a/b" {
-		t.Errorf("dirOf = %q", dirOf("/mss/a/b/f1"))
-	}
-	if dirOf("f") != "/" {
-		t.Errorf("dirOf bare = %q", dirOf("f"))
-	}
 	if depthOf("/mss/a/b/f1") != 4 {
 		t.Errorf("depthOf = %d", depthOf("/mss/a/b/f1"))
 	}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"filemig/internal/device"
+	"filemig/internal/stats"
+	"filemig/internal/trace"
+	"filemig/internal/units"
+	"filemig/internal/workload"
+)
+
+// This file pins the interner refactor: the FileID-indexed arena and the
+// enum-indexed op×class accumulators must render byte-identically to the
+// historical string-keyed path. The reference implementation below keeps
+// the old shapes — map[string]*state for files, nested op→class maps for
+// Table 3, per-dir string maps for Table 4/Figure 12 — and feeds the same
+// Report structs through the same renderers.
+
+// refAnalysis is the pre-interner accumulator layout.
+type refAnalysis struct {
+	window  time.Duration
+	refs    map[trace.Op]map[device.Class]int64
+	bytes   map[trace.Op]map[device.Class]int64
+	latN    map[trace.Op]map[device.Class]int64
+	latUS   map[trace.Op]map[device.Class]int64
+	errors  int64
+	total   int64
+	files   map[string]*refFileState
+	order   []string // first-seen order, so sample insertion mirrors records
+	gapsCDF *stats.CDF
+}
+
+type refFileState struct {
+	size                units.Bytes
+	reads, writes       int64
+	lastRead, lastWrite time.Time
+	lastDedup           time.Time
+	everRead, everWrite bool
+}
+
+func newRefAnalysis(window time.Duration) *refAnalysis {
+	a := &refAnalysis{
+		window:  window,
+		refs:    map[trace.Op]map[device.Class]int64{},
+		bytes:   map[trace.Op]map[device.Class]int64{},
+		latN:    map[trace.Op]map[device.Class]int64{},
+		latUS:   map[trace.Op]map[device.Class]int64{},
+		files:   map[string]*refFileState{},
+		gapsCDF: &stats.CDF{},
+	}
+	for _, op := range []trace.Op{trace.Read, trace.Write} {
+		a.refs[op] = map[device.Class]int64{}
+		a.bytes[op] = map[device.Class]int64{}
+		a.latN[op] = map[device.Class]int64{}
+		a.latUS[op] = map[device.Class]int64{}
+	}
+	return a
+}
+
+func (a *refAnalysis) add(r *trace.Record) {
+	a.total++
+	if !r.OK() {
+		a.errors++
+		return
+	}
+	a.refs[r.Op][r.Device]++
+	a.bytes[r.Op][r.Device] += int64(r.Size)
+	if r.Startup > 0 {
+		a.latN[r.Op][r.Device]++
+		a.latUS[r.Op][r.Device] += int64(r.Startup / time.Microsecond)
+	}
+	f := a.files[r.MSSPath]
+	if f == nil {
+		f = &refFileState{}
+		a.files[r.MSSPath] = f
+		a.order = append(a.order, r.MSSPath)
+	}
+	f.size = r.Size
+	survives := false
+	if r.Op == trace.Read {
+		if !f.everRead || r.Start.Sub(f.lastRead) >= a.window {
+			f.reads++
+			f.lastRead = r.Start
+			f.everRead = true
+			survives = true
+		}
+	} else {
+		if !f.everWrite || r.Start.Sub(f.lastWrite) >= a.window {
+			f.writes++
+			f.lastWrite = r.Start
+			f.everWrite = true
+			survives = true
+		}
+	}
+	if survives {
+		if !f.lastDedup.IsZero() {
+			a.gapsCDF.Add(r.Start.Sub(f.lastDedup).Hours() / 24)
+		}
+		f.lastDedup = r.Start
+	}
+}
+
+func (a *refAnalysis) table3() Table3 {
+	t := Table3{Cells: map[trace.Op]map[device.Class]Cell{}, ErrorRefs: a.errors, GrandTotal: a.total}
+	for _, op := range []trace.Op{trace.Read, trace.Write} {
+		t.Cells[op] = map[device.Class]Cell{}
+		for _, dev := range RefDevices {
+			c := Cell{Refs: a.refs[op][dev], Bytes: units.Bytes(a.bytes[op][dev])}
+			if n := a.latN[op][dev]; n > 0 {
+				c.MeanLatency = units.DurationSeconds(float64(a.latUS[op][dev]) / float64(n) / 1e6)
+			}
+			t.Cells[op][dev] = c
+			t.TotalRefs += c.Refs
+		}
+	}
+	return t
+}
+
+func (a *refAnalysis) fileFigures() (Figure8, *stats.CDF, Figure11, Table4, Figure12) {
+	f8 := Figure8{Reads: &stats.CDF{}, Writes: &stats.CDF{}, Total: &stats.CDF{}}
+	f11 := Figure11{Files: &stats.CDF{}, Data: &stats.WeightedCDF{}}
+	type dirAgg struct {
+		files int64
+		bytes units.Bytes
+	}
+	dirs := map[string]*dirAgg{}
+	var dirOrder []string
+	var total units.Bytes
+	maxDepth := 0
+	var zeroRead, oneRead, zeroWrite, oneWrite, once, twice, w1r0, over10, neverReread int64
+	for _, path := range a.order {
+		f := a.files[path]
+		f8.Files++
+		f8.Reads.Add(float64(f.reads))
+		f8.Writes.Add(float64(f.writes))
+		tot := f.reads + f.writes
+		f8.Total.Add(float64(tot))
+		switch f.reads {
+		case 0:
+			zeroRead++
+		case 1:
+			oneRead++
+		}
+		switch f.writes {
+		case 0:
+			zeroWrite++
+		case 1:
+			oneWrite++
+		}
+		if tot == 1 {
+			once++
+		}
+		if tot == 2 {
+			twice++
+		}
+		if f.writes == 1 && f.reads == 0 {
+			w1r0++
+		}
+		if tot > 10 {
+			over10++
+		}
+		s := float64(f.size)
+		f11.Files.Add(s)
+		f11.Data.Add(s, s)
+		d := "/"
+		if i := strings.LastIndexByte(path, '/'); i > 0 {
+			d = path[:i]
+		}
+		agg := dirs[d]
+		if agg == nil {
+			agg = &dirAgg{}
+			dirs[d] = agg
+			dirOrder = append(dirOrder, d)
+		}
+		agg.files++
+		agg.bytes += f.size
+		total += f.size
+		if dep := strings.Count(path, "/"); dep > maxDepth {
+			maxDepth = dep
+		}
+		if f.reads == 0 && f.writes <= 1 {
+			neverReread++
+		}
+	}
+	if f8.Files > 0 {
+		n := float64(f8.Files)
+		f8.ZeroReadFrac = float64(zeroRead) / n
+		f8.OneReadFrac = float64(oneRead) / n
+		f8.ZeroWriteFrac = float64(zeroWrite) / n
+		f8.OneWriteFrac = float64(oneWrite) / n
+		f8.ExactlyOnceFrac = float64(once) / n
+		f8.ExactlyTwiceFrac = float64(twice) / n
+		f8.WriteOnceNeverReadFrac = float64(w1r0) / n
+		f8.MoreThanTenFrac = float64(over10) / n
+	}
+	t4 := Table4{
+		NumFiles:  f8.Files,
+		NumDirs:   int64(len(dirs)),
+		MaxDepth:  maxDepth,
+		TotalData: total,
+	}
+	if t4.NumFiles > 0 {
+		t4.AvgFileSize = total / units.Bytes(t4.NumFiles)
+		t4.NeverReread = float64(neverReread) / float64(t4.NumFiles)
+	}
+	f12 := Figure12{Dirs: &stats.WeightedCDF{}, Files: &stats.WeightedCDF{}, Data: &stats.WeightedCDF{}}
+	for _, d := range dirOrder {
+		agg := dirs[d]
+		n := float64(agg.files)
+		if agg.files > t4.LargestDir {
+			t4.LargestDir = agg.files
+		}
+		f12.Dirs.Add(n, 1)
+		f12.Files.Add(n, n)
+		f12.Data.Add(n, float64(agg.bytes))
+	}
+	return f8, a.gapsCDF, f11, t4, f12
+}
+
+// TestInternerEquivalence feeds a generated trace through the interned
+// Analysis and through the string-keyed reference, then compares the
+// rendered output of every table and figure the refactor touched.
+func TestInternerEquivalence(t *testing.T) {
+	res := streamFixture(t)
+
+	a := New(Options{Start: res.Config.Start, Days: res.Config.Days})
+	a.AddAll(res.Records)
+	rep := a.Report()
+
+	ref := newRefAnalysis(workload.DedupWindow)
+	for i := range res.Records {
+		ref.add(&res.Records[i])
+	}
+	refT3 := ref.table3()
+	refF8, refF9, refF11, refT4, refF12 := ref.fileFigures()
+
+	compare := func(name, got, want string) {
+		t.Helper()
+		if got != want {
+			t.Errorf("%s diverged from string-keyed reference:\n%s", name, firstDiff(want, got))
+		}
+	}
+	compare("Table3", RenderTable3(rep.Table3), RenderTable3(refT3))
+	compare("Table4", RenderTable4(rep.Table4), RenderTable4(refT4))
+	compare("Figure8", RenderFigure8(rep.Figure8), RenderFigure8(refF8))
+	compare("Figure9", RenderFigure9(rep.Figure9), RenderFigure9(refF9))
+	compare("Figure11", RenderFigure11(rep.Figure11), RenderFigure11(refF11))
+	compare("Figure12", RenderFigure12(rep.Figure12), RenderFigure12(refF12))
+}
+
+// TestInternerEquivalenceSynthetic exercises the corner cases the
+// generator's path population misses: root-level files, deep nesting,
+// shared directories first seen via their second file, and an unknown
+// device class landing in the shared fallback slot.
+func TestInternerEquivalenceSynthetic(t *testing.T) {
+	base := time.Date(1990, time.October, 1, 0, 0, 0, 0, time.UTC)
+	mk := func(i int, path string, op trace.Op, dev device.Class, size units.Bytes) trace.Record {
+		return trace.Record{
+			Start: base.Add(time.Duration(i) * 90 * time.Minute), Op: op, Device: dev,
+			Startup: time.Duration(1+i%7) * time.Second, Transfer: time.Second,
+			Size: size, MSSPath: path, LocalPath: "/tmp/x", UserID: 7,
+		}
+	}
+	recs := []trace.Record{
+		mk(0, "/rootfile", trace.Write, device.ClassDisk, 100),
+		mk(1, "/a/b/c/deep", trace.Write, device.ClassSiloTape, 2e6),
+		mk(2, "/a/b/other", trace.Read, device.ClassManualTape, 5e5),
+		mk(3, "/a/b/c/deep", trace.Read, device.ClassSiloTape, 2e6),
+		mk(4, "/rootfile", trace.Read, device.ClassDisk, 100),
+		mk(5, "/a/b/c/deep", trace.Read, device.Class(99), 2e6), // fallback slot
+		mk(6, "/z", trace.Write, device.ClassOptical, 42),
+		mk(7, "/a/b/other", trace.Read, device.ClassManualTape, 5e5),
+		mk(8, "/a/b/c/deep", trace.Read, device.ClassSiloTape, 3e6), // size update
+	}
+	recs[3].Err = trace.ErrMedia // error reference: excluded everywhere
+
+	a := New(Options{})
+	a.AddAll(recs)
+	rep := a.Report()
+
+	ref := newRefAnalysis(workload.DedupWindow)
+	for i := range recs {
+		ref.add(&recs[i])
+	}
+	refT3 := ref.table3()
+	refF8, refF9, refF11, refT4, refF12 := ref.fileFigures()
+
+	for _, c := range []struct{ name, got, want string }{
+		{"Table3", RenderTable3(rep.Table3), RenderTable3(refT3)},
+		{"Table4", RenderTable4(rep.Table4), RenderTable4(refT4)},
+		{"Figure8", RenderFigure8(rep.Figure8), RenderFigure8(refF8)},
+		{"Figure9", RenderFigure9(rep.Figure9), RenderFigure9(refF9)},
+		{"Figure11", RenderFigure11(rep.Figure11), RenderFigure11(refF11)},
+		{"Figure12", RenderFigure12(rep.Figure12), RenderFigure12(refF12)},
+	} {
+		if c.got != c.want {
+			t.Errorf("%s diverged from string-keyed reference:\n%s", c.name, firstDiff(c.want, c.got))
+		}
+	}
+}

@@ -226,8 +226,14 @@ type Figure12 struct {
 
 // Report finalises the analysis.
 func (a *Analysis) Report() *Report {
+	fig3 := make(map[device.Class]*stats.CDF, device.NClasses)
+	for cls, c := range a.latCDF {
+		if c != nil {
+			fig3[device.Class(cls)] = c
+		}
+	}
 	r := &Report{
-		Figure3:        a.latCDF,
+		Figure3:        fig3,
 		Figure7:        a.interCDF,
 		HourlyRequests: a.hourlyReqs,
 		HourlyReads:    a.hourlyRead,
@@ -240,10 +246,10 @@ func (a *Analysis) Report() *Report {
 	r.Figure6 = a.buildFigure6()
 	r.Figure8, r.Figure9 = a.buildFileFigures()
 	r.Figure10 = Figure10{
-		FilesRead:    a.dynFiles[trace.Read],
-		FilesWritten: a.dynFiles[trace.Write],
-		DataRead:     a.dynBytes[trace.Read],
-		DataWritten:  a.dynBytes[trace.Write],
+		FilesRead:    a.dynFiles[opIndex(trace.Read)],
+		FilesWritten: a.dynFiles[opIndex(trace.Write)],
+		DataRead:     a.dynBytes[opIndex(trace.Read)],
+		DataWritten:  a.dynBytes[opIndex(trace.Write)],
 	}
 	r.Figure11 = a.buildFigure11()
 	return r
@@ -264,10 +270,12 @@ func gb(b int64) float64 { return float64(b) / float64(units.GB) }
 func (a *Analysis) buildTable3() Table3 {
 	t := Table3{Cells: map[trace.Op]map[device.Class]Cell{}, ErrorRefs: a.errors, GrandTotal: a.total}
 	for _, op := range []trace.Op{trace.Read, trace.Write} {
+		oi := opIndex(op)
 		t.Cells[op] = map[device.Class]Cell{}
 		for _, dev := range RefDevices {
-			c := Cell{Refs: a.refs[op][dev], Bytes: units.Bytes(a.bytes[op][dev])}
-			if l := a.latency[op][dev]; l != nil && l.n > 0 {
+			ci := classIndex(dev)
+			c := Cell{Refs: a.refs[oi][ci], Bytes: units.Bytes(a.bytes[oi][ci])}
+			if l := &a.latency[oi][ci]; l.n > 0 {
 				c.MeanLatency = units.DurationSeconds(l.meanSeconds())
 			}
 			t.Cells[op][dev] = c
@@ -310,9 +318,9 @@ func (a *Analysis) buildFigure6() Figure6 {
 
 func (a *Analysis) buildFileFigures() (Figure8, *stats.CDF) {
 	f8 := Figure8{Reads: &stats.CDF{}, Writes: &stats.CDF{}, Total: &stats.CDF{}}
-	gaps := &stats.CDF{}
 	var zeroRead, oneRead, zeroWrite, oneWrite, once, twice, w1r0, over10 int64
-	for _, f := range a.files {
+	for i := range a.files {
+		f := &a.files[i]
 		f8.Files++
 		f8.Reads.Add(float64(f.reads))
 		f8.Writes.Add(float64(f.writes))
@@ -342,9 +350,6 @@ func (a *Analysis) buildFileFigures() (Figure8, *stats.CDF) {
 		if total > 10 {
 			over10++
 		}
-		for _, g := range f.gaps {
-			gaps.Add(g)
-		}
 	}
 	if f8.Files > 0 {
 		n := float64(f8.Files)
@@ -357,13 +362,13 @@ func (a *Analysis) buildFileFigures() (Figure8, *stats.CDF) {
 		f8.WriteOnceNeverReadFrac = float64(w1r0) / n
 		f8.MoreThanTenFrac = float64(over10) / n
 	}
-	return f8, gaps
+	return f8, a.gapCDF
 }
 
 func (a *Analysis) buildFigure11() Figure11 {
 	f := Figure11{Files: &stats.CDF{}, Data: &stats.WeightedCDF{}}
-	for _, st := range a.files {
-		s := float64(st.size)
+	for i := range a.files {
+		s := float64(a.files[i].size)
 		f.Files.Add(s)
 		f.Data.Add(s, s)
 	}
@@ -375,21 +380,19 @@ func (a *Analysis) buildFileStore() (Table4, Figure12) {
 		files int64
 		bytes units.Bytes
 	}
-	dirs := map[string]*dirAgg{}
+	// Every interned directory has at least one interned file, so the
+	// DirID-indexed slice plays the role of the old dir-keyed map.
+	dirs := make([]dirAgg, a.interner.NumDirs())
 	var total units.Bytes
 	maxDepth := 0
 	var neverReread int64
-	for path, st := range a.files {
-		d := dirOf(path)
-		agg := dirs[d]
-		if agg == nil {
-			agg = &dirAgg{}
-			dirs[d] = agg
-		}
+	for i := range a.files {
+		st := &a.files[i]
+		agg := &dirs[a.interner.Dir(trace.FileID(i))]
 		agg.files++
 		agg.bytes += st.size
 		total += st.size
-		if dep := depthOf(path); dep > maxDepth {
+		if dep := depthOf(a.interner.Path(trace.FileID(i))); dep > maxDepth {
 			maxDepth = dep
 		}
 		// §5.4: metadata describing files never accessed again — here,
@@ -419,7 +422,8 @@ func (a *Analysis) buildFileStore() (Table4, Figure12) {
 		f12.Dirs, f12.Files, f12.Data = treeDirs, treeFiles, treeData
 		return t4, f12
 	}
-	for _, agg := range dirs {
+	for i := range dirs {
+		agg := &dirs[i]
 		n := float64(agg.files)
 		if agg.files > t4.LargestDir {
 			t4.LargestDir = agg.files

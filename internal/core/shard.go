@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"filemig/internal/device"
 	"filemig/internal/stats"
 	"filemig/internal/trace"
 )
@@ -98,30 +99,24 @@ func (a *Analysis) merge(sh *shardAccum) {
 	if sub.days > a.days {
 		a.days = sub.days
 	}
-	for _, op := range []trace.Op{trace.Read, trace.Write} {
-		for dev, n := range sub.refs[op] {
-			a.refs[op][dev] += n
+	for oi := 0; oi < 2; oi++ {
+		for ci := 0; ci < device.NClasses; ci++ {
+			a.refs[oi][ci] += sub.refs[oi][ci]
+			a.bytes[oi][ci] += sub.bytes[oi][ci]
+			a.latency[oi][ci].n += sub.latency[oi][ci].n
+			a.latency[oi][ci].micros += sub.latency[oi][ci].micros
 		}
-		for dev, n := range sub.bytes[op] {
-			a.bytes[op][dev] += n
-		}
-		for dev, l := range sub.latency[op] {
-			m := a.latency[op][dev]
-			if m == nil {
-				m = &latencyAgg{}
-				a.latency[op][dev] = m
-			}
-			m.n += l.n
-			m.micros += l.micros
-		}
-		a.dynFiles[op].Merge(sub.dynFiles[op])
-		a.dynBytes[op].Merge(sub.dynBytes[op])
+		a.dynFiles[oi].Merge(sub.dynFiles[oi])
+		a.dynBytes[oi].Merge(sub.dynBytes[oi])
 	}
-	for dev, c := range sub.latCDF {
-		m := a.latCDF[dev]
+	for ci, c := range sub.latCDF {
+		if c == nil {
+			continue
+		}
+		m := a.latCDF[ci]
 		if m == nil {
 			m = &stats.CDF{}
-			a.latCDF[dev] = m
+			a.latCDF[ci] = m
 		}
 		m.Merge(c)
 	}

@@ -31,6 +31,11 @@ const (
 	ClassOptical          // optical disk jukebox
 )
 
+// NClasses is the number of storage classes, sized so a [NClasses]T array
+// can be indexed directly by Class — the dense-accumulator layout the
+// per-record analysis hot path uses instead of nested maps.
+const NClasses = int(ClassOptical) + 1
+
 var classNames = map[Class]string{
 	ClassUnknown:    "unknown",
 	ClassSSD:        "ssd",
@@ -48,14 +53,30 @@ func (c Class) String() string {
 	return fmt.Sprintf("class(%d)", int(c))
 }
 
+// classByName inverts classNames; built once so ParseClass and
+// ParseClassBytes share one source of truth with String.
+var classByName = func() map[string]Class {
+	m := make(map[string]Class, len(classNames))
+	for c, n := range classNames {
+		m[n] = c
+	}
+	return m
+}()
+
 // ParseClass inverts String.
 func ParseClass(s string) (Class, error) {
-	for c, n := range classNames {
-		if n == s {
-			return c, nil
-		}
+	if c, ok := classByName[s]; ok {
+		return c, nil
 	}
 	return ClassUnknown, fmt.Errorf("device: unknown class %q", s)
+}
+
+// ParseClassBytes is ParseClass for a byte-slice key on a hot decode
+// path: the map probe does not allocate, and the boolean result spares
+// the caller an error value it would rebuild anyway.
+func ParseClassBytes(b []byte) (Class, bool) {
+	c, ok := classByName[string(b)] // no-alloc map lookup
+	return c, ok
 }
 
 // Profile holds the physical parameters of one device type. Rates are in

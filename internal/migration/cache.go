@@ -4,7 +4,6 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
-	"strings"
 	"time"
 
 	"filemig/internal/trace"
@@ -12,7 +11,11 @@ import (
 )
 
 // Access is one reference in the replayed string: the inputs the cache
-// simulator and the offline policies need.
+// simulator and the offline policies need. FileID and DirID must be the
+// dense non-negative identifiers AccessesFromRecords assigns — every
+// replay structure is a FileID-indexed slice, so a negative ID is a
+// programming error (the simulators reject it loudly rather than
+// corrupting an index).
 type Access struct {
 	Time   time.Time
 	FileID int
@@ -23,36 +26,35 @@ type Access struct {
 
 // AccessesFromRecords converts trace records (time-sorted, errors skipped)
 // into an access string, assigning dense file IDs by MSS path and
-// directory IDs by the path's directory prefix.
+// directory IDs by the path's directory prefix. Directory derivation is
+// the interner's, shared with the core analysis: a root-level file lives
+// in "/" (historically this builder gave each root file a singleton
+// directory named after itself; generated traces have no root files, so
+// only hand-built ones can observe the unification).
 func AccessesFromRecords(recs []trace.Record) []Access {
-	fileIDs := map[string]int{}
-	dirIDs := map[string]int{}
+	return AccessesFromRecordsInterned(trace.NewInterner(), recs)
+}
+
+// AccessesFromRecordsInterned is AccessesFromRecords through a caller-
+// supplied interner, so several conversions (or a conversion and other
+// per-path state) share one path table instead of each building its own.
+// File and directory IDs are the interner's: passing a fresh interner
+// reproduces AccessesFromRecords' historical first-seen numbering, while
+// a pre-warmed interner keeps IDs stable across calls.
+func AccessesFromRecordsInterned(in *trace.Interner, recs []trace.Record) []Access {
 	out := make([]Access, 0, len(recs))
 	for i := range recs {
 		r := &recs[i]
 		if !r.OK() {
 			continue
 		}
-		id, ok := fileIDs[r.MSSPath]
-		if !ok {
-			id = len(fileIDs)
-			fileIDs[r.MSSPath] = id
-		}
-		dir := r.MSSPath
-		if j := strings.LastIndexByte(dir, '/'); j > 0 {
-			dir = dir[:j]
-		}
-		did, ok := dirIDs[dir]
-		if !ok {
-			did = len(dirIDs)
-			dirIDs[dir] = did
-		}
+		id := in.Intern(r.MSSPath)
 		out = append(out, Access{
 			Time:   r.Start,
-			FileID: id,
+			FileID: int(id),
 			Size:   r.Size,
 			Write:  r.Op == trace.Write,
-			DirID:  did,
+			DirID:  int(in.Dir(id)),
 		})
 	}
 	return out
@@ -162,33 +164,26 @@ func (h *evictHeap) Pop() any {
 // Cache is the migration simulator: a finite staging disk in front of the
 // tape archive, replaying an access string under a policy.
 //
-// Victim selection is O(log R) when the policy implements KeyedPolicy
-// (its order is maintained in an indexed heap, updated on insert and
-// touch); otherwise each eviction scans the residents in ascending file
-// ID order, so rank-crossing policies stay correct and deterministic.
+// Residency is a FileID-indexed slice (the access-string builder hands
+// out dense IDs), so the per-access lookup is one bounds check and one
+// load; evicted residentFile slots are recycled through a free list, so
+// a steady-state replay allocates nothing per access. Victim selection
+// is O(log R) when the policy implements KeyedPolicy (its order is
+// maintained in an indexed heap, updated on insert and touch); otherwise
+// each eviction scans the residents in ascending file ID order, so
+// rank-crossing policies stay correct and deterministic.
 type Cache struct {
 	cfg      CacheConfig
-	resident map[int]*residentFile
+	resident []*residentFile // FileID-indexed; nil when absent
+	nres     int
 	used     units.Bytes
 	res      CacheResult
 
-	keyed    KeyedPolicy // non-nil when cfg.Policy supports heap ordering
-	order    evictHeap
-	stateful bool         // ranks depend on call order (Random)
-	scanIDs  []int        // scratch: candidate IDs for stateful scans
-	ranked   []rankedFile // scratch: scan candidates with ranks
-}
-
-// isStateful reports whether a policy's ranks depend on call order,
-// unwrapping ScanOnly.
-func isStateful(p Policy) bool {
-	switch q := p.(type) {
-	case StatefulPolicy:
-		return true
-	case ScanOnly:
-		return isStateful(q.P)
-	}
-	return false
+	keyed  KeyedPolicy // non-nil when cfg.Policy supports heap ordering
+	order  evictHeap
+	live   liveSet         // scan path only: resident IDs
+	free   []*residentFile // recycled slots
+	ranked []rankedFile    // scratch: scan candidates with ranks
 }
 
 // NewCache builds a cache simulator.
@@ -200,15 +195,89 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 		return nil, fmt.Errorf("migration: policy required")
 	}
 	c := &Cache{
-		cfg:      cfg,
-		resident: map[int]*residentFile{},
-		res:      CacheResult{Policy: cfg.Policy.Name(), Capacity: cfg.Capacity},
+		cfg: cfg,
+		res: CacheResult{Policy: cfg.Policy.Name(), Capacity: cfg.Capacity},
 	}
 	if kp, ok := cfg.Policy.(KeyedPolicy); ok {
 		c.keyed = kp
 	}
-	c.stateful = isStateful(cfg.Policy)
 	return c, nil
+}
+
+// lookup returns the resident entry for a file ID, or nil.
+func (c *Cache) lookup(id int) *residentFile {
+	if id < 0 || id >= len(c.resident) {
+		return nil
+	}
+	return c.resident[id]
+}
+
+// growTo extends a FileID-indexed slice with zero values until index id
+// is addressable — the shared growth idiom for every dense-ID table in
+// this package.
+func growTo[T any](s []T, id int) []T {
+	for id >= len(s) {
+		var zero T
+		s = append(s, zero)
+	}
+	return s
+}
+
+// liveSet maintains the ascending resident-ID list the scan eviction
+// paths walk, so a shrink visits residents — not every FileID slot ever
+// seen. Inserts are O(1) appends to an unsorted pending buffer; the
+// buffer is sorted and merged into the main list only when a scan needs
+// it, so insert-heavy replays (big caches, few evictions) never pay a
+// per-insert array shift.
+type liveSet struct {
+	sorted  []int
+	pending []int
+	scratch []int // retired sorted buffer, reused by the next merge
+}
+
+// add registers a newly resident ID.
+func (l *liveSet) add(id int) { l.pending = append(l.pending, id) }
+
+// drop unregisters an ID, wherever it currently lives.
+func (l *liveSet) drop(id int) {
+	if i := sort.SearchInts(l.sorted, id); i < len(l.sorted) && l.sorted[i] == id {
+		l.sorted = append(l.sorted[:i], l.sorted[i+1:]...)
+		return
+	}
+	for j, p := range l.pending {
+		if p == id {
+			l.pending = append(l.pending[:j], l.pending[j+1:]...)
+			return
+		}
+	}
+}
+
+// ids returns the resident IDs in ascending order, folding any pending
+// inserts in first.
+func (l *liveSet) ids() []int {
+	if len(l.pending) == 0 {
+		return l.sorted
+	}
+	sort.Ints(l.pending)
+	if len(l.sorted) == 0 {
+		l.sorted = append(l.sorted, l.pending...)
+	} else {
+		merged := l.scratch[:0]
+		i, j := 0, 0
+		for i < len(l.sorted) || j < len(l.pending) {
+			if j >= len(l.pending) || (i < len(l.sorted) && l.sorted[i] < l.pending[j]) {
+				merged = append(merged, l.sorted[i])
+				i++
+			} else {
+				merged = append(merged, l.pending[j])
+				j++
+			}
+		}
+		l.scratch = l.sorted[:0] // retire the old buffer for the next merge
+		l.sorted = merged
+	}
+	l.pending = l.pending[:0]
+	return l.sorted
 }
 
 // Replay runs the whole access string and returns the result.
@@ -221,8 +290,12 @@ func (c *Cache) Replay(accs []Access) CacheResult {
 
 // Step processes a single access.
 func (c *Cache) Step(a Access) {
+	if a.FileID < 0 {
+		panic("migration: negative Access.FileID")
+	}
 	c.res.Accesses++
-	f, hit := c.resident[a.FileID]
+	f := c.lookup(a.FileID)
+	hit := f != nil
 	if a.Write {
 		c.res.WriteInserts++
 		if hit {
@@ -260,7 +333,7 @@ func (c *Cache) Step(a Access) {
 	c.insert(a, a.Time, false)
 	if c.cfg.Prefetch != nil {
 		for _, id := range c.cfg.Prefetch.Prefetch(a) {
-			if _, ok := c.resident[id]; ok || id == a.FileID {
+			if c.lookup(id) != nil || id == a.FileID {
 				continue
 			}
 			c.res.Prefetches++
@@ -297,28 +370,47 @@ func (c *Cache) insert(a Access, now time.Time, prefetched bool) {
 		return
 	}
 	c.shrinkTo(c.cfg.Capacity-size, now, a.FileID)
-	f := &residentFile{
+	var f *residentFile
+	if n := len(c.free); n > 0 {
+		f = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+	} else {
+		f = &residentFile{}
+	}
+	*f = residentFile{
 		CachedFile: CachedFile{
 			ID: a.FileID, Size: size, Inserted: now, LastRef: now, Refs: 1,
 		},
 		prefetched: prefetched,
 		heapIndex:  -1,
 	}
+	c.resident = growTo(c.resident, a.FileID)
 	c.resident[a.FileID] = f
+	c.nres++
 	c.used += size
 	if c.keyed != nil {
 		f.key = c.keyed.Key(&f.CachedFile)
 		heap.Push(&c.order, f)
+	} else {
+		c.live.add(a.FileID)
 	}
 }
 
-// remove drops a file from the cache without counting an eviction.
+// remove drops a file from the cache without counting an eviction,
+// recycling its slot through the free list.
 func (c *Cache) remove(f *residentFile) {
 	c.used -= f.CachedFile.Size
-	delete(c.resident, f.ID)
-	if c.keyed != nil && f.heapIndex >= 0 {
-		heap.Remove(&c.order, f.heapIndex)
+	c.resident[f.ID] = nil
+	c.nres--
+	if c.keyed != nil {
+		if f.heapIndex >= 0 {
+			heap.Remove(&c.order, f.heapIndex)
+		}
+	} else {
+		c.live.drop(f.ID)
 	}
+	c.free = append(c.free, f)
 }
 
 // shrinkTo evicts policy victims until used <= target. The protected file
@@ -401,30 +493,16 @@ func siftDown(h []rankedFile, i int) {
 // ranks cannot move, so every candidate is ranked exactly once; the
 // candidates are then max-heapified on (rank, lowest file ID) and popped
 // until enough space is free. One Rank pass amortises over every victim
-// of the shrink, instead of the historical full re-scan per eviction,
-// and the strict (rank, ID) order makes the victim sequence independent
-// of map iteration order. Stateful policies (Random) additionally rank
-// in ascending file ID order so their draws are reproducible.
+// of the shrink, instead of the historical full re-scan per eviction.
+// The live resident-ID list is walked in ascending file ID order, which
+// both keeps the victim sequence deterministic and hands stateful
+// policies (Random) their rank draws in a reproducible order.
 func (c *Cache) shrinkScan(target units.Bytes, now time.Time, protect int) {
 	cands := c.ranked[:0]
-	if c.stateful {
-		ids := c.scanIDs[:0]
-		for id := range c.resident {
-			if id != protect {
-				ids = append(ids, id)
-			}
-		}
-		sort.Ints(ids)
-		c.scanIDs = ids
-		for _, id := range ids {
+	for _, id := range c.live.ids() {
+		if id != protect {
 			f := c.resident[id]
 			cands = append(cands, rankedFile{f, c.cfg.Policy.Rank(&f.CachedFile, now)})
-		}
-	} else {
-		for id, f := range c.resident {
-			if id != protect {
-				cands = append(cands, rankedFile{f, c.cfg.Policy.Rank(&f.CachedFile, now)})
-			}
 		}
 	}
 	for i := len(cands)/2 - 1; i >= 0; i-- {
@@ -452,7 +530,7 @@ func (c *Cache) Result() CacheResult { return c.res }
 func (c *Cache) Used() units.Bytes { return c.used }
 
 // Resident reports the number of resident files.
-func (c *Cache) Resident() int { return len(c.resident) }
+func (c *Cache) Resident() int { return c.nres }
 
 // SweepPoint is one (capacity, result) pair of a capacity sweep.
 type SweepPoint struct {
@@ -470,10 +548,13 @@ func CapacitySweep(accs []Access, fractions []float64, mk func() Policy) ([]Swee
 }
 
 // TotalReferencedBytes sums the distinct files' sizes (last size seen per
-// file), i.e. the tertiary-store footprint of the access string.
+// file), i.e. the tertiary-store footprint of the access string. File IDs
+// are dense, so the last-size table is a flat slice; unreferenced IDs
+// stay zero and contribute nothing to the sum.
 func TotalReferencedBytes(accs []Access) units.Bytes {
-	sizes := map[int]units.Bytes{}
+	var sizes []units.Bytes
 	for _, a := range accs {
+		sizes = growTo(sizes, a.FileID)
 		sizes[a.FileID] = a.Size
 	}
 	var t units.Bytes
@@ -497,11 +578,12 @@ func sortByMissRatio(out []CacheResult) {
 
 // DirPrefetcher prefetches the most recent other files of the directory
 // being read — the paper's observation that a researcher reading day 1 of
-// a model run will usually want day 2 (§5.2.1).
+// a model run will usually want day 2 (§5.2.1). Both indexes are flat
+// slices over the dense file and directory ID spaces.
 type DirPrefetcher struct {
-	byDir map[int][]int // directory -> file IDs in first-seen order
-	pos   map[int]int   // fileID -> index within its directory list
-	Count int           // how many neighbours to prefetch (default 1)
+	byDir [][]int // DirID -> file IDs in first-seen order
+	pos   []int   // FileID -> index within its directory list; -1 unseen
+	Count int     // how many neighbours to prefetch (default 1)
 }
 
 // NewDirPrefetcher indexes the access string's directory structure.
@@ -509,9 +591,13 @@ func NewDirPrefetcher(accs []Access, count int) *DirPrefetcher {
 	if count < 1 {
 		count = 1
 	}
-	p := &DirPrefetcher{byDir: map[int][]int{}, pos: map[int]int{}, Count: count}
+	p := &DirPrefetcher{Count: count}
 	for _, a := range accs {
-		if _, seen := p.pos[a.FileID]; !seen {
+		for a.FileID >= len(p.pos) {
+			p.pos = append(p.pos, -1) // not growTo: unseen is -1, not 0
+		}
+		p.byDir = growTo(p.byDir, a.DirID)
+		if p.pos[a.FileID] < 0 {
 			p.pos[a.FileID] = len(p.byDir[a.DirID])
 			p.byDir[a.DirID] = append(p.byDir[a.DirID], a.FileID)
 		}
@@ -522,11 +608,12 @@ func NewDirPrefetcher(accs []Access, count int) *DirPrefetcher {
 // Prefetch implements Prefetcher: the next Count files of the same
 // directory in first-reference order.
 func (p *DirPrefetcher) Prefetch(a Access) []int {
-	files := p.byDir[a.DirID]
-	i, ok := p.pos[a.FileID]
-	if !ok {
+	if a.FileID < 0 || a.FileID >= len(p.pos) || p.pos[a.FileID] < 0 ||
+		a.DirID < 0 || a.DirID >= len(p.byDir) {
 		return nil
 	}
+	files := p.byDir[a.DirID]
+	i := p.pos[a.FileID]
 	var out []int
 	for k := 1; k <= p.Count && i+k < len(files); k++ {
 		out = append(out, files[i+k])

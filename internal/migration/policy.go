@@ -45,17 +45,6 @@ type KeyedPolicy interface {
 	Key(f *CachedFile) float64
 }
 
-// StatefulPolicy marks policies whose Rank consumes mutable state so
-// that rank values depend on call order (Random draws from an rng
-// stream). The cache ranks such policies' candidates in ascending file
-// ID order to keep replays deterministic; pure policies skip that sort.
-// OPT does not need the marker: its cursors mutate, but the value
-// returned for a file never depends on when other files are ranked.
-type StatefulPolicy interface {
-	Policy
-	StatefulRank()
-}
-
 // ScanOnly wraps a policy and hides any KeyedPolicy capability, forcing
 // the cache onto the scan path — used by the equivalence tests and
 // benchmarks to compare heap and scan victim selection.
@@ -169,12 +158,10 @@ func NewRandom(seed int64) *Random {
 // Name implements Policy.
 func (*Random) Name() string { return "random" }
 
-// Rank implements Policy.
+// Rank implements Policy. Each call consumes the next rng draw; replays
+// stay deterministic because every scan ranks candidates in ascending
+// file ID order (the resident slices are walked in index order).
 func (r *Random) Rank(*CachedFile, time.Time) float64 { return r.rng.Float64() }
-
-// StatefulRank implements StatefulPolicy: each Rank call consumes the
-// next rng draw, so candidates must be ranked in a deterministic order.
-func (*Random) StatefulRank() {}
 
 // SAAC approximates Lawrie's "migrate files that became less active"
 // criterion: rank grows with idle time and shrinks with the reference
@@ -239,17 +226,21 @@ func (o *OPT) Key(f *CachedFile) float64 {
 }
 
 // FutureIndex answers "when is file f next referenced after t" from a
-// prepared, time-sorted access list.
+// prepared, time-sorted access list. File IDs are dense, so both the
+// per-file reference lists and the replay cursors are flat slices — the
+// hottest OPT operations never touch a map.
 type FutureIndex struct {
-	times map[int][]time.Time
-	pos   map[int]int
+	times [][]time.Time // FileID -> reference times, in trace order
+	pos   []int         // FileID -> replay cursor
 }
 
 // NewFutureIndex builds the index from accesses, which must be
 // time-sorted.
 func NewFutureIndex(accs []Access) *FutureIndex {
-	idx := &FutureIndex{times: map[int][]time.Time{}, pos: map[int]int{}}
+	idx := &FutureIndex{}
 	for _, a := range accs {
+		idx.times = growTo(idx.times, a.FileID)
+		idx.pos = growTo(idx.pos, a.FileID)
 		idx.times[a.FileID] = append(idx.times[a.FileID], a.Time)
 	}
 	return idx
@@ -259,6 +250,9 @@ func NewFutureIndex(accs []Access) *FutureIndex {
 // query times must be non-decreasing per file (true during a forward
 // replay), letting the index advance a cursor instead of searching.
 func (x *FutureIndex) NextAfter(file int, t time.Time) (time.Time, bool) {
+	if file < 0 || file >= len(x.times) {
+		return time.Time{}, false
+	}
 	ts := x.times[file]
 	i := x.pos[file]
 	for i < len(ts) && !ts[i].After(t) {

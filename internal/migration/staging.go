@@ -3,7 +3,6 @@ package migration
 import (
 	"container/heap"
 	"fmt"
-	"sort"
 	"time"
 
 	"filemig/internal/units"
@@ -30,11 +29,11 @@ type StagingManager struct {
 	now  time.Time
 	used units.Bytes
 
-	resident map[int]*stagedFile
+	resident []*stagedFile // FileID-indexed; nil when absent
+	live     liveSet       // resident IDs for the victim scans
+	dirty    units.Bytes   // running sum of resident dirty bytes
 	copyq    copyQueue
 	copyBusy time.Time // when the tape copier frees up
-	stateful bool      // policy ranks depend on call order (Random)
-	scanIDs  []int     // scratch for stateful victim scans
 
 	stats StagingStats
 }
@@ -106,11 +105,15 @@ func NewStagingManager(cfg StagingConfig) (*StagingManager, error) {
 	if cfg.Policy == nil {
 		cfg.Policy = STP{K: 1.4}
 	}
-	return &StagingManager{
-		cfg:      cfg,
-		resident: map[int]*stagedFile{},
-		stateful: isStateful(cfg.Policy),
-	}, nil
+	return &StagingManager{cfg: cfg}, nil
+}
+
+// lookup returns the resident entry for a file ID, or nil.
+func (m *StagingManager) lookup(id int) *stagedFile {
+	if id < 0 || id >= len(m.resident) {
+		return nil
+	}
+	return m.resident[id]
 }
 
 // Replay runs the access string (time-sorted) through the staging layer.
@@ -120,7 +123,7 @@ func (m *StagingManager) Replay(accs []Access) StagingStats {
 	}
 	// Account residual clean residency up to the last event.
 	for _, f := range m.resident {
-		if !f.dirty {
+		if f != nil && !f.dirty {
 			m.stats.CleanResidency += m.now.Sub(f.cleanedAt)
 		}
 	}
@@ -129,6 +132,9 @@ func (m *StagingManager) Replay(accs []Access) StagingStats {
 
 // Step processes one access.
 func (m *StagingManager) Step(a Access) {
+	if a.FileID < 0 {
+		panic("migration: negative Access.FileID")
+	}
 	m.now = a.Time
 	if m.cfg.Eager {
 		m.drainCopies(a.Time)
@@ -144,8 +150,13 @@ func (m *StagingManager) Step(a Access) {
 }
 
 func (m *StagingManager) write(a Access) {
-	if f, ok := m.resident[a.FileID]; ok {
+	if f := m.lookup(a.FileID); f != nil {
 		m.used += a.Size - f.CachedFile.Size
+		if f.dirty {
+			m.dirty += a.Size - f.CachedFile.Size
+		} else {
+			m.dirty += a.Size
+		}
 		f.Size = a.Size
 		f.LastRef = a.Time
 		f.Refs++
@@ -166,7 +177,7 @@ func (m *StagingManager) write(a Access) {
 }
 
 func (m *StagingManager) read(a Access) {
-	if f, ok := m.resident[a.FileID]; ok {
+	if f := m.lookup(a.FileID); f != nil {
 		m.stats.ReadHits++
 		f.LastRef = a.Time
 		f.Refs++
@@ -182,12 +193,17 @@ func (m *StagingManager) insert(a Access, dirty bool) {
 		return // streams through; cannot be staged
 	}
 	m.makeRoom(m.cfg.Capacity-a.Size, a.FileID)
+	m.resident = growTo(m.resident, a.FileID)
 	m.resident[a.FileID] = &stagedFile{
 		CachedFile: CachedFile{ID: a.FileID, Size: a.Size, Inserted: a.Time, LastRef: a.Time, Refs: 1},
 		dirty:      dirty,
 		cleanedAt:  a.Time,
 	}
+	m.live.add(a.FileID)
 	m.used += a.Size
+	if dirty {
+		m.dirty += a.Size
+	}
 }
 
 // drainCopies completes background copies whose turn has come by now.
@@ -199,8 +215,8 @@ func (m *StagingManager) drainCopies(now time.Time) {
 		if m.copyBusy.After(start) {
 			start = m.copyBusy
 		}
-		f, ok := m.resident[next.fileID]
-		if !ok || !f.dirty {
+		f := m.lookup(next.fileID)
+		if f == nil || !f.dirty {
 			heap.Pop(&m.copyq) // evaporated or already cleaned
 			continue
 		}
@@ -212,6 +228,7 @@ func (m *StagingManager) drainCopies(now time.Time) {
 		heap.Pop(&m.copyq)
 		m.copyBusy = end
 		f.dirty = false
+		m.dirty -= f.CachedFile.Size
 		f.cleanedAt = end
 		m.stats.CopiedBytes += f.CachedFile.Size
 	}
@@ -236,46 +253,29 @@ func (m *StagingManager) makeRoom(target units.Bytes, protect int) {
 		} else if !victim.dirty {
 			m.stats.CleanResidency += m.now.Sub(victim.cleanedAt)
 		}
+		if victim.dirty {
+			m.dirty -= victim.CachedFile.Size
+		}
 		m.used -= victim.CachedFile.Size
-		delete(m.resident, victim.ID)
+		m.resident[victim.ID] = nil
+		m.live.drop(victim.ID)
 		m.stats.Evictions++
 	}
 }
 
-// pickVictim picks the highest-ranked candidate, equal ranks resolving
-// to the lowest file ID — never map iteration order. Stateful policies
-// (Random) additionally rank in ascending file ID order so their draws
-// are reproducible; pure policies keep the O(R) unordered pass.
+// pickVictim picks the highest-ranked candidate by walking the live
+// resident-ID list in ascending order: equal ranks resolve to the
+// lowest file ID, stateful policies (Random) consume their rank draws
+// in a reproducible order, and the scan visits residents — not every
+// FileID slot ever inserted.
 func (m *StagingManager) pickVictim(protect int, dirty bool) *stagedFile {
-	if m.stateful {
-		return m.pickVictimOrdered(protect, dirty)
-	}
 	var best *stagedFile
 	bestRank := 0.0
-	for id, f := range m.resident {
+	for _, id := range m.live.ids() {
+		f := m.resident[id]
 		if id == protect || f.dirty != dirty {
 			continue
 		}
-		r := m.cfg.Policy.Rank(&f.CachedFile, m.now)
-		if best == nil || r > bestRank || (r == bestRank && id < best.ID) {
-			best, bestRank = f, r
-		}
-	}
-	return best
-}
-
-func (m *StagingManager) pickVictimOrdered(protect int, dirty bool) *stagedFile {
-	m.scanIDs = m.scanIDs[:0]
-	for id, f := range m.resident {
-		if id != protect && f.dirty == dirty {
-			m.scanIDs = append(m.scanIDs, id)
-		}
-	}
-	sort.Ints(m.scanIDs)
-	var best *stagedFile
-	bestRank := 0.0
-	for _, id := range m.scanIDs {
-		f := m.resident[id]
 		r := m.cfg.Policy.Rank(&f.CachedFile, m.now)
 		if best == nil || r > bestRank {
 			best, bestRank = f, r
@@ -284,15 +284,12 @@ func (m *StagingManager) pickVictimOrdered(protect int, dirty bool) *stagedFile 
 	return best
 }
 
+// trackDirtyPeak advances the high-water mark from the running dirty
+// counter — O(1) per access, where it historically rescanned every
+// resident.
 func (m *StagingManager) trackDirtyPeak() {
-	var dirty units.Bytes
-	for _, f := range m.resident {
-		if f.dirty {
-			dirty += f.CachedFile.Size
-		}
-	}
-	if dirty > m.stats.DirtyPeak {
-		m.stats.DirtyPeak = dirty
+	if m.dirty > m.stats.DirtyPeak {
+		m.stats.DirtyPeak = m.dirty
 	}
 }
 
@@ -320,20 +317,22 @@ func CompareWriteBehind(accs []Access, capacity units.Bytes, bandwidth float64,
 // DedupAccesses applies the paper's §5.3 rule to an access string: at
 // most one read and one write per file per window. Useful for feeding
 // the staging and cache simulators the same deduplicated view the
-// analysis uses.
+// analysis uses. The per-file last-seen tables are FileID-indexed
+// slices; the zero time marks a file not yet seen.
 func DedupAccesses(accs []Access, window time.Duration) []Access {
-	type key struct {
-		file  int
-		write bool
-	}
-	last := map[key]time.Time{}
+	var lastRead, lastWrite []time.Time
 	out := make([]Access, 0, len(accs))
 	for _, a := range accs {
-		k := key{a.FileID, a.Write}
-		if prev, ok := last[k]; ok && a.Time.Sub(prev) < window {
+		lastRead = growTo(lastRead, a.FileID)
+		lastWrite = growTo(lastWrite, a.FileID)
+		last := &lastRead[a.FileID]
+		if a.Write {
+			last = &lastWrite[a.FileID]
+		}
+		if !last.IsZero() && a.Time.Sub(*last) < window {
 			continue
 		}
-		last[k] = a.Time
+		*last = a.Time
 		out = append(out, a)
 	}
 	return out

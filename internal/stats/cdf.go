@@ -13,10 +13,28 @@ import (
 
 // CDF accumulates sample values and answers empirical-distribution queries.
 // It is the workhorse behind every cumulative-percentage figure in the
-// paper (Figures 3 and 7–12). The zero value is ready to use.
+// paper (Figures 3 and 7–12). Unit samples (Add) are stored as bare
+// float64s — the per-record hot-path representation — while AddN stores
+// one (value, multiplicity) run however large the multiplicity, so
+// byte-scale weights cost one run, not one appended copy per byte. The
+// zero value is ready to use.
 type CDF struct {
-	vals   []float64
+	vals   []float64 // unit samples, insertion order
+	runs   []run     // weighted samples (AddN), insertion order
+	n      int64     // total multiplicity across vals and runs
 	sorted bool
+
+	// Merged query view, built by ensureSorted only when runs exist:
+	// qruns is vals and runs interleaved in value order, cum its
+	// cumulative multiplicities. Run-free CDFs query vals directly.
+	qruns []run
+	cum   []int64
+}
+
+// run is one stored sample with its multiplicity.
+type run struct {
+	v float64
+	n int64
 }
 
 // NewCDF returns a CDF pre-sized for n samples.
@@ -25,66 +43,128 @@ func NewCDF(n int) *CDF { return &CDF{vals: make([]float64, 0, n)} }
 // Add records one sample.
 func (c *CDF) Add(v float64) {
 	c.vals = append(c.vals, v)
+	c.n++
 	c.sorted = false
 }
 
 // AddN records the sample v with multiplicity n (used for byte-weighted
-// distributions where a request of s bytes contributes weight s).
+// distributions where a request of s bytes contributes weight s). It
+// stores at most one run regardless of n; n <= 0 records nothing.
 func (c *CDF) AddN(v float64, n int) {
-	for i := 0; i < n; i++ {
+	switch {
+	case n <= 0:
+		return
+	case n == 1:
 		c.Add(v)
+		return
 	}
+	c.runs = append(c.runs, run{v, int64(n)})
+	c.n += int64(n)
+	c.sorted = false
 }
 
-// N reports the number of samples.
-func (c *CDF) N() int { return len(c.vals) }
+// N reports the number of samples, counting multiplicities.
+func (c *CDF) N() int { return int(c.n) }
 
 // Merge appends every sample of other to c, in other's insertion order —
 // exactly as if each had been Added individually. Used by the sharded
 // streaming analysis to fold per-shard distributions together.
 func (c *CDF) Merge(other *CDF) {
-	if other == nil || len(other.vals) == 0 {
+	if other == nil || other.n == 0 {
 		return
 	}
 	c.vals = append(c.vals, other.vals...)
+	c.runs = append(c.runs, other.runs...)
+	c.n += other.n
 	c.sorted = false
 }
 
+// ensureSorted orders the samples by value. A run-free CDF (the hot
+// case) just sorts vals; otherwise the weighted runs and unit samples
+// are merged into the qruns/cum view queries binary-search over.
 func (c *CDF) ensureSorted() {
-	if !c.sorted {
-		sort.Float64s(c.vals)
-		c.sorted = true
+	if c.sorted {
+		return
 	}
+	sort.Float64s(c.vals)
+	if len(c.runs) > 0 {
+		sort.Slice(c.runs, func(i, j int) bool { return c.runs[i].v < c.runs[j].v })
+		c.qruns = c.qruns[:0]
+		if cap(c.qruns) < len(c.vals)+len(c.runs) {
+			c.qruns = make([]run, 0, len(c.vals)+len(c.runs))
+		}
+		i, j := 0, 0
+		for i < len(c.vals) || j < len(c.runs) {
+			if j >= len(c.runs) || (i < len(c.vals) && c.vals[i] <= c.runs[j].v) {
+				c.qruns = append(c.qruns, run{c.vals[i], 1})
+				i++
+			} else {
+				c.qruns = append(c.qruns, c.runs[j])
+				j++
+			}
+		}
+		if cap(c.cum) < len(c.qruns) {
+			c.cum = make([]int64, len(c.qruns))
+		}
+		c.cum = c.cum[:len(c.qruns)]
+		var total int64
+		for k, r := range c.qruns {
+			total += r.n
+			c.cum[k] = total
+		}
+	}
+	c.sorted = true
 }
 
 // P returns the empirical P(X <= v), in [0, 1]. P of an empty CDF is 0.
 func (c *CDF) P(v float64) float64 {
-	if len(c.vals) == 0 {
+	if c.n == 0 {
 		return 0
 	}
 	c.ensureSorted()
-	i := sort.SearchFloat64s(c.vals, math.Nextafter(v, math.Inf(1)))
-	return float64(i) / float64(len(c.vals))
+	if len(c.runs) == 0 {
+		i := sort.SearchFloat64s(c.vals, math.Nextafter(v, math.Inf(1)))
+		return float64(i) / float64(c.n)
+	}
+	i := sort.Search(len(c.qruns), func(i int) bool { return c.qruns[i].v > v })
+	if i == 0 {
+		return 0
+	}
+	return float64(c.cum[i-1]) / float64(c.n)
 }
 
 // Quantile returns the q-th quantile (q in [0,1]) using the nearest-rank
 // method. Quantile of an empty CDF is NaN.
 func (c *CDF) Quantile(q float64) float64 {
-	if len(c.vals) == 0 {
+	if c.n == 0 {
 		return math.NaN()
 	}
 	c.ensureSorted()
+	if len(c.runs) == 0 {
+		if q <= 0 {
+			return c.vals[0]
+		}
+		if q >= 1 {
+			return c.vals[len(c.vals)-1]
+		}
+		i := int(math.Ceil(q*float64(c.n))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return c.vals[i]
+	}
 	if q <= 0 {
-		return c.vals[0]
+		return c.qruns[0].v
 	}
 	if q >= 1 {
-		return c.vals[len(c.vals)-1]
+		return c.qruns[len(c.qruns)-1].v
 	}
-	i := int(math.Ceil(q*float64(len(c.vals)))) - 1
-	if i < 0 {
-		i = 0
+	rank := int64(math.Ceil(q * float64(c.n)))
+	if rank < 1 {
+		rank = 1
 	}
-	return c.vals[i]
+	i := sort.Search(len(c.cum), func(i int) bool { return c.cum[i] >= rank })
+	return c.qruns[i].v
 }
 
 // Median is Quantile(0.5).
@@ -92,32 +172,41 @@ func (c *CDF) Median() float64 { return c.Quantile(0.5) }
 
 // Mean returns the sample mean, or NaN when empty.
 func (c *CDF) Mean() float64 {
-	if len(c.vals) == 0 {
+	if c.n == 0 {
 		return math.NaN()
 	}
 	s := 0.0
 	for _, v := range c.vals {
 		s += v
 	}
-	return s / float64(len(c.vals))
+	for _, r := range c.runs {
+		s += r.v * float64(r.n)
+	}
+	return s / float64(c.n)
 }
 
 // Min returns the smallest sample, or NaN when empty.
 func (c *CDF) Min() float64 {
-	if len(c.vals) == 0 {
+	if c.n == 0 {
 		return math.NaN()
 	}
 	c.ensureSorted()
-	return c.vals[0]
+	if len(c.runs) == 0 {
+		return c.vals[0]
+	}
+	return c.qruns[0].v
 }
 
 // Max returns the largest sample, or NaN when empty.
 func (c *CDF) Max() float64 {
-	if len(c.vals) == 0 {
+	if c.n == 0 {
 		return math.NaN()
 	}
 	c.ensureSorted()
-	return c.vals[len(c.vals)-1]
+	if len(c.runs) == 0 {
+		return c.vals[len(c.vals)-1]
+	}
+	return c.qruns[len(c.qruns)-1].v
 }
 
 // Points samples the CDF at the given x values, returning cumulative
@@ -141,12 +230,16 @@ func (p Point) String() string {
 }
 
 // WeightedCDF is a CDF over (value, weight) pairs — e.g. "fraction of all
-// bytes in files of size <= s" (the data curves of Figures 10–12). The zero
-// value is ready to use.
+// bytes in files of size <= s" (the data curves of Figures 10–12). Each
+// Add stores one pair whatever the weight, and queries binary-search a
+// cumulative-weight table, so P and Quantile are O(log n) after the sort
+// instead of the historical O(n) rescan per query. The zero value is
+// ready to use.
 type WeightedCDF struct {
 	pairs  []weighted
 	total  float64
 	sorted bool
+	cum    []float64 // cumulative weights over sorted pairs
 }
 
 type weighted struct{ v, w float64 }
@@ -182,11 +275,24 @@ func (c *WeightedCDF) Merge(other *WeightedCDF) {
 // TotalWeight reports the sum of all weights.
 func (c *WeightedCDF) TotalWeight() float64 { return c.total }
 
+// ensureSorted orders the pairs by value and rebuilds the cumulative
+// weight table. The table is accumulated left to right, so every query
+// returns the same float sums the historical per-query rescan produced.
 func (c *WeightedCDF) ensureSorted() {
-	if !c.sorted {
-		sort.Slice(c.pairs, func(i, j int) bool { return c.pairs[i].v < c.pairs[j].v })
-		c.sorted = true
+	if c.sorted {
+		return
 	}
+	sort.Slice(c.pairs, func(i, j int) bool { return c.pairs[i].v < c.pairs[j].v })
+	if cap(c.cum) < len(c.pairs) {
+		c.cum = make([]float64, len(c.pairs))
+	}
+	c.cum = c.cum[:len(c.pairs)]
+	w := 0.0
+	for i, p := range c.pairs {
+		w += p.w
+		c.cum[i] = w
+	}
+	c.sorted = true
 }
 
 // P returns the weight fraction with value <= v.
@@ -196,11 +302,10 @@ func (c *WeightedCDF) P(v float64) float64 {
 	}
 	c.ensureSorted()
 	i := sort.Search(len(c.pairs), func(i int) bool { return c.pairs[i].v > v })
-	w := 0.0
-	for _, p := range c.pairs[:i] {
-		w += p.w
+	if i == 0 {
+		return 0
 	}
-	return w / c.total
+	return c.cum[i-1] / c.total
 }
 
 // Quantile returns the smallest value v such that P(v) >= q.
@@ -210,36 +315,19 @@ func (c *WeightedCDF) Quantile(q float64) float64 {
 	}
 	c.ensureSorted()
 	target := q * c.total
-	w := 0.0
-	for _, p := range c.pairs {
-		w += p.w
-		if w >= target {
-			return p.v
-		}
+	i := sort.Search(len(c.cum), func(i int) bool { return c.cum[i] >= target })
+	if i >= len(c.pairs) {
+		return c.pairs[len(c.pairs)-1].v
 	}
-	return c.pairs[len(c.pairs)-1].v
+	return c.pairs[i].v
 }
 
 // Points samples the weighted CDF at the given x values.
 func (c *WeightedCDF) Points(xs []float64) []Point {
 	pts := make([]Point, len(xs))
-	// One pass: xs must be ascending for efficiency; sort a copy to be safe.
-	sortedXs := append([]float64(nil), xs...)
-	sort.Float64s(sortedXs)
 	c.ensureSorted()
-	res := make(map[float64]float64, len(xs))
-	w, i := 0.0, 0
-	for _, x := range sortedXs {
-		for i < len(c.pairs) && c.pairs[i].v <= x {
-			w += c.pairs[i].w
-			i++
-		}
-		if c.total > 0 {
-			res[x] = w / c.total
-		}
-	}
 	for j, x := range xs {
-		pts[j] = Point{X: x, Y: res[x]}
+		pts[j] = Point{X: x, Y: c.P(x)}
 	}
 	return pts
 }

@@ -277,3 +277,85 @@ func TestWeightedCDFMerge(t *testing.T) {
 		}
 	}
 }
+
+// TestAddNQuantileRegression pins the weighted-run storage: AddN must
+// answer every distribution query exactly as the same samples fed one
+// Add at a time — the behaviour before AddN became O(1) — including at
+// byte-scale multiplicities that would be unaffordable to expand.
+func TestAddNQuantileRegression(t *testing.T) {
+	var weighted, expanded CDF
+	samples := []struct {
+		v float64
+		n int
+	}{
+		{4, 3}, {1, 1}, {9, 5}, {4, 2}, {0.5, 4}, {7, 1}, {9, 0}, {2, -3},
+	}
+	for _, s := range samples {
+		weighted.AddN(s.v, s.n)
+		for i := 0; i < s.n; i++ {
+			expanded.Add(s.v)
+		}
+	}
+	if weighted.N() != expanded.N() {
+		t.Fatalf("N = %d, want %d", weighted.N(), expanded.N())
+	}
+	for _, q := range []float64{-0.5, 0, 0.01, 0.25, 0.5, 0.75, 0.99, 1, 1.5} {
+		if got, want := weighted.Quantile(q), expanded.Quantile(q); got != want {
+			t.Fatalf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	for _, x := range []float64{0, 0.5, 1, 3.9, 4, 8.9, 9, 100} {
+		if got, want := weighted.P(x), expanded.P(x); got != want {
+			t.Fatalf("P(%v) = %v, want %v", x, got, want)
+		}
+	}
+	for _, f := range []func(*CDF) float64{(*CDF).Min, (*CDF).Max, (*CDF).Median, (*CDF).Mean} {
+		if got, want := f(&weighted), f(&expanded); got != want {
+			t.Fatalf("summary stat = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestAddNConstantStorage verifies the satellite fix itself: a byte-scale
+// multiplicity stores one run, not n copies.
+func TestAddNConstantStorage(t *testing.T) {
+	var c CDF
+	c.AddN(1e6, 1<<30)
+	c.AddN(2e6, 1<<30)
+	if len(c.runs) != 2 {
+		t.Fatalf("AddN stored %d runs, want 2", len(c.runs))
+	}
+	if c.N() != 2<<30 {
+		t.Fatalf("N = %d, want %d", c.N(), 2<<30)
+	}
+	if got := c.Quantile(0.5); got != 1e6 {
+		t.Fatalf("Quantile(0.5) = %v, want 1e6", got)
+	}
+	if got := c.P(1e6); got != 0.5 {
+		t.Fatalf("P(1e6) = %v, want 0.5", got)
+	}
+}
+
+// TestWeightedCDFQueryCache covers the cumulative-weight table through
+// interleaved queries and mutations (a mutation must invalidate it).
+func TestWeightedCDFQueryCache(t *testing.T) {
+	var c WeightedCDF
+	c.Add(10, 5)
+	c.Add(20, 15)
+	if got := c.P(10); got != 0.25 {
+		t.Fatalf("P(10) = %v, want 0.25", got)
+	}
+	c.Add(5, 20) // after a query: cache must rebuild
+	if got := c.P(5); got != 0.5 {
+		t.Fatalf("P(5) = %v, want 0.5", got)
+	}
+	if got := c.Quantile(0.5); got != 5 {
+		t.Fatalf("Quantile(0.5) = %v, want 5", got)
+	}
+	if got := c.Quantile(0.51); got != 10 {
+		t.Fatalf("Quantile(0.51) = %v, want 10", got)
+	}
+	if got := c.Quantile(1); got != 20 {
+		t.Fatalf("Quantile(1) = %v, want 20", got)
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"filemig/internal/device"
+	"filemig/internal/units"
+)
+
+// allocTrace builds a trace of many records over few distinct paths —
+// the shape real traces have, and the one the interned decode fast path
+// is built for.
+func allocTrace(t *testing.T, f Format, records, paths int) []byte {
+	t.Helper()
+	recs := make([]Record, 0, records)
+	for i := 0; i < records; i++ {
+		recs = append(recs, Record{
+			Start: Epoch.Add(time.Duration(i) * 30 * time.Second),
+			Op:    Op(i % 2), Device: device.ClassSiloTape,
+			Startup: 5 * time.Second, Transfer: 800 * time.Millisecond,
+			Size:      units.Bytes(1e6 + i),
+			MSSPath:   "/mss/u" + string(rune('a'+i%paths)) + "/data",
+			LocalPath: "/tmp/job" + string(rune('a'+i%paths)),
+			UserID:    uint32(100 + i%paths),
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteAllFormat(&buf, recs, f); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDecodeSteadyStateAllocs is the allocation-regression guard for the
+// interned decode fast path: with a pre-warmed shared interner, decoding
+// a whole trace costs a constant handful of allocations (reader, buffers)
+// — none per record.
+func TestDecodeSteadyStateAllocs(t *testing.T) {
+	const records = 2000
+	for _, f := range []Format{FormatASCII, FormatBinary} {
+		enc := allocTrace(t, f, records, 16)
+		in := NewInterner()
+		drain := func() {
+			var src Stream
+			if f == FormatBinary {
+				src = NewBinaryReaderInterned(bytes.NewReader(enc), in)
+			} else {
+				src = NewReaderInterned(bytes.NewReader(enc), in)
+			}
+			n := 0
+			for {
+				_, err := src.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				n++
+			}
+			if n != records {
+				t.Fatalf("decoded %d records, want %d", n, records)
+			}
+		}
+		drain() // warm the interner
+		perRun := testing.AllocsPerRun(5, drain)
+		// Per run: the reader, its buffers/scanner and scratch — a
+		// constant independent of the record count.
+		if perRun > 30 {
+			t.Errorf("%v: steady-state decode of %d records allocates %v per run, want <= 30",
+				f, records, perRun)
+		}
+	}
+}

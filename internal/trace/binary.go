@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -156,33 +157,114 @@ func (w *BinaryWriter) Write(r *Record) error {
 func (w *BinaryWriter) Flush() error { return w.w.Flush() }
 
 // BinaryReader decodes the binary b1 format. It streams: each Next call
-// decodes one record.
+// decodes one record. The reader owns its buffer: varints decode inline
+// from the buffered window and path fields are interned straight out of
+// it, so each distinct path is allocated once and every later record
+// carrying it reuses the canonical string — steady-state decode moves no
+// memory and allocates nothing per record.
 type BinaryReader struct {
-	r         *bufio.Reader
+	src       io.Reader
+	buf       []byte // buffered window of the stream
+	pos, end  int    // unread bytes are buf[pos:end]
+	srcErr    error  // sticky source error, surfaced once the window drains
 	prevStart time.Time
 	prevUID   uint32
 	started   bool
 	rec       int64
+	in        *Interner
+	local     pathCache // bounded cache for local paths (no interned consumer)
+	scratch   []byte    // spill for path fields straddling a window edge
 }
 
-// NewBinaryReader returns a BinaryReader over r. The header line is
-// consumed lazily on the first Next.
+// NewBinaryReader returns a BinaryReader over r with a private path
+// interner. The header line is consumed lazily on the first Next.
 func NewBinaryReader(r io.Reader) *BinaryReader {
-	return &BinaryReader{r: bufio.NewReaderSize(r, 1<<16)}
+	return NewBinaryReaderInterned(r, NewInterner())
+}
+
+// NewBinaryReaderInterned returns a BinaryReader that canonicalises MSS
+// path fields through the given Interner, letting several readers — or
+// a reader and downstream analysis state — share one string table.
+// Local paths, which no downstream consumer interns, go through a
+// bounded cache instead, so the interner's memory tracks distinct MSS
+// paths only.
+func NewBinaryReaderInterned(r io.Reader, in *Interner) *BinaryReader {
+	return &BinaryReader{src: r, buf: make([]byte, 1<<16), in: in}
+}
+
+// fill compacts the unread window to the front of the buffer and reads
+// more data, reporting whether any arrived. After a false return the
+// sticky source error is set. Like bufio, a reader that repeatedly
+// returns (0, nil) — legal under the io.Reader contract — is cut off
+// with io.ErrNoProgress rather than spun on forever.
+func (r *BinaryReader) fill() bool {
+	if r.pos > 0 {
+		copy(r.buf, r.buf[r.pos:r.end])
+		r.end -= r.pos
+		r.pos = 0
+	}
+	for tries := 0; r.srcErr == nil && r.end < len(r.buf); tries++ {
+		if tries >= 100 {
+			r.srcErr = io.ErrNoProgress
+			break
+		}
+		n, err := r.src.Read(r.buf[r.end:])
+		r.end += n
+		if err != nil {
+			r.srcErr = err
+		}
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// readByte returns the next stream byte; at the end of the stream it
+// returns the sticky source error (io.EOF for a clean end).
+func (r *BinaryReader) readByte() (byte, error) {
+	if r.pos >= r.end && !r.fill() {
+		return 0, r.srcErr
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+// readHeader consumes the one-line ASCII header.
+func (r *BinaryReader) readHeader() (string, error) {
+	for {
+		if i := bytes.IndexByte(r.buf[r.pos:r.end], '\n'); i >= 0 {
+			line := string(r.buf[r.pos : r.pos+i])
+			r.pos += i + 1
+			return line, nil
+		}
+		if r.end-r.pos >= len(r.buf) {
+			return "", fmt.Errorf("header line exceeds %d bytes", len(r.buf))
+		}
+		if !r.fill() {
+			if r.pos == r.end && r.srcErr == io.EOF {
+				return "", io.EOF
+			}
+			if r.srcErr == io.EOF {
+				return "", io.ErrUnexpectedEOF
+			}
+			return "", r.srcErr
+		}
+	}
 }
 
 // Next decodes the next record. It returns io.EOF when the stream ends
 // cleanly and io.ErrUnexpectedEOF (wrapped) when it ends mid-record.
 func (r *BinaryReader) Next() (Record, error) {
 	if !r.started {
-		line, err := r.r.ReadString('\n')
-		if err == io.EOF && line == "" {
+		line, err := r.readHeader()
+		if err == io.EOF {
 			return Record{}, io.EOF
 		}
 		if err != nil {
 			return Record{}, fmt.Errorf("trace: binary header: %v", err)
 		}
-		line = strings.TrimSuffix(line, "\n")
 		if !strings.HasPrefix(line, binaryHeaderPrefix) {
 			return Record{}, fmt.Errorf("trace: missing binary header, got %q", line)
 		}
@@ -193,7 +275,7 @@ func (r *BinaryReader) Next() (Record, error) {
 		r.prevStart = time.Unix(sec, 0).UTC()
 		r.started = true
 	}
-	flags, err := r.r.ReadByte()
+	flags, err := r.readByte()
 	if err == io.EOF {
 		return Record{}, io.EOF
 	}
@@ -251,12 +333,16 @@ func (r *BinaryReader) decodeBody(flags byte) (Record, error) {
 		}
 		rec.UserID = uint32(uid)
 	}
-	if rec.MSSPath, err = r.path("mss path"); err != nil {
+	mss, err := r.pathBytes("mss path", "mss path length")
+	if err != nil {
 		return rec, err
 	}
-	if rec.LocalPath, err = r.path("local path"); err != nil {
+	rec.MSSPath = r.in.Canonical(mss)
+	local, err := r.pathBytes("local path", "local path length")
+	if err != nil {
 		return rec, err
 	}
+	rec.LocalPath = r.local.canonical(local)
 	r.prevStart = rec.Start
 	r.prevUID = rec.UserID
 	return rec, nil
@@ -271,14 +357,49 @@ const (
 )
 
 // uvarint reads one varint field, converting a mid-record EOF into
-// io.ErrUnexpectedEOF and rejecting values above max.
+// io.ErrUnexpectedEOF and rejecting values above max. The fast path
+// decodes inline from the reader's buffered window — no per-byte calls;
+// only a varint near the window edge takes the refilling loop.
 func (r *BinaryReader) uvarint(field string, max uint64) (uint64, error) {
-	v, err := binary.ReadUvarint(r.r)
-	if err == io.EOF {
-		return 0, fmt.Errorf("%s: %w", field, io.ErrUnexpectedEOF)
+	if r.end-r.pos >= binary.MaxVarintLen64 {
+		v, k := binary.Uvarint(r.buf[r.pos:r.end])
+		if k <= 0 { // k == 0 impossible with a full varint's worth of bytes
+			return 0, fmt.Errorf("%s: varint overflows 64 bits", field)
+		}
+		r.pos += k
+		if v > max {
+			return 0, fmt.Errorf("%s %d out of range (max %d)", field, v, max)
+		}
+		return v, nil
 	}
-	if err != nil {
-		return 0, fmt.Errorf("%s: %w", field, err)
+	return r.uvarintSlow(field, max)
+}
+
+// uvarintSlow is the byte-at-a-time refilling tail of uvarint, reached
+// only within a varint's length of the window edge.
+func (r *BinaryReader) uvarintSlow(field string, max uint64) (uint64, error) {
+	var v uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := r.readByte()
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, fmt.Errorf("%s: %w", field, err)
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, fmt.Errorf("%s: varint overflows 64 bits", field)
+			}
+			v |= uint64(b) << s
+			break
+		}
+		if i >= binary.MaxVarintLen64-1 {
+			return 0, fmt.Errorf("%s: varint overflows 64 bits", field)
+		}
+		v |= uint64(b&0x7f) << s
+		s += 7
 	}
 	if v > max {
 		return 0, fmt.Errorf("%s %d out of range (max %d)", field, v, max)
@@ -286,21 +407,43 @@ func (r *BinaryReader) uvarint(field string, max uint64) (uint64, error) {
 	return v, nil
 }
 
-// path reads one length-prefixed path field.
-func (r *BinaryReader) path(field string) (string, error) {
-	n, err := r.uvarint(field+" length", maxBinaryPathLen)
+// pathBytes reads one length-prefixed path field, returning a view the
+// caller must canonicalise before the next read: a path fully inside
+// the buffered window — the overwhelming case — is sliced directly from
+// the buffer with no copy; only a path straddling a window edge is
+// gathered through the scratch spill. Both labels arrive as literals so
+// the hot path never builds an error-message string it will not use.
+func (r *BinaryReader) pathBytes(field, lenField string) ([]byte, error) {
+	n64, err := r.uvarint(lenField, maxBinaryPathLen)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	if n == 0 {
-		return "", fmt.Errorf("%s length must be positive", field)
+	if n64 == 0 {
+		return nil, fmt.Errorf("%s length must be positive", field)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r.r, buf); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return "", fmt.Errorf("%s: %w", field, io.ErrUnexpectedEOF)
+	n := int(n64)
+	if r.end-r.pos >= n {
+		b := r.buf[r.pos : r.pos+n]
+		r.pos += n
+		return b, nil
+	}
+	if cap(r.scratch) < n {
+		r.scratch = make([]byte, n)
+	}
+	buf := r.scratch[:n]
+	got := copy(buf, r.buf[r.pos:r.end])
+	r.pos = r.end
+	for got < n {
+		if !r.fill() {
+			err := r.srcErr
+			if err == nil || err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, fmt.Errorf("%s: %w", field, err)
 		}
-		return "", fmt.Errorf("%s: %w", field, err)
+		m := copy(buf[got:], r.buf[r.pos:r.end])
+		r.pos += m
+		got += m
 	}
-	return string(buf), nil
+	return buf, nil
 }

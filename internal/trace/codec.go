@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -110,8 +111,8 @@ func encodeFlags(r *Record) string {
 	return b.String()
 }
 
-func decodeFlags(s string, r *Record) error {
-	if s == "" {
+func decodeFlags(s []byte, r *Record) error {
+	if len(s) == 0 {
 		return fmt.Errorf("trace: empty flags")
 	}
 	switch s[0] {
@@ -123,11 +124,11 @@ func decodeFlags(s string, r *Record) error {
 		return fmt.Errorf("trace: flags %q must start with R or W", s)
 	}
 	rest := s[1:]
-	if strings.HasPrefix(rest, "C") {
+	if len(rest) > 0 && rest[0] == 'C' {
 		r.Compressed = true
 		rest = rest[1:]
 	}
-	if rest == "" {
+	if len(rest) == 0 {
 		r.Err = ErrNone
 		return nil
 	}
@@ -136,7 +137,7 @@ func decodeFlags(s string, r *Record) error {
 	}
 	name := rest[1:]
 	for code, n := range errNames {
-		if n == name && code != ErrNone {
+		if code != ErrNone && n == string(name) {
 			r.Err = code
 			return nil
 		}
@@ -145,7 +146,10 @@ func decodeFlags(s string, r *Record) error {
 }
 
 // Reader decodes the compact format. It streams: each Next call reads one
-// line.
+// line. Like the binary reader, MSS paths are interned and local paths
+// pass through a bounded cache, so a repeated path is decoded without
+// allocating; the rest of the line is parsed in place from the
+// scanner's byte buffer.
 type Reader struct {
 	s         *bufio.Scanner
 	epoch     time.Time
@@ -153,14 +157,24 @@ type Reader struct {
 	prevUID   uint32
 	started   bool
 	line      int
+	in        *Interner
+	local     pathCache
 }
 
-// NewReader returns a Reader over r. The header line is consumed lazily on
-// the first Next.
+// NewReader returns a Reader over r with a private path interner. The
+// header line is consumed lazily on the first Next.
 func NewReader(r io.Reader) *Reader {
+	return NewReaderInterned(r, NewInterner())
+}
+
+// NewReaderInterned returns a Reader that canonicalises MSS path fields
+// through the given Interner; local paths, which no downstream consumer
+// interns, go through a bounded cache instead, so the interner's memory
+// tracks distinct MSS paths only.
+func NewReaderInterned(r io.Reader, in *Interner) *Reader {
 	s := bufio.NewScanner(r)
 	s.Buffer(make([]byte, 1<<16), 1<<20)
-	return &Reader{s: s}
+	return &Reader{s: s, in: in}
 }
 
 // Next decodes the next record. It returns io.EOF when the stream ends.
@@ -192,17 +206,69 @@ func (r *Reader) Next() (Record, error) {
 		return Record{}, io.EOF
 	}
 	r.line++
-	return r.parseLine(r.s.Text())
+	return r.parseLine(r.s.Bytes())
 }
 
-func (r *Reader) parseLine(line string) (Record, error) {
-	f := strings.Fields(line)
-	if len(f) != 10 {
-		return Record{}, fmt.Errorf("trace: line %d: %d fields, want 10", r.line, len(f))
+// splitFields cuts a line on runs of spaces and tabs into at most
+// len(out)+1 fields without allocating; the extra slot detection lets the
+// caller reject over-long lines. It returns the field count.
+func splitFields(line []byte, out *[10][]byte) int {
+	n := 0
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' && line[j] != '\t' && line[j] != '\r' {
+			j++
+		}
+		if n == len(out) {
+			return n + 1 // too many fields; exact surplus count is irrelevant
+		}
+		out[n] = line[i:j]
+		n++
+		i = j
+	}
+	return n
+}
+
+// parseUint parses a non-negative decimal integer from b, rejecting
+// empty input, non-digits and values above max.
+func parseUint(b []byte, max uint64) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if v > (max-d)/10 {
+			return 0, false
+		}
+		v = v*10 + d
+	}
+	return v, true
+}
+
+func (r *Reader) parseLine(line []byte) (Record, error) {
+	var f [10][]byte
+	if n := splitFields(line, &f); n != 10 {
+		if n > 10 { // splitFields stops counting at the first surplus field
+			return Record{}, fmt.Errorf("trace: line %d: more than 10 fields, want 10", r.line)
+		}
+		return Record{}, fmt.Errorf("trace: line %d: %d fields, want 10", r.line, n)
 	}
 	var rec Record
-	dt, err := strconv.ParseInt(f[0], 10, 64)
-	if err != nil || dt < 0 {
+	// Duration fields share the binary codec's wire bounds, so a huge
+	// delta fails loudly instead of wrapping time.Duration.
+	dt, ok := parseUint(f[0], maxWireSeconds)
+	if !ok {
 		return Record{}, fmt.Errorf("trace: line %d: bad delta %q", r.line, f[0])
 	}
 	rec.Start = r.prevStart.Add(time.Duration(dt) * time.Second)
@@ -213,36 +279,37 @@ func (r *Reader) parseLine(line string) (Record, error) {
 	if rec.Op == Write {
 		devName = f[2]
 	}
-	cls, err := device.ParseClass(devName)
-	if err != nil {
-		return Record{}, fmt.Errorf("trace: line %d: %v", r.line, err)
+	cls, ok := device.ParseClassBytes(devName)
+	if !ok {
+		return Record{}, fmt.Errorf("trace: line %d: device: unknown class %q", r.line, devName)
 	}
 	rec.Device = cls
-	startup, err := strconv.ParseInt(f[4], 10, 64)
-	if err != nil || startup < 0 {
+	startup, ok := parseUint(f[4], maxWireSeconds)
+	if !ok {
 		return Record{}, fmt.Errorf("trace: line %d: bad startup %q", r.line, f[4])
 	}
 	rec.Startup = time.Duration(startup) * time.Second
-	transfer, err := strconv.ParseInt(f[5], 10, 64)
-	if err != nil || transfer < 0 {
+	transfer, ok := parseUint(f[5], maxWireMillis)
+	if !ok {
 		return Record{}, fmt.Errorf("trace: line %d: bad transfer %q", r.line, f[5])
 	}
 	rec.Transfer = time.Duration(transfer) * time.Millisecond
-	size, err := strconv.ParseInt(f[6], 10, 64)
-	if err != nil || size < 0 {
+	size, ok := parseUint(f[6], math.MaxInt64)
+	if !ok {
 		return Record{}, fmt.Errorf("trace: line %d: bad size %q", r.line, f[6])
 	}
 	rec.Size = units.Bytes(size)
-	if f[7] == "=" {
+	if len(f[7]) == 1 && f[7][0] == '=' {
 		rec.UserID = r.prevUID
 	} else {
-		uid, err := strconv.ParseUint(f[7], 10, 32)
-		if err != nil {
+		uid, ok := parseUint(f[7], 1<<32-1)
+		if !ok {
 			return Record{}, fmt.Errorf("trace: line %d: bad uid %q", r.line, f[7])
 		}
 		rec.UserID = uint32(uid)
 	}
-	rec.MSSPath, rec.LocalPath = f[8], f[9]
+	rec.MSSPath = r.in.Canonical(f[8])
+	rec.LocalPath = r.local.canonical(f[9])
 	r.prevStart = rec.Start
 	r.prevUID = rec.UserID
 	return rec, nil

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestInternerDenseIDs(t *testing.T) {
+	in := NewInterner()
+	paths := []string{"/a/x", "/a/y", "/b/z", "/a/x", "/b/z", "/top"}
+	wantIDs := []FileID{0, 1, 2, 0, 2, 3}
+	for i, p := range paths {
+		if id := in.Intern(p); id != wantIDs[i] {
+			t.Fatalf("Intern(%q) = %d, want %d", p, id, wantIDs[i])
+		}
+	}
+	if in.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", in.Len())
+	}
+	for i, p := range paths {
+		if got := in.Path(wantIDs[i]); got != p {
+			t.Fatalf("Path(%d) = %q, want %q", wantIDs[i], got, p)
+		}
+	}
+}
+
+func TestInternerDirDerivation(t *testing.T) {
+	in := NewInterner()
+	// Dirs are numbered in file-first-seen order: /a, /b, then / (root).
+	in.Intern("/a/x")
+	in.Intern("/b/z")
+	in.Intern("/a/y")
+	in.Intern("/top") // LastIndexByte == 0 → root
+	if in.NumDirs() != 3 {
+		t.Fatalf("NumDirs = %d, want 3", in.NumDirs())
+	}
+	cases := []struct {
+		path string
+		dir  string
+	}{
+		{"/a/x", "/a"}, {"/a/y", "/a"}, {"/b/z", "/b"}, {"/top", "/"},
+	}
+	for _, c := range cases {
+		id := in.Intern(c.path)
+		if got := in.DirPath(in.Dir(id)); got != c.dir {
+			t.Fatalf("DirPath(Dir(%q)) = %q, want %q", c.path, got, c.dir)
+		}
+	}
+	if in.Dir(in.Intern("/a/x")) != in.Dir(in.Intern("/a/y")) {
+		t.Fatal("files of one directory got different DirIDs")
+	}
+}
+
+func TestInternBytesMatchesIntern(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("/model/run1/day1")
+	b := in.InternBytes([]byte("/model/run1/day1"))
+	if a != b {
+		t.Fatalf("InternBytes diverged from Intern: %d vs %d", b, a)
+	}
+	if got := in.Canonical([]byte("/model/run1/day1")); got != "/model/run1/day1" {
+		t.Fatalf("Canonical = %q", got)
+	}
+}
+
+// TestInternBytesZeroAlloc pins the hot-path guarantee: interning an
+// already-seen path from a byte slice performs no allocation.
+func TestInternBytesZeroAlloc(t *testing.T) {
+	in := NewInterner()
+	p := []byte("/climate/ccm2/run7/day3.nc")
+	in.InternBytes(p)
+	allocs := testing.AllocsPerRun(100, func() {
+		if in.InternBytes(p) != 0 {
+			t.Fatal("unexpected id")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state InternBytes allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestReaderInterning verifies both codec readers hand back one shared
+// canonical string for every repetition of a path: the decoded records'
+// MSSPath fields for the same path must share backing storage (string
+// equality plus identical data pointers via map identity of the interner).
+func TestReaderInterning(t *testing.T) {
+	base := sampleRecords()
+	// Repeat the same two paths many times.
+	recs := make([]Record, 0, 40)
+	for i := 0; i < 20; i++ {
+		r := base[i%2]
+		r.Start = Epoch.Add(time.Duration(500+i) * time.Second)
+		recs = append(recs, r)
+	}
+	for _, f := range []Format{FormatASCII, FormatBinary} {
+		var buf bytes.Buffer
+		if err := WriteAllFormat(&buf, recs, f); err != nil {
+			t.Fatalf("%v: WriteAllFormat: %v", f, err)
+		}
+		in := NewInterner()
+		var src Stream
+		if f == FormatBinary {
+			src = NewBinaryReaderInterned(bytes.NewReader(buf.Bytes()), in)
+		} else {
+			src = NewReaderInterned(bytes.NewReader(buf.Bytes()), in)
+		}
+		got, err := Collect(src)
+		if err != nil {
+			t.Fatalf("%v: Collect: %v", f, err)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("%v: got %d records, want %d", f, len(got), len(recs))
+		}
+		for i := range got {
+			if got[i].MSSPath != recs[i].MSSPath || got[i].LocalPath != recs[i].LocalPath {
+				t.Fatalf("%v: record %d paths diverged", f, i)
+			}
+			// The canonical string registered in the interner must be the
+			// exact string the record carries.
+			if canon := in.Path(in.Intern(got[i].MSSPath)); canon != got[i].MSSPath {
+				t.Fatalf("%v: record %d path not canonical", f, i)
+			}
+		}
+		// Only the 2 distinct MSS paths are interned; local paths go
+		// through the reader's bounded cache, not the shared interner.
+		if in.Len() != 2 {
+			t.Fatalf("%v: interner holds %d paths, want 2", f, in.Len())
+		}
+	}
+}

@@ -16,7 +16,6 @@ package trace
 import (
 	"errors"
 	"fmt"
-	"strings"
 	"time"
 
 	"filemig/internal/device"
@@ -119,9 +118,9 @@ func (r *Record) Validate() error {
 		return fmt.Errorf("trace: negative size %d", r.Size)
 	case r.Startup < 0 || r.Transfer < 0:
 		return fmt.Errorf("trace: negative duration (startup %v, transfer %v)", r.Startup, r.Transfer)
-	case r.MSSPath == "" || strings.ContainsAny(r.MSSPath, " \t\n"):
+	case !validPath(r.MSSPath):
 		return fmt.Errorf("trace: bad MSS path %q", r.MSSPath)
-	case r.LocalPath == "" || strings.ContainsAny(r.LocalPath, " \t\n"):
+	case !validPath(r.LocalPath):
 		return fmt.Errorf("trace: bad local path %q", r.LocalPath)
 	case r.Op != Read && r.Op != Write:
 		return fmt.Errorf("trace: bad op %d", int(r.Op))
@@ -132,6 +131,24 @@ func (r *Record) Validate() error {
 		return fmt.Errorf("trace: bad device class %v", r.Device)
 	}
 	return nil
+}
+
+// validPath reports whether a path can be carried by both wire formats:
+// non-empty and free of the whitespace bytes the ASCII codec uses as
+// field and record separators. A single byte scan, shared by both codec
+// write paths through Validate, replaces the strings.ContainsAny call
+// that used to build a byte-set per record.
+func validPath(s string) bool {
+	if len(s) == 0 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\n':
+			return false
+		}
+	}
+	return true
 }
 
 // Epoch is the reference time trace deltas are measured from when a writer
