@@ -1,6 +1,6 @@
 #!/bin/sh
-# Doc-lint gate: vet, gofmt, and doc-comment coverage for the packages
-# whose godoc matters most (the facade and the trace wire formats).
+# Doc-lint gate: vet, gofmt, and doc-comment coverage for every internal
+# package plus the facade.
 # Run from the repository root: .github/doclint.sh
 set -e
 
@@ -15,6 +15,6 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== doclint (internal/trace, facade) =="
-go run .github/doclint/doclint.go internal/trace .
+echo "== doclint (internal/..., facade) =="
+go run .github/doclint/doclint.go $(go list -f '{{.Dir}}' ./internal/...) .
 echo "doc lint clean"

@@ -1,0 +1,146 @@
+// Command migexp runs declarative migration experiments: a JSON spec
+// names workload scenarios (or a trace file), a policy set, a capacity
+// sweep and optional STP exponents, and migexp executes the full grid
+// and emits a deterministic manifest. The spec format is documented in
+// docs/experiments.md.
+//
+// Usage:
+//
+//	migexp run spec.json                 # execute; tables to stdout
+//	migexp run spec.json -o manifest.json -workers 4
+//	migexp run spec.json -json           # manifest JSON to stdout
+//	migexp validate spec.json            # parse, validate, show the plan
+//	migexp scenarios                     # list the scenario library
+//	migexp policies                      # list the policy grammar
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"filemig/internal/experiment"
+	"filemig/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("migexp: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		runCmd(os.Args[2:])
+	case "validate":
+		validateCmd(os.Args[2:])
+	case "scenarios":
+		scenariosCmd()
+	case "policies":
+		fmt.Printf("policy grammar: %s\n", strings.Join(experiment.PolicyNames(), ", "))
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		log.Fatalf("unknown subcommand %q (want run, validate, scenarios, policies)", os.Args[1])
+	}
+}
+
+// usage prints the command synopsis and exits.
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  migexp run spec.json [-workers N] [-o manifest.json] [-json]
+  migexp validate spec.json
+  migexp scenarios
+  migexp policies`)
+	os.Exit(2)
+}
+
+// specArg extracts the spec path from a subcommand's arguments. The
+// path may lead or trail the flags, but not split them (flag.Parse
+// stops at the first non-flag argument, so a leading path is pulled out
+// before parsing and anything after a mid-argument path is rejected).
+func specArg(fs *flag.FlagSet, args []string) string {
+	var spec string
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		spec, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	switch {
+	case spec == "" && fs.NArg() == 1:
+		spec = fs.Arg(0)
+	case spec != "" && fs.NArg() == 0:
+	default:
+		fmt.Fprintln(os.Stderr, "want exactly one spec file, with flags all before or all after it")
+		os.Exit(2)
+	}
+	return spec
+}
+
+// runCmd executes a spec and writes its outputs.
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	workers := fs.Int("workers", -1, "worker pool override (0 = one per CPU, 1 = serial; default: spec's)")
+	out := fs.String("o", "", "write the JSON manifest to this file")
+	jsonOut := fs.Bool("json", false, "print the JSON manifest to stdout instead of tables")
+	path := specArg(fs, args)
+
+	spec, err := experiment.ParseFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *workers >= 0 {
+		spec.Workers = *workers
+	}
+	plan, err := experiment.BuildPlan(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := experiment.RunPlan(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := m.EncodeJSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *jsonOut {
+		os.Stdout.Write(b)
+		return
+	}
+	fmt.Print(experiment.RenderManifest(m))
+	if *out != "" {
+		fmt.Printf("\nmanifest: %s (%d bytes)\n", *out, len(b))
+	}
+}
+
+// validateCmd parses and validates a spec and describes its plan without
+// generating a single record.
+func validateCmd(args []string) {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	path := specArg(fs, args)
+	spec, err := experiment.ParseFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := experiment.BuildPlan(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan.Describe())
+}
+
+// scenariosCmd lists the workload scenario library.
+func scenariosCmd() {
+	for _, s := range workload.Scenarios() {
+		fmt.Printf("%-22s %s\n", s.Name, s.Description)
+	}
+}

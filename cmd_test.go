@@ -19,7 +19,7 @@ func buildTools(t *testing.T) string {
 		t.Skip("skipping cmd smoke tests in -short mode")
 	}
 	dir := t.TempDir()
-	for _, tool := range []string{"tracegen", "mssanalyze", "msssim", "migsim"} {
+	for _, tool := range []string{"tracegen", "mssanalyze", "msssim", "migsim", "migexp"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 		cmd.Env = os.Environ()
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -115,5 +115,71 @@ func TestCmdPipelines(t *testing.T) {
 	if slice != streamed {
 		t.Errorf("-stream output differs from slice path:\n--- slice ---\n%s\n--- stream ---\n%s",
 			slice, streamed)
+	}
+}
+
+// TestMigexpGoldenManifest is the acceptance gate for the experiment
+// runner's end-user surface: one spec file drives a 2-scenario ×
+// 3-policy × 3-capacity grid, and the JSON manifest it emits is
+// byte-identical at every worker count.
+func TestMigexpGoldenManifest(t *testing.T) {
+	bin := buildTools(t)
+	run := func(args ...string) []byte {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, "migexp"), args...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("migexp %v: %v\nstderr: %s", args, err, stderr.String())
+		}
+		return stdout.Bytes()
+	}
+	spec := filepath.Join("testdata", "quickgrid.json")
+
+	// validate describes the plan without running it.
+	plan := string(run("validate", spec))
+	if !strings.Contains(plan, "2 sources × 3 policies × 3 capacities = 18 cells") {
+		t.Fatalf("validate plan wrong:\n%s", plan)
+	}
+
+	// scenarios lists the full library.
+	scen := string(run("scenarios"))
+	for _, want := range []string{"paper-1993", "diurnal-interactive",
+		"checkpoint-restart", "archive-coldscan"} {
+		if !strings.Contains(scen, want) {
+			t.Errorf("scenarios listing missing %s:\n%s", want, scen)
+		}
+	}
+
+	// run at three worker counts: tables on stdout, manifests identical.
+	dir := t.TempDir()
+	var manifests [][]byte
+	for i, workers := range []string{"1", "2", "8"} {
+		out := filepath.Join(dir, "m"+workers+".json")
+		tables := string(run("run", spec, "-workers", workers, "-o", out))
+		if i == 0 {
+			for _, want := range []string{"quickgrid", "paper-1993",
+				"checkpoint-restart", "STP^1.4", "LRU", "OPT", "trace sha256"} {
+				if !strings.Contains(tables, want) {
+					t.Errorf("run tables missing %q:\n%s", want, tables)
+				}
+			}
+		}
+		b, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		manifests = append(manifests, b)
+	}
+	for i := 1; i < len(manifests); i++ {
+		if !bytes.Equal(manifests[0], manifests[i]) {
+			t.Fatalf("manifest differs between -workers 1 and -workers %d", []int{1, 2, 8}[i])
+		}
+	}
+
+	// -json emits exactly the manifest bytes.
+	if jsonOut := run("run", spec, "-workers", "2", "-json"); !bytes.Equal(jsonOut, manifests[0]) {
+		t.Error("-json stdout differs from -o manifest file")
 	}
 }

@@ -1,0 +1,60 @@
+package filemig_test
+
+// Keeps docs/experiments.md honest: the worked example's spec block is
+// executed and its shown output compared byte for byte, so the document
+// cannot drift from the code.
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"filemig"
+	"filemig/internal/experiment"
+)
+
+// docFence extracts the first fenced code block following the given
+// <!-- test:... --> marker.
+func docFence(t *testing.T, doc, marker string) string {
+	t.Helper()
+	_, rest, ok := strings.Cut(doc, marker)
+	if !ok {
+		t.Fatalf("docs/experiments.md lost its %s marker", marker)
+	}
+	_, rest, ok = strings.Cut(rest, "```")
+	if !ok {
+		t.Fatalf("no code fence after %s", marker)
+	}
+	// Drop the info string ("json") on the opening fence line.
+	if i := strings.IndexByte(rest, '\n'); i >= 0 {
+		rest = rest[i+1:]
+	}
+	body, _, ok := strings.Cut(rest, "```")
+	if !ok {
+		t.Fatalf("unterminated code fence after %s", marker)
+	}
+	return body
+}
+
+func TestDocsWorkedExample(t *testing.T) {
+	raw, err := os.ReadFile("docs/experiments.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+
+	spec, err := experiment.Parse(strings.NewReader(docFence(t, doc, "<!-- test:spec -->")))
+	if err != nil {
+		t.Fatalf("worked example spec does not parse: %v", err)
+	}
+	m, err := filemig.RunExperiment(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimRight(filemig.RenderExperiment(m), "\n")
+	want := strings.TrimRight(docFence(t, doc, "<!-- test:output -->"), "\n")
+	if got != want {
+		t.Errorf("docs/experiments.md worked example is stale.\n--- documented ---\n%s\n--- actual ---\n%s",
+			want, got)
+	}
+}

@@ -23,6 +23,51 @@ func ExampleRun() {
 	// error references: 223 of 4689
 }
 
+// ExampleScenarios lists the named workload scenario library that
+// experiment specs select from.
+func ExampleScenarios() {
+	for _, s := range filemig.Scenarios() {
+		fmt.Println(s.Name)
+	}
+	// Output:
+	// paper-1993
+	// diurnal-interactive
+	// checkpoint-restart
+	// archive-coldscan
+}
+
+// ExampleRunExperiment executes a small declarative grid — one scenario,
+// two policies, two capacities — and reads one figure of merit out of
+// the deterministic manifest.
+func ExampleRunExperiment() {
+	m, err := filemig.RunExperiment(&filemig.ExperimentSpec{
+		Name:       "example",
+		Scenarios:  []string{"paper-1993"},
+		Scale:      0.002,
+		Seed:       1,
+		Days:       30,
+		Policies:   []string{"stp:1.4", "lru"},
+		Capacities: []float64{0.02, 0.10},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grid: %d cells\n", m.Grid.Cells)
+	sr := m.Scenarios[0]
+	for _, row := range sr.Policies {
+		for _, cell := range row.Cells {
+			fmt.Printf("%s @ %g%%: %.1f%% read misses\n",
+				row.Policy, 100*cell.CapacityFraction, 100*cell.MissRatio)
+		}
+	}
+	// Output:
+	// grid: 4 cells
+	// STP^1.4 @ 2%: 42.7% read misses
+	// STP^1.4 @ 10%: 24.6% read misses
+	// LRU @ 2%: 66.3% read misses
+	// LRU @ 10%: 26.6% read misses
+}
+
 // ExampleRunStream is the bounded-memory variant: records flow from the
 // generator straight into the sharded analysis without ever
 // materializing the trace, and the report matches Run's (modulo the

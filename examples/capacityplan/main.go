@@ -1,9 +1,11 @@
 // Capacity planning: how much staging disk does the Cray need in front of
-// the tape archive? Replays the reference string against caches of 0.5%
-// to 10% of the referenced data under each migration policy — the
-// experiment behind §2.3's observation that with STP a disk holding ~1.5%
-// of the tertiary store kept the miss ratio near 1%, costing only a few
-// person-minutes per day.
+// the tape archive? The experiment behind §2.3's observation that with
+// STP a disk holding ~1.5% of the tertiary store kept the miss ratio
+// near 1%, costing only a few person-minutes per day — expressed as a
+// declarative experiment spec instead of hand-rolled sweep wiring, so
+// changing the workload mix or the policy set is an edit to the spec
+// literal, not new code. The same spec as JSON runs under
+// `migexp run` (see docs/experiments.md).
 package main
 
 import (
@@ -11,44 +13,36 @@ import (
 	"log"
 
 	"filemig"
-	"filemig/internal/migration"
 	"filemig/internal/units"
 )
 
 func main() {
 	log.SetFlags(0)
-	p, err := filemig.Run(filemig.Config{Scale: 0.01, Seed: 11, SkipSimulation: true})
+	spec := &filemig.ExperimentSpec{
+		Name:        "capacityplan",
+		Description: "§2.3 staging-disk sizing under the paper's policy trio",
+		Scenarios:   []string{"paper-1993"},
+		Scale:       0.01,
+		Seed:        11,
+		Policies:    []string{"stp:1.4", "lru", "largest-first"},
+		Capacities:  []float64{0.005, 0.01, 0.015, 0.02, 0.05, 0.10},
+	}
+	m, err := filemig.RunExperiment(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	accs := p.Accesses()
-	total := migration.TotalReferencedBytes(accs)
-	days := float64(p.Workload.Config.Days)
-	fmt.Printf("reference string: %d accesses, %s of distinct data\n\n", len(accs), total)
-
-	// The whole policies × capacities cross product fans out over one
-	// worker pool; each cell is an independent, deterministic replay.
-	fractions := []float64{0.005, 0.01, 0.015, 0.02, 0.05, 0.10}
-	sweeps, err := migration.MultiPolicySweep(accs, fractions, []func() migration.Policy{
-		func() migration.Policy { return migration.STP{K: 1.4} },
-		func() migration.Policy { return migration.LRU{} },
-		func() migration.Policy { return migration.LargestFirst{} },
-	}, 0)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Print(filemig.RenderMultiSweep(sweeps, days))
+	fmt.Print(filemig.RenderExperiment(m))
 
 	// The §6 size-split ablation: how much cache does it take before the
 	// big files stop churning everything out? Report the capacity where
 	// STP's miss ratio first drops under 10%.
-	for _, pt := range sweeps[0].Points {
-		if pt.Result.MissRatio() < 0.10 {
-			fmt.Printf("STP^1.4 reaches <10%% miss ratio at %.1f%% of the store (%s)\n",
-				100*pt.CapacityFraction,
-				units.Bytes(float64(total)*pt.CapacityFraction))
+	sr := m.Scenarios[0]
+	for _, cell := range sr.Policies[0].Cells {
+		if cell.MissRatio < 0.10 {
+			fmt.Printf("\nSTP^1.4 reaches <10%% miss ratio at %.1f%% of the store (%s)\n",
+				100*cell.CapacityFraction, units.Bytes(cell.CapacityBytes))
 			return
 		}
 	}
-	fmt.Println("STP^1.4 never reached a 10% miss ratio in the swept range")
+	fmt.Println("\nSTP^1.4 never reached a 10% miss ratio in the swept range")
 }

@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Plan is a validated spec expanded into the grid the runner will
+// execute: the source axis (scenarios, then the optional trace file),
+// the resolved policy axis, and the capacity axis. Building a plan does
+// all the failure-prone work — parsing, validation, policy resolution —
+// without generating a single record, so `migexp validate` is instant.
+type Plan struct {
+	// Spec is the normalized spec the plan was built from.
+	Spec Spec
+	// Sources lists the workload sources in run order: scenario names
+	// first, then the trace file path if the spec names one.
+	Sources []string
+	// Policies lists the resolved policy display names, in grid order.
+	Policies []string
+	// Capacities is the capacity axis, as fractions of referenced bytes.
+	Capacities []float64
+
+	entries []policyEntry
+}
+
+// BuildPlan normalizes and validates the spec and expands its grid.
+func BuildPlan(spec *Spec) (*Plan, error) {
+	n := spec.Normalize()
+	entries, err := n.validate()
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{Spec: n, Capacities: n.Capacities, entries: entries}
+	p.Sources = append(p.Sources, n.Scenarios...)
+	if n.Trace != "" {
+		p.Sources = append(p.Sources, n.Trace)
+	}
+	for _, e := range entries {
+		p.Policies = append(p.Policies, e.name)
+	}
+	return p, nil
+}
+
+// Cells reports the number of grid cells the plan will replay.
+func (p *Plan) Cells() int {
+	return len(p.Sources) * len(p.Policies) * len(p.Capacities)
+}
+
+// Describe summarises the plan for humans, one line per axis.
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "experiment %s: %d sources × %d policies × %d capacities = %d cells\n",
+		p.Spec.Name, len(p.Sources), len(p.Policies), len(p.Capacities), p.Cells())
+	fmt.Fprintf(&b, "  sources:    %s\n", strings.Join(p.Sources, ", "))
+	fmt.Fprintf(&b, "  policies:   %s\n", strings.Join(p.Policies, ", "))
+	caps := make([]string, len(p.Capacities))
+	for i, c := range p.Capacities {
+		caps[i] = fmt.Sprintf("%.3g%%", 100*c)
+	}
+	fmt.Fprintf(&b, "  capacities: %s\n", strings.Join(caps, ", "))
+	if len(p.Spec.Scenarios) > 0 {
+		fmt.Fprintf(&b, "  workload:   scale %g, seed %d", p.Spec.Scale, p.Spec.Seed)
+		if p.Spec.Days > 0 {
+			fmt.Fprintf(&b, ", %d days", p.Spec.Days)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

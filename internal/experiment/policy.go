@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"filemig/internal/migration"
+)
+
+// Policy grammar: a spec names each policy as "name" or "name:arg".
+// Parsing happens at validation time so a bad spec fails before any
+// trace is generated; instantiation happens per cell at run time, since
+// stateful policies (random, opt) must never be shared between replays.
+
+// policyEntry is one resolved policy column of the grid: its canonical
+// display name and a factory that, given the source's access string,
+// yields a fresh policy instance per cell.
+type policyEntry struct {
+	name  string
+	build func(accs []migration.Access) func() migration.Policy
+}
+
+// stateless wraps a value policy (no per-replay state) as a policyEntry.
+func stateless(p migration.Policy) policyEntry {
+	return policyEntry{name: p.Name(), build: func([]migration.Access) func() migration.Policy {
+		return func() migration.Policy { return p }
+	}}
+}
+
+// stpEntry builds an STP column with a lossless display name:
+// STP.Name() truncates the exponent to two decimals, which would make
+// distinct exponents like 1.251 and 1.259 collide in dedup and carry
+// identical grid labels. For the usual exponents the rendering matches
+// STP.Name() exactly.
+func stpEntry(k float64) policyEntry {
+	e := stateless(migration.STP{K: k})
+	e.name = "STP^" + strconv.FormatFloat(k, 'g', -1, 64)
+	return e
+}
+
+// parsePolicy resolves one policy spec string.
+func parsePolicy(spec string) (policyEntry, error) {
+	name, arg, hasArg := strings.Cut(strings.TrimSpace(spec), ":")
+	switch name {
+	case "stp":
+		k := 1.4
+		if hasArg {
+			var err error
+			k, err = strconv.ParseFloat(arg, 64)
+			if err != nil || k < 0 || math.IsNaN(k) || math.IsInf(k, 0) {
+				return policyEntry{}, fmt.Errorf("experiment: bad STP exponent %q in %q", arg, spec)
+			}
+		}
+		return stpEntry(k), nil
+	case "lru":
+		return noArg(spec, hasArg, stateless(migration.LRU{}))
+	case "fifo":
+		return noArg(spec, hasArg, stateless(migration.FIFO{}))
+	case "saac":
+		return noArg(spec, hasArg, stateless(migration.SAAC{}))
+	case "largest-first":
+		return noArg(spec, hasArg, stateless(migration.LargestFirst{}))
+	case "smallest-first":
+		return noArg(spec, hasArg, stateless(migration.SmallestFirst{}))
+	case "random":
+		seed := int64(1)
+		if hasArg {
+			var err error
+			if seed, err = strconv.ParseInt(arg, 10, 64); err != nil {
+				return policyEntry{}, fmt.Errorf("experiment: bad random seed %q in %q", arg, spec)
+			}
+		}
+		// Every cell restarts the same seeded sequence, so the column
+		// stays deterministic and cells stay independent. The display
+		// name carries the seed (like STP carries its exponent) so two
+		// seeds can share a grid and rows say which seed ran.
+		return policyEntry{name: "random:" + strconv.FormatInt(seed, 10),
+			build: func([]migration.Access) func() migration.Policy {
+				return func() migration.Policy { return migration.NewRandom(seed) }
+			}}, nil
+	case "opt":
+		// The future index carries per-replay cursors, so each cell
+		// builds its own over the shared access string.
+		return noArg(spec, hasArg, policyEntry{name: "OPT",
+			build: func(accs []migration.Access) func() migration.Policy {
+				return func() migration.Policy {
+					return migration.NewOPT(migration.NewFutureIndex(accs))
+				}
+			}})
+	default:
+		return policyEntry{}, fmt.Errorf("experiment: unknown policy %q (known: %s)",
+			spec, strings.Join(PolicyNames(), ", "))
+	}
+}
+
+// noArg rejects an argument on policies that take none.
+func noArg(spec string, hasArg bool, e policyEntry) (policyEntry, error) {
+	if hasArg {
+		return policyEntry{}, fmt.Errorf("experiment: policy %q takes no argument", spec)
+	}
+	return e, nil
+}
+
+// PolicyNames lists the accepted policy spec names, in grammar order.
+func PolicyNames() []string {
+	return []string{"stp[:K]", "lru", "fifo", "saac", "largest-first",
+		"smallest-first", "random[:seed]", "opt"}
+}
+
+// policySet resolves the spec's policy axis: the explicit policies in
+// order, then one STP^k per requested exponent, deduplicated by display
+// name (an exponent that repeats an explicit stp entry is dropped; an
+// explicit duplicate is an error).
+func (s *Spec) policySet() ([]policyEntry, error) {
+	var out []policyEntry
+	seen := map[string]bool{}
+	for _, p := range s.Policies {
+		e, err := parsePolicy(p)
+		if err != nil {
+			return nil, err
+		}
+		if seen[e.name] {
+			return nil, fmt.Errorf("experiment: policy %s listed twice", e.name)
+		}
+		seen[e.name] = true
+		out = append(out, e)
+	}
+	for _, k := range s.STPExponents {
+		e := stpEntry(k)
+		if seen[e.name] {
+			continue
+		}
+		seen[e.name] = true
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiment: spec %s compares no policies", s.Name)
+	}
+	return out, nil
+}

@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"filemig/internal/units"
+)
+
+// RenderManifest prints the manifest for humans: the grid shape, then
+// one read-miss-ratio table per source with policies as rows and swept
+// capacities as columns — the shape of the paper's §2.3/§6 comparisons.
+func RenderManifest(m *Manifest) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "experiment %s: %d sources × %d policies × %d capacities = %d cells\n",
+		m.Spec.Name, m.Grid.Sources, m.Grid.Policies, m.Grid.Capacities, m.Grid.Cells)
+	for i := range m.Scenarios {
+		b.WriteString("\n")
+		b.WriteString(RenderScenario(&m.Scenarios[i]))
+	}
+	return b.String()
+}
+
+// RenderScenario prints one source's block: the trace provenance line
+// and its read-miss% grid.
+func RenderScenario(sr *ScenarioResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s: %d records, %d accesses, %s referenced, %.0f days\n",
+		sr.Name, sr.Records, sr.Accesses, units.Bytes(sr.ReferencedBytes), sr.Days)
+	fmt.Fprintf(&b, "  trace sha256 %.16s…\n", sr.TraceSHA256)
+	if len(sr.Policies) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  %-16s", "read miss%")
+	for _, c := range sr.Policies[0].Cells {
+		fmt.Fprintf(&b, " %9.3g%%", 100*c.CapacityFraction)
+	}
+	b.WriteString("\n")
+	for _, row := range sr.Policies {
+		fmt.Fprintf(&b, "  %-16s", row.Policy)
+		for _, c := range row.Cells {
+			fmt.Fprintf(&b, " %10.2f", 100*c.MissRatio)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,189 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"filemig/internal/migration"
+	"filemig/internal/trace"
+	"filemig/internal/workload"
+)
+
+// scenarioConfig resolves a scenario name through the workload library;
+// split out so validation can probe names without importing workload at
+// every call site.
+func scenarioConfig(name string, scale float64, seed int64) (workload.Config, error) {
+	return workload.ScenarioConfig(name, scale, seed)
+}
+
+// Run executes the spec's full grid and returns its manifest: each
+// source's trace is produced exactly once, hashed, and converted to the
+// shared access string record by record (the trace itself is never
+// materialized), and then every policy × capacity cell replays that
+// string on the bounded worker pool. Results land by grid index, so the
+// manifest is identical at any worker count.
+func Run(spec *Spec) (*Manifest, error) {
+	plan, err := BuildPlan(spec)
+	if err != nil {
+		return nil, err
+	}
+	return RunPlan(plan)
+}
+
+// RunPlan executes an already-built plan (see BuildPlan).
+func RunPlan(plan *Plan) (*Manifest, error) {
+	m := &Manifest{
+		Spec: plan.Spec,
+		Grid: GridSummary{
+			Sources:    len(plan.Sources),
+			Policies:   len(plan.Policies),
+			Capacities: len(plan.Capacities),
+			Cells:      plan.Cells(),
+		},
+	}
+	// Workers tunes wall-clock only; zero it so the echoed spec (and the
+	// whole manifest) is byte-identical across worker counts.
+	m.Spec.Workers = 0
+	for _, name := range plan.Spec.Scenarios {
+		sr, err := runScenarioSource(plan, name)
+		if err != nil {
+			return nil, err
+		}
+		m.Scenarios = append(m.Scenarios, sr)
+	}
+	if plan.Spec.Trace != "" {
+		sr, err := runTraceSource(plan, plan.Spec.Trace)
+		if err != nil {
+			return nil, err
+		}
+		m.Scenarios = append(m.Scenarios, sr)
+	}
+	return m, nil
+}
+
+// runScenarioSource streams one scenario's generated trace through the
+// grid at the spec's scale, seed and length.
+func runScenarioSource(plan *Plan, name string) (ScenarioResult, error) {
+	cfg, err := scenarioConfig(name, plan.Spec.Scale, plan.Spec.Seed)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	if plan.Spec.Days > 0 {
+		cfg.Days = plan.Spec.Days
+	}
+	gs, err := workload.GenerateStream(cfg)
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("experiment: scenario %s: %w", name, err)
+	}
+	return runSource(plan, name, gs.Stream, float64(cfg.Days))
+}
+
+// runTraceSource streams a trace file (either encoding) through the
+// grid; the span in days is measured from the records.
+func runTraceSource(plan *Plan, path string) (ScenarioResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("experiment: %w", err)
+	}
+	defer f.Close()
+	s, err := trace.OpenStream(f)
+	if err != nil {
+		return ScenarioResult{}, fmt.Errorf("experiment: read %s: %w", path, err)
+	}
+	return runSource(plan, path, s, 0)
+}
+
+// runSource drains one source's record stream — hashing the canonical
+// encoding and building the shared access string on the fly, without
+// holding the records — then replays every policy × capacity cell
+// against it and assembles the result block. days <= 0 means "measure
+// the span from the records".
+func runSource(plan *Plan, name string, s trace.Stream, days float64) (ScenarioResult, error) {
+	h := sha256.New()
+	var tw *trace.Writer
+	in := trace.NewInterner()
+	var accs []migration.Access
+	records := 0
+	var first, last time.Time
+	for {
+		rec, err := s.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return ScenarioResult{}, fmt.Errorf("experiment: source %s: %w", name, err)
+		}
+		if tw == nil {
+			// The canonical encoding anchors its wire epoch at the first
+			// record (trace.WriteAll does the same), so streamed hashes
+			// equal materialized ones.
+			tw = trace.NewWriterEpoch(h, rec.Start)
+			first = rec.Start
+		}
+		if err := tw.Write(&rec); err != nil {
+			return ScenarioResult{}, err
+		}
+		last = rec.Start
+		records++
+		accs = migration.AppendAccessInterned(in, accs, &rec)
+	}
+	if tw != nil {
+		if err := tw.Flush(); err != nil {
+			return ScenarioResult{}, err
+		}
+	}
+	if len(accs) == 0 {
+		return ScenarioResult{}, fmt.Errorf("experiment: source %s has no good accesses", name)
+	}
+	if days <= 0 {
+		days = 1 // floor for degenerate spans, so per-day rates stay finite
+		if records > 1 && last.After(first) {
+			days = last.Sub(first).Hours() / 24
+		}
+	}
+	mks := make([]func() migration.Policy, len(plan.entries))
+	for i, e := range plan.entries {
+		mks[i] = e.build(accs)
+	}
+	sweeps, err := migration.MultiPolicySweep(accs, plan.Capacities, mks, plan.Spec.Workers)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	sr := ScenarioResult{
+		Name:            name,
+		TraceSHA256:     fmt.Sprintf("%x", h.Sum(nil)),
+		Records:         records,
+		Accesses:        len(accs),
+		ReferencedBytes: int64(migration.TotalReferencedBytes(accs)),
+		Days:            days,
+	}
+	for si, sw := range sweeps {
+		// Row names come from the resolved entries, not Policy.Name():
+		// the entry name carries spec-level detail (a random seed) the
+		// policy's own name does not.
+		row := PolicyGrid{Policy: plan.entries[si].name, Cells: make([]Cell, len(sw.Points))}
+		for i, pt := range sw.Points {
+			r := pt.Result
+			row.Cells[i] = Cell{
+				CapacityFraction:    pt.CapacityFraction,
+				CapacityBytes:       int64(r.Capacity),
+				Reads:               r.Reads,
+				ReadHits:            r.ReadHits,
+				ReadMisses:          r.ReadMisses,
+				WriteInserts:        r.WriteInserts,
+				Evictions:           r.Evictions,
+				StreamThroughs:      r.StreamThroughs,
+				BytesRead:           int64(r.BytesRead),
+				BytesMissed:         int64(r.BytesMissed),
+				MissRatio:           r.MissRatio(),
+				ByteMissRatio:       r.ByteMissRatio(),
+				PersonMinutesPerDay: r.PersonMinutesPerDay(days, ExtraTapeLatency),
+			}
+		}
+		sr.Policies = append(sr.Policies, row)
+	}
+	return sr, nil
+}

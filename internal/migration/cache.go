@@ -44,20 +44,27 @@ func AccessesFromRecords(recs []trace.Record) []Access {
 func AccessesFromRecordsInterned(in *trace.Interner, recs []trace.Record) []Access {
 	out := make([]Access, 0, len(recs))
 	for i := range recs {
-		r := &recs[i]
-		if !r.OK() {
-			continue
-		}
-		id := in.Intern(r.MSSPath)
-		out = append(out, Access{
-			Time:   r.Start,
-			FileID: int(id),
-			Size:   r.Size,
-			Write:  r.Op == trace.Write,
-			DirID:  int(in.Dir(id)),
-		})
+		out = AppendAccessInterned(in, out, &recs[i])
 	}
 	return out
+}
+
+// AppendAccessInterned appends one record's access to dst through in,
+// skipping error records — the record-at-a-time form of
+// AccessesFromRecordsInterned, for callers consuming a trace stream
+// without materializing it.
+func AppendAccessInterned(in *trace.Interner, dst []Access, r *trace.Record) []Access {
+	if !r.OK() {
+		return dst
+	}
+	id := in.Intern(r.MSSPath)
+	return append(dst, Access{
+		Time:   r.Start,
+		FileID: int(id),
+		Size:   r.Size,
+		Write:  r.Op == trace.Write,
+		DirID:  int(in.Dir(id)),
+	})
 }
 
 // Prefetcher proposes extra files to stage in alongside a demand fetch.
@@ -112,6 +119,12 @@ func (r CacheResult) ByteMissRatio() float64 {
 	}
 	return float64(r.BytesMissed) / float64(r.BytesRead)
 }
+
+// ExtraTapeLatency is the canonical added human wait of a read miss —
+// the tape path versus the disk path to first byte (Table 3: ~104 s
+// silo vs ~30 s disk) — the extraLatency the §2.3 person-minutes
+// figures use.
+const ExtraTapeLatency = 75 * time.Second
 
 // PersonMinutesPerDay estimates the §2.3 human-cost metric: every read
 // miss costs the requesting scientist the extra tape latency over disk.

@@ -78,6 +78,29 @@ type Config struct {
 
 	// ErrorFraction of requests reference nonexistent files (§5.1).
 	ErrorFraction float64
+
+	// DiurnalSharpness reshapes the Figure 4 read hour-of-day profile:
+	// each hourly weight is raised to this exponent before sampling, so
+	// values above 1 exaggerate the 8 AM surge and the overnight lull
+	// while values below 1 flatten the curve toward machine-like
+	// round-the-clock activity. Zero (or 1) keeps the paper's calibrated
+	// shape. The exponent changes only the sampling weights, never the
+	// number of RNG draws, so traces stay deterministic per Config.
+	DiurnalSharpness float64
+
+	// BurstMean is the mean session length used by burst packing
+	// (Figure 7 calibrates the paper's ~12 requests per session). Zero
+	// keeps the calibrated default; larger values model long batch
+	// trains, smaller ones isolated interactive requests. Ignored when
+	// Bursts is false.
+	BurstMean float64
+
+	// SizeScale multiplies every sampled file size, clamped to the
+	// [2 KB, MSSFileCap] range the population model already enforces.
+	// Zero (or 1) keeps the paper's Figure 10/11 mixture; checkpoint-style
+	// workloads use values above 1. Scaling is a post-pass over the
+	// sampled population, so it never perturbs the RNG streams.
+	SizeScale float64
 }
 
 // DefaultConfig returns the paper-calibrated configuration at the given

@@ -165,6 +165,26 @@ func NewPopulation(n, users int, rng *rand.Rand) *Population {
 	return p
 }
 
+// ScaleSizes multiplies every file size by scale, clamped to the model's
+// [2 KB, MSSFileCap] range (Config.SizeScale). Scale <= 0 or exactly 1
+// leaves the population untouched. It is a deterministic post-pass: no
+// RNG is consumed, so the rest of the generation pipeline is unaffected.
+func (p *Population) ScaleSizes(scale float64) {
+	if scale <= 0 || scale == 1 {
+		return
+	}
+	for i := range p.Files {
+		s := float64(p.Files[i].Size) * scale
+		if s > MSSFileCap {
+			s = MSSFileCap
+		}
+		if s < 2e3 {
+			s = 2e3
+		}
+		p.Files[i].Size = units.Bytes(s)
+	}
+}
+
 // TotalBytes sums the population's sizes.
 func (p *Population) TotalBytes() units.Bytes {
 	var t units.Bytes

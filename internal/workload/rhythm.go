@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"math/rand"
 	"time"
 )
@@ -50,14 +51,29 @@ type Rhythm struct {
 	holidays   bool
 	readGrowth float64
 	holiday    map[int]float64 // day index -> read multiplier
+	readHours  [24]float64     // hour-of-day read weights, possibly reshaped
 }
 
 // NewRhythm builds the rhythm model for a trace starting at start and
-// lasting days days.
+// lasting days days, with the paper's calibrated hour-of-day shape.
 func NewRhythm(start time.Time, days int, holidays bool, readGrowth float64) *Rhythm {
+	return NewShapedRhythm(start, days, holidays, readGrowth, 1)
+}
+
+// NewShapedRhythm is NewRhythm with a diurnal sharpness exponent applied
+// to the read hour-of-day profile: each hourly weight is raised to
+// sharpness before sampling (Config.DiurnalSharpness). Sharpness <= 0 or
+// exactly 1 keeps the calibrated Figure 4 shape bit-for-bit.
+func NewShapedRhythm(start time.Time, days int, holidays bool, readGrowth, sharpness float64) *Rhythm {
 	r := &Rhythm{start: start, days: days, holidays: holidays, readGrowth: readGrowth}
 	if readGrowth <= 0 {
 		r.readGrowth = 1
+	}
+	r.readHours = readHourWeights
+	if sharpness > 0 && sharpness != 1 {
+		for h, w := range r.readHours {
+			r.readHours[h] = math.Pow(w, sharpness)
+		}
 	}
 	r.holiday = map[int]float64{}
 	if holidays {
@@ -156,7 +172,7 @@ func (r *Rhythm) MaxReadDayWeight() float64 {
 
 // SampleReadHour draws an hour of day from the read profile.
 func (r *Rhythm) SampleReadHour(rng *rand.Rand) int {
-	return sampleHour(readHourWeights, rng)
+	return sampleHour(r.readHours, rng)
 }
 
 // SampleWriteHour draws an hour of day from the write profile.

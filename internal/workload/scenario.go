@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The scenario library: named workload presets selectable by experiment
+// specs and the migexp CLI. Every scenario is a full workload.Config
+// derived from the same calibrated machinery, so each one is exactly as
+// deterministic and hash-pinnable as the paper's profile; they differ
+// only in which causal knobs are turned. The non-paper scenarios are
+// motivated by the related work: wide-area file service clients are
+// burstier and more diurnal than NCAR's 1993 mix, cluster
+// checkpoint-restart traffic is machine-paced rewrite-heavy traffic with
+// large files, and archive cold scans are flat, sessionless sweeps over
+// old data.
+
+// Scenario is one named workload preset: a recipe that turns a scale and
+// a seed into a complete generator configuration.
+type Scenario struct {
+	// Name is the stable identifier experiment specs use.
+	Name string
+	// Description is a one-line summary for listings.
+	Description string
+	// Configure builds the scenario's generator configuration at the
+	// given scale in (0, 1] and master seed.
+	Configure func(scale float64, seed int64) Config
+}
+
+// ScenarioPaper1993 is the name of the paper-calibrated default scenario.
+const ScenarioPaper1993 = "paper-1993"
+
+// scenarios is the library, in presentation order.
+var scenarios = []Scenario{
+	{
+		Name:        ScenarioPaper1993,
+		Description: "the paper's NCAR profile: two-year calendar, Figure 4-11 calibration",
+		Configure:   DefaultConfig,
+	},
+	{
+		Name:        "diurnal-interactive",
+		Description: "interactive client mix: sharp day/night swing, long sessions, fast growth",
+		Configure: func(scale float64, seed int64) Config {
+			cfg := DefaultConfig(scale, seed)
+			// Wide-area interactive clients amplify every human rhythm:
+			// the 8 AM surge is steeper, sessions run longer (editors and
+			// notebooks re-request eagerly), re-requests inside the dedup
+			// window are more common, and the population grows faster
+			// than NCAR's did.
+			cfg.DiurnalSharpness = 1.8
+			cfg.BurstMean = 20
+			cfg.DuplicateMean = 0.45
+			cfg.ReadGrowth = 3.0
+			return cfg
+		},
+	},
+	{
+		Name:        "checkpoint-restart",
+		Description: "cluster checkpoint traffic: machine-paced, large files, heavy re-reads",
+		Configure: func(scale float64, seed int64) Config {
+			cfg := DefaultConfig(scale, seed)
+			// Batch schedulers do not sleep or take holidays: the read
+			// curve flattens toward the write curve, checkpoint images
+			// run several times the interactive mix's sizes, and restarts
+			// re-read what was just written, so duplicate pressure is
+			// high while error lookups are rare (jobs reference files by
+			// generated, existing names).
+			cfg.DiurnalSharpness = 0.4
+			cfg.BurstMean = 30
+			cfg.DuplicateMean = 0.7
+			cfg.SizeScale = 2.5
+			cfg.Holidays = false
+			cfg.ReadGrowth = 1.0
+			cfg.ErrorFraction = 0.01
+			return cfg
+		},
+	},
+	{
+		Name:        "archive-coldscan",
+		Description: "archival sweep: flat sessionless reads of old data, few repeats",
+		Configure: func(scale float64, seed int64) Config {
+			cfg := DefaultConfig(scale, seed)
+			// A migration or integrity scan walks the archive at a steady
+			// machine pace: nearly flat around the clock, no session
+			// structure, almost no re-requests within the window, files
+			// skewed large (the archive keeps the model histories), and
+			// no growth over the trace.
+			cfg.DiurnalSharpness = 0.25
+			cfg.Bursts = false
+			cfg.DuplicateMean = 0.05
+			cfg.SizeScale = 1.5
+			cfg.Holidays = false
+			cfg.ReadGrowth = 1.0
+			cfg.ErrorFraction = 0.005
+			return cfg
+		},
+	},
+}
+
+// Scenarios returns the scenario library in presentation order. The
+// returned slice is a copy; callers may reorder it freely.
+func Scenarios() []Scenario {
+	out := make([]Scenario, len(scenarios))
+	copy(out, scenarios)
+	return out
+}
+
+// ScenarioNames returns the library's names, sorted.
+func ScenarioNames() []string {
+	names := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FindScenario returns the named scenario.
+func FindScenario(name string) (Scenario, bool) {
+	for _, s := range scenarios {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// ScenarioConfig builds the named scenario's configuration, failing with
+// the list of known names when the scenario does not exist.
+func ScenarioConfig(name string, scale float64, seed int64) (Config, error) {
+	s, ok := FindScenario(name)
+	if !ok {
+		return Config{}, fmt.Errorf("workload: unknown scenario %q (known: %s)",
+			name, strings.Join(ScenarioNames(), ", "))
+	}
+	return s.Configure(scale, seed), nil
+}

@@ -72,10 +72,11 @@ func GenerateStream(cfg Config) (*StreamResult, error) {
 	}
 
 	pop := NewPopulation(cfg.Files, cfg.Users, popRng)
+	pop.ScaleSizes(cfg.SizeScale)
 	for i := range pop.Files {
 		tree.AddBytes(i, pop.Files[i].Size)
 	}
-	rhythm := NewRhythm(cfg.Start, cfg.Days, cfg.Holidays, cfg.ReadGrowth)
+	rhythm := NewShapedRhythm(cfg.Start, cfg.Days, cfg.Holidays, cfg.ReadGrowth, cfg.DiurnalSharpness)
 
 	// Plan phase: file order, shared RNG, compact output. The sequence
 	// counter records eager emission order so the merge can reproduce a
@@ -114,7 +115,11 @@ func GenerateStream(cfg Config) (*StreamResult, error) {
 
 	var s trace.Stream = ms
 	if cfg.Bursts {
-		s = &burstStream{src: ms, rng: burstRng}
+		mean := cfg.BurstMean
+		if mean <= 0 {
+			mean = meanBurstLen
+		}
+		s = &burstStream{src: ms, rng: burstRng, mean: mean}
 	}
 	return &StreamResult{Config: cfg, Stream: s, Population: pop, Tree: tree,
 		Rhythm: rhythm, Planned: planned}, nil
@@ -226,6 +231,7 @@ func (m *mergeStream) Next() (trace.Record, error) {
 type burstStream struct {
 	src     trace.Stream
 	rng     *rand.Rand
+	mean    float64 // mean session length (Config.BurstMean)
 	buf     []trace.Record
 	i       int
 	pending trace.Record
@@ -283,7 +289,7 @@ func (b *burstStream) fill() error {
 		break
 	}
 	if len(b.buf) > 1 {
-		packHour(b.buf, hour, b.rng, meanBurstLen, smallGapMean, smallGapFloor)
+		packHour(b.buf, hour, b.rng, b.mean, smallGapMean, smallGapFloor)
 	}
 	return nil
 }

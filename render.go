@@ -3,7 +3,6 @@ package filemig
 import (
 	"fmt"
 	"strings"
-	"time"
 
 	"filemig/internal/device"
 	"filemig/internal/migration"
@@ -50,9 +49,9 @@ func RenderPolicyComparison(results []migration.CacheResult, days float64) strin
 	return b.String()
 }
 
-// extraTapeLatency is the added human wait of a read miss: the tape path
-// versus the disk path to first byte (Table 3: ~104s silo vs ~30s disk).
-const extraTapeLatency = 75 * time.Second
+// extraTapeLatency is the added human wait of a read miss (Table 3:
+// ~104s silo vs ~30s disk), shared with the experiment manifests.
+const extraTapeLatency = migration.ExtraTapeLatency
 
 // RenderExponentSweep prints an STP exponent ablation.
 func RenderExponentSweep(points []migration.ExponentPoint) string {
