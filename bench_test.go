@@ -235,6 +235,61 @@ func maxShardWindow(recs []trace.Record, shard time.Duration, n int) int {
 	return best
 }
 
+// BenchmarkSnapshotRoundTrip measures the s1 snapshot codec on the
+// fixture workload: serializing a journaled analysis, and merging two
+// snapshot halves back into one analysis (decode + journal replay).
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	p, _ := fixture(b)
+	journaled := func(recs []trace.Record) *core.Analysis {
+		a := core.New(core.Options{Journal: true})
+		a.AddAll(recs)
+		return a
+	}
+	b.Run("save", func(b *testing.B) {
+		b.ReportAllocs()
+		a := journaled(p.Records)
+		var size int64
+		for i := 0; i < b.N; i++ {
+			var n countingWriter
+			if err := a.WriteSnapshot(&n); err != nil {
+				b.Fatal(err)
+			}
+			size = int64(n)
+		}
+		b.SetBytes(size)
+		b.ReportMetric(float64(size)/float64(len(p.Records)), "bytes/rec")
+	})
+	b.Run("merge", func(b *testing.B) {
+		b.ReportAllocs()
+		var h1, h2 bytes.Buffer
+		if err := journaled(p.Records[:len(p.Records)/2]).WriteSnapshot(&h1); err != nil {
+			b.Fatal(err)
+		}
+		if err := journaled(p.Records[len(p.Records)/2:]).WriteSnapshot(&h2); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(h1.Len() + h2.Len()))
+		for i := 0; i < b.N; i++ {
+			a, err := core.MergeSnapshots(bytes.NewReader(h1.Bytes()), bytes.NewReader(h2.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if a == nil {
+				b.Fatal("nil analysis")
+			}
+		}
+	})
+}
+
+// countingWriter discards output while counting it, so encode
+// benchmarks measure the codec rather than buffer growth.
+type countingWriter int64
+
+func (c *countingWriter) Write(b []byte) (int, error) {
+	*c += countingWriter(len(b))
+	return len(b), nil
+}
+
 // BenchmarkGenerateStream compares materializing generation against the
 // lazy plan-merge stream feeding the analysis directly — the RunStream
 // pipeline against Run with SkipSimulation.

@@ -1,5 +1,7 @@
 // Command mssanalyze runs the paper's analysis over a trace and prints
-// any or all of its tables and figures.
+// any or all of its tables and figures — or, for distributed runs,
+// saves the analysis as a mergeable s1 snapshot and merges snapshots
+// back into one report.
 //
 // Usage:
 //
@@ -7,6 +9,8 @@
 //	mssanalyze -i trace.b1 -stream -workers 8     # sharded streaming analysis
 //	mssanalyze -scale 0.02 -id table3 -id figure7
 //	tracegen -scale 0.01 -sim | mssanalyze -all
+//	mssanalyze -i slice0.b1 -snapshot s0.s1       # map: analyse one slice
+//	mssanalyze merge [-id ...] s0.s1 s1.s1        # reduce: merge + report
 //
 // With -scale and no -i, a synthetic trace is generated and simulated
 // in-process. The input codec (ASCII v1 or binary b1) is auto-detected;
@@ -17,11 +21,20 @@
 // request list, and in generate mode the MSS simulation is skipped too
 // (latency columns stay empty), since simulation replays the whole
 // trace.
+//
+// With -snapshot, the analysis state is written to the named s1 file
+// ('-' for stdout) instead of printing a report; trace slices may be
+// analysed on different machines and their snapshots combined with the
+// merge mode, whose report is byte-identical to analysing the
+// concatenated trace in one process (docs/snapshots.md). Slices need
+// not align with the eight-hour dedup window, but must be merged in
+// trace time order.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -43,6 +56,10 @@ func (l *idList) Set(v string) error {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mssanalyze: ")
+	if len(os.Args) > 1 && os.Args[1] == "merge" {
+		runMerge(os.Args[2:])
+		return
+	}
 	var ids idList
 	var (
 		in        = flag.String("i", "", "input trace file ('-' for stdin); empty = generate")
@@ -53,6 +70,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "streaming analysis worker pool size (0 = one per CPU)")
 		shardDays = flag.Int("shard-days", 0, "streaming shard width in days (0 = 28)")
 		format    = flag.String("format", "auto", "input format: auto, ascii or binary")
+		snapshot  = flag.String("snapshot", "", "write an s1 analysis snapshot here ('-' for stdout) instead of reporting")
 	)
 	flag.Var(&ids, "id", "experiment to print (table3, figure7, ...); repeatable")
 	flag.Parse()
@@ -61,6 +79,16 @@ func main() {
 	}
 	if *in == "" && *format != "auto" {
 		log.Fatal("-format only applies when reading a trace with -i")
+	}
+	if *snapshot != "" {
+		if *in == "" {
+			log.Fatal("-snapshot needs a trace input (-i); snapshots of generated workloads carry no namespace tree")
+		}
+		if *all || len(ids) > 0 {
+			log.Fatal("-snapshot replaces the report; drop -all/-id")
+		}
+		writeSnapshot(*in, *format, *snapshot, *stream, *workers, *shardDays)
+		return
 	}
 
 	var p *filemig.Pipeline
@@ -121,14 +149,21 @@ func main() {
 		}
 	}
 
+	renderExperiments(p, ids, *all, streamed)
+}
+
+// renderExperiments prints the selected (or all) experiments from a
+// finished pipeline. Without the raw request list — the streamed and
+// merged paths — the coalesce experiment is skipped with a note.
+func renderExperiments(p *filemig.Pipeline, ids idList, all, noRecords bool) {
 	render := func(e filemig.Experiment) {
-		if streamed && e.ID == "coalesce" {
-			fmt.Printf("== %s ==\n(skipped: coalescing needs the raw request list; rerun without -stream)\n\n", e.Title)
+		if noRecords && e.ID == "coalesce" {
+			fmt.Printf("== %s ==\n(skipped: coalescing needs the raw request list; rerun without -stream on the full trace)\n\n", e.Title)
 			return
 		}
 		fmt.Printf("== %s ==\n%s\n", e.Title, e.Render(p))
 	}
-	if *all || len(ids) == 0 {
+	if all || len(ids) == 0 {
 		for _, e := range filemig.Experiments() {
 			render(e)
 		}
@@ -141,4 +176,89 @@ func main() {
 		}
 		render(e)
 	}
+}
+
+// writeSnapshot analyses the trace input with the journal enabled and
+// serializes the analysis as an s1 snapshot — the map step of a
+// distributed run.
+func writeSnapshot(in, format, out string, stream bool, workers, shardDays int) {
+	f := os.Stdin
+	if in != "-" {
+		var err error
+		f, err = os.Open(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+	}
+	src, err := trace.OpenStreamFlag(f, format)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := core.Options{DedupWindow: workload.DedupWindow, Journal: true}
+	var a *core.Analysis
+	if stream {
+		a, err = core.AccumulateStream(core.StreamOptions{
+			Options:       opts,
+			Workers:       workers,
+			ShardDuration: time.Duration(shardDays) * 24 * time.Hour,
+		}, src)
+	} else {
+		var recs []trace.Record
+		recs, err = trace.Collect(src)
+		if err == nil {
+			a = core.New(opts)
+			a.AddAll(recs)
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := os.Stdout
+	if out != "-" {
+		w, err = os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := a.WriteSnapshot(w); err != nil {
+		log.Fatal(err)
+	}
+	if out != "-" {
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// runMerge implements the merge mode: load s1 snapshots in trace order,
+// merge them, and report. Flags come before the snapshot files.
+func runMerge(args []string) {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mssanalyze merge [-all] [-id table3 ...] a.s1 b.s1 ...")
+		fs.PrintDefaults()
+	}
+	var ids idList
+	all := fs.Bool("all", false, "print every table and figure")
+	fs.Var(&ids, "id", "experiment to print (table3, figure7, ...); repeatable")
+	fs.Parse(args)
+	files := fs.Args()
+	if len(files) == 0 {
+		log.Fatal("merge needs at least one .s1 snapshot file")
+	}
+	rs := make([]io.Reader, len(files))
+	for i, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		rs[i] = f
+	}
+	a, err := core.MergeSnapshots(rs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	renderExperiments(&filemig.Pipeline{Report: a.Report()}, ids, *all, true)
 }

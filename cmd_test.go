@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"filemig/internal/trace"
 )
 
 func buildTools(t *testing.T) string {
@@ -115,6 +117,86 @@ func TestCmdPipelines(t *testing.T) {
 	if slice != streamed {
 		t.Errorf("-stream output differs from slice path:\n--- slice ---\n%s\n--- stream ---\n%s",
 			slice, streamed)
+	}
+}
+
+// TestMssanalyzeSnapshotMerge is the acceptance gate for the
+// distributed-analysis surface: the paper workload encoded as two trace
+// slice files, each analysed to an s1 snapshot by `mssanalyze
+// -snapshot` (one slice via the slice path, one via -stream), then
+// combined by `mssanalyze merge` — whose report must be byte-identical
+// to analysing the unsplit trace, and must match the committed golden
+// report testdata/snapshot_golden.txt.
+func TestMssanalyzeSnapshotMerge(t *testing.T) {
+	bin := buildTools(t)
+	run := func(name string, args ...string) []byte {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%s %v: %v\nstderr: %s", name, args, err, stderr.String())
+		}
+		return stdout.Bytes()
+	}
+
+	// The paper workload, simulated for real latency columns, cut into
+	// two binary slice files at an arbitrary record boundary (dedup
+	// chains deliberately cross it).
+	p, err := Run(Config{Scale: 0.001, Seed: 3, Days: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cut := len(p.Records)*2/3 + 1
+	whole := filepath.Join(dir, "whole.b1")
+	slices := []string{filepath.Join(dir, "s0.b1"), filepath.Join(dir, "s1.b1")}
+	for path, recs := range map[string][]trace.Record{
+		whole: p.Records, slices[0]: p.Records[:cut], slices[1]: p.Records[cut:],
+	} {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteAllFormat(f, recs, trace.FormatBinary); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Map: one snapshot per slice, exercising both producer paths.
+	snaps := []string{filepath.Join(dir, "s0.s1"), filepath.Join(dir, "s1.s1")}
+	run("mssanalyze", "-i", slices[0], "-snapshot", snaps[0])
+	run("mssanalyze", "-i", slices[1], "-stream", "-workers", "3", "-shard-days", "7",
+		"-snapshot", snaps[1])
+
+	// Reduce: the merged report matches the unsplit analysis byte for
+	// byte, and the committed golden file.
+	ids := []string{"-id", "table3", "-id", "table4", "-id", "figure8", "-id", "figure9"}
+	merged := run("mssanalyze", append([]string{"merge"}, append(ids, snaps...)...)...)
+	direct := run("mssanalyze", append([]string{"-i", whole}, ids...)...)
+	if !bytes.Equal(merged, direct) {
+		t.Errorf("merged snapshot report differs from direct analysis:\n--- merged ---\n%s\n--- direct ---\n%s",
+			merged, direct)
+	}
+	goldenPath := filepath.Join("testdata", "snapshot_golden.txt")
+	if os.Getenv("UPDATE_SNAPSHOT_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, merged, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(merged))
+		return
+	}
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged, golden) {
+		t.Errorf("merged report does not match testdata/snapshot_golden.txt:\n--- got ---\n%s\n--- golden ---\n%s",
+			merged, golden)
 	}
 }
 

@@ -1,16 +1,18 @@
 package filemig_test
 
-// Keeps docs/experiments.md honest: the worked example's spec block is
-// executed and its shown output compared byte for byte, so the document
+// Keeps the worked examples in docs/ honest: each document's example is
+// executed and its shown output compared byte for byte, so the docs
 // cannot drift from the code.
 
 import (
+	"bytes"
 	"os"
 	"strings"
 	"testing"
 
 	"filemig"
 	"filemig/internal/experiment"
+	"filemig/internal/trace"
 )
 
 // docFence extracts the first fenced code block following the given
@@ -19,7 +21,7 @@ func docFence(t *testing.T, doc, marker string) string {
 	t.Helper()
 	_, rest, ok := strings.Cut(doc, marker)
 	if !ok {
-		t.Fatalf("docs/experiments.md lost its %s marker", marker)
+		t.Fatalf("the document lost its %s marker", marker)
 	}
 	_, rest, ok = strings.Cut(rest, "```")
 	if !ok {
@@ -55,6 +57,48 @@ func TestDocsWorkedExample(t *testing.T) {
 	want := strings.TrimRight(docFence(t, doc, "<!-- test:output -->"), "\n")
 	if got != want {
 		t.Errorf("docs/experiments.md worked example is stale.\n--- documented ---\n%s\n--- actual ---\n%s",
+			want, got)
+	}
+}
+
+// TestDocsSnapshotExample executes docs/snapshots.md's worked
+// distributed merge through the facade — the same workload, split,
+// snapshotted twice, merged — and compares the documented Table 4
+// byte for byte.
+func TestDocsSnapshotExample(t *testing.T) {
+	raw, err := os.ReadFile("docs/snapshots.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+
+	p, err := filemig.Run(filemig.Config{Scale: 0.001, Seed: 3, Days: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(p.Records) / 2
+	var snaps [2]bytes.Buffer
+	for i, recs := range [][]trace.Record{p.Records[:cut], p.Records[cut:]} {
+		var enc bytes.Buffer
+		if err := trace.WriteAllFormat(&enc, recs, trace.FormatBinary); err != nil {
+			t.Fatal(err)
+		}
+		if err := filemig.SaveSnapshot(&snaps[i], &enc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := filemig.MergeSnapshots(&snaps[0], &snaps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := filemig.FindExperiment("table4")
+	if !ok {
+		t.Fatal("table4 experiment missing")
+	}
+	got := strings.TrimRight(e.Render(merged), "\n")
+	want := strings.TrimRight(docFence(t, doc, "<!-- test:snapshot-output -->"), "\n")
+	if got != want {
+		t.Errorf("docs/snapshots.md worked example is stale.\n--- documented ---\n%s\n--- actual ---\n%s",
 			want, got)
 	}
 }

@@ -1,10 +1,12 @@
 package filemig_test
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 
 	"filemig"
+	"filemig/internal/trace"
 )
 
 // ExampleRun executes the whole pipeline — generate, simulate, analyse —
@@ -66,6 +68,66 @@ func ExampleRunExperiment() {
 	// STP^1.4 @ 10%: 24.6% read misses
 	// LRU @ 2%: 66.3% read misses
 	// LRU @ 10%: 26.6% read misses
+}
+
+// ExampleSaveSnapshot analyses an encoded trace into an s1 snapshot —
+// the unit of work one node contributes to a distributed analysis. The
+// snapshot carries the full analysis state in a fraction of the trace's
+// bytes (paths are interned once; per-record state is varint deltas).
+func ExampleSaveSnapshot() {
+	p, err := filemig.Run(filemig.Config{Scale: 0.002, Seed: 1, Days: 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var encoded bytes.Buffer
+	if err := trace.WriteAllFormat(&encoded, p.Records, trace.FormatBinary); err != nil {
+		log.Fatal(err)
+	}
+	traceBytes := encoded.Len()
+	var snap bytes.Buffer
+	if err := filemig.SaveSnapshot(&snap, &encoded); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot smaller than the trace: %v\n", snap.Len() < traceBytes)
+	// Output:
+	// snapshot smaller than the trace: true
+}
+
+// ExampleMergeSnapshots is the reduce step: two trace slices analysed
+// independently — on different machines, in real deployments — merge
+// into the same report a single process computes over the whole trace
+// (compare ExampleRun's counts).
+func ExampleMergeSnapshots() {
+	p, err := filemig.Run(filemig.Config{Scale: 0.002, Seed: 1, Days: 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var s1, s2 bytes.Buffer
+	for _, half := range []struct {
+		dst  *bytes.Buffer
+		recs []trace.Record
+	}{
+		{&s1, p.Records[:len(p.Records)/2]},
+		{&s2, p.Records[len(p.Records)/2:]},
+	} {
+		var enc bytes.Buffer
+		if err := trace.WriteAllFormat(&enc, half.recs, trace.FormatBinary); err != nil {
+			log.Fatal(err)
+		}
+		if err := filemig.SaveSnapshot(half.dst, &enc); err != nil {
+			log.Fatal(err)
+		}
+	}
+	merged, err := filemig.MergeSnapshots(&s1, &s2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t3 := merged.Report.Table3
+	fmt.Printf("good references: %d\n", t3.TotalRefs)
+	fmt.Printf("error references: %d of %d\n", t3.ErrorRefs, t3.GrandTotal)
+	// Output:
+	// good references: 4466
+	// error references: 223 of 4689
 }
 
 // ExampleRunStream is the bounded-memory variant: records flow from the

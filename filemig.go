@@ -25,6 +25,7 @@ package filemig
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -163,6 +164,43 @@ func RunStream(cfg StreamConfig) (*core.Report, error) {
 		ShardDuration: cfg.ShardDuration,
 		Workers:       cfg.Workers,
 	}, sr.Stream)
+}
+
+// SaveSnapshot analyses one encoded trace (ASCII v1 or binary b1,
+// auto-detected) and writes the analysis state to dst as an s1 snapshot
+// — the map step of a distributed analysis. Snapshots of trace slices
+// made anywhere, by any worker, merge through MergeSnapshots into a
+// report byte-identical to analysing the concatenated trace in one
+// process; slices need not align with the eight-hour dedup window and
+// workers need not agree on a calendar origin. The analysis runs on the
+// sharded streaming path, so memory stays proportional to a shard plus
+// the journal, not the trace. See docs/snapshots.md for the format.
+func SaveSnapshot(dst io.Writer, src io.Reader) error {
+	s, err := trace.OpenStream(src)
+	if err != nil {
+		return err
+	}
+	a, err := core.AccumulateStream(core.StreamOptions{
+		Options: core.Options{DedupWindow: workload.DedupWindow, Journal: true},
+	}, s)
+	if err != nil {
+		return err
+	}
+	return a.WriteSnapshot(dst)
+}
+
+// MergeSnapshots loads s1 snapshots — in trace time order, one per
+// disjoint contiguous trace slice — and merges them into a finished
+// Pipeline carrying the combined Report: the reduce step pairing
+// SaveSnapshot. Merging a single snapshot simply loads it. The
+// resulting Pipeline has no Records, so record-level experiments
+// (coalesce) are unavailable, exactly as with RunStream.
+func MergeSnapshots(snaps ...io.Reader) (*Pipeline, error) {
+	a, err := core.MergeSnapshots(snaps...)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{Report: a.Report()}, nil
 }
 
 // Accesses converts the pipeline's records into the migration

@@ -44,6 +44,15 @@ type Options struct {
 	// When nil, directory statistics are derived from the trace alone
 	// and are conditioned on non-emptiness.
 	Tree *namespace.Tree
+
+	// Journal retains the compact per-reference journal WriteSnapshot
+	// serializes (one entry per good reference: FileID, op, start,
+	// size), at ~24 bytes per record of extra memory. Dedup survival
+	// under the §5.3 rule does not compose from per-shard end states —
+	// earlier history can flip which accesses survive arbitrarily deep
+	// into a shard — so exact snapshot merging replays this journal;
+	// see docs/snapshots.md.
+	Journal bool
 }
 
 // Analysis accumulates one streaming pass. Create with New, feed records
@@ -103,6 +112,20 @@ type Analysis struct {
 	// Figure 10: dynamic size distributions, [op index].
 	dynFiles [2]*stats.CDF
 	dynBytes [2]*stats.WeightedCDF
+
+	// journal is the good-reference journal behind Options.Journal:
+	// exactly what snapshot merging must replay, in record order.
+	journal []journalEntry
+}
+
+// journalEntry is one good reference as the snapshot journal stores it:
+// the file's dense ID, the direction, the start instant, and the size.
+// Everything else a snapshot needs merges by sums or CDF concatenation.
+type journalEntry struct {
+	start int64 // UnixNano
+	size  int64
+	id    trace.FileID
+	write bool
 }
 
 // opIndex collapses the two transfer directions onto array indices 0
@@ -193,13 +216,12 @@ func (a *Analysis) addShared(r *trace.Record) bool {
 		a.errors++
 		return false
 	}
-	day := int(r.Start.Sub(a.start) / (24 * time.Hour))
-	if day+1 > a.days {
-		a.days = day + 1
-	}
 	opIdx, cls := opIndex(r.Op), classIndex(r.Device)
 
-	// Table 3.
+	// Table 3. These cells — and Figure 3's latency CDFs below — need the
+	// device class (and startup latency), which the snapshot journal does
+	// not carry; snapshots serialize them directly instead of replaying
+	// them, so they stay out of addDerived.
 	a.refs[opIdx][cls]++
 	a.bytes[opIdx][cls] += int64(r.Size)
 	if r.Startup > 0 {
@@ -216,32 +238,47 @@ func (a *Analysis) addShared(r *trace.Record) bool {
 		c.Add(r.Startup.Seconds())
 	}
 
+	a.addDerived(r.Start, opIdx, int64(r.Size))
+	return true
+}
+
+// addDerived accumulates the whole-system statistics a good reference
+// contributes beyond Table 3 and Figure 3: the calendar series (Figures
+// 4-6), the periodicity series, and the dynamic size distributions
+// (Figure 10). Everything here is a function of (start, op, size) alone,
+// which is why snapshot loading can recompute it by replaying the
+// journal through this same method; a.start must be resolved first.
+func (a *Analysis) addDerived(start time.Time, opIdx int, size int64) {
+	day := int(start.Sub(a.start) / (24 * time.Hour))
+	if day+1 > a.days {
+		a.days = day + 1
+	}
+
 	// Figures 4-6.
-	a.hourBytes[r.Start.Hour()][opIdx] += int64(r.Size)
-	a.hourCount[r.Start.Hour()][opIdx]++
-	a.dayBytes[int(r.Start.Weekday())][opIdx] += int64(r.Size)
+	a.hourBytes[start.Hour()][opIdx] += size
+	a.hourCount[start.Hour()][opIdx]++
+	a.dayBytes[int(start.Weekday())][opIdx] += size
 	week := day / 7
 	wb := a.weekBytes[week]
-	wb[opIdx] += int64(r.Size)
+	wb[opIdx] += size
 	a.weekBytes[week] = wb
 
 	// Periodicity series.
-	hourIdx := int(r.Start.Sub(a.start) / time.Hour)
+	hourIdx := int(start.Sub(a.start) / time.Hour)
 	if hourIdx >= 0 {
 		for len(a.hourlyReqs) <= hourIdx {
 			a.hourlyReqs = append(a.hourlyReqs, 0)
 			a.hourlyRead = append(a.hourlyRead, 0)
 		}
 		a.hourlyReqs[hourIdx]++
-		if r.Op == trace.Read {
+		if opIdx == 0 {
 			a.hourlyRead[hourIdx]++
 		}
 	}
 
 	// Figure 10 (dynamic sizes): every access counts.
-	a.dynFiles[opIdx].Add(float64(r.Size))
-	a.dynBytes[opIdx].Add(float64(r.Size), float64(r.Size))
-	return true
+	a.dynFiles[opIdx].Add(float64(size))
+	a.dynBytes[opIdx].Add(float64(size), float64(size))
 }
 
 // addInterval feeds Figure 7: the interval from the previous good
@@ -260,9 +297,27 @@ func (a *Analysis) addInterval(start time.Time) {
 // file is resolved through the interner: a known path costs one map
 // probe, a new one extends the arena by a single inline slot.
 func (a *Analysis) addFileAccess(path string, op trace.Op, start time.Time, size units.Bytes) {
+	a.addFileAccessID(a.internFile(path), op, start, size)
+}
+
+// internFile resolves a path to its dense FileID, extending the
+// per-file arena in step with the interner on first sight.
+func (a *Analysis) internFile(path string) trace.FileID {
 	id := a.interner.Intern(path)
 	if int(id) == len(a.files) {
 		a.files = append(a.files, fileState{})
+	}
+	return id
+}
+
+// addFileAccessID is addFileAccess below the interner: the dedup state
+// transition for an already-resolved FileID. Snapshot merging replays
+// decoded journals through it directly, and — when the journal is
+// enabled — it is also the single capture point feeding that journal.
+func (a *Analysis) addFileAccessID(id trace.FileID, op trace.Op, start time.Time, size units.Bytes) {
+	if a.opts.Journal {
+		a.journal = append(a.journal, journalEntry{
+			start: start.UnixNano(), size: int64(size), id: id, write: op == trace.Write})
 	}
 	f := &a.files[id]
 	f.size = size

@@ -66,7 +66,10 @@ type shardAccum struct {
 }
 
 // accumulateShard runs one shard's records through a fresh Analysis.
+// Shard-local analyses never serialize, so the snapshot journal — fed by
+// the master during merge — is disabled whatever the caller asked for.
 func accumulateShard(opts Options, recs []trace.Record) *shardAccum {
+	opts.Journal = false
 	sh := &shardAccum{sub: New(opts), recs: recs}
 	// Pre-size the periodicity series to the shard's last hour so the
 	// grow-by-append loop in addShared allocates once per shard.
@@ -169,6 +172,19 @@ func (a *Analysis) merge(sh *shardAccum) {
 // the shards accumulate concurrently. Records must arrive in
 // non-decreasing start order (the codec readers guarantee this).
 func AnalyzeStream(opts StreamOptions, src trace.Stream) (*Report, error) {
+	a, err := AccumulateStream(opts, src)
+	if err != nil {
+		return nil, err
+	}
+	return a.Report(), nil
+}
+
+// AccumulateStream is AnalyzeStream stopped one step short of the
+// Report: it returns the merged accumulator itself, state-identical to a
+// slice-path New + AddAll over the same records. That is the handle
+// snapshot producers need — run with Options.Journal set and hand the
+// result to WriteSnapshot.
+func AccumulateStream(opts StreamOptions, src trace.Stream) (*Analysis, error) {
 	if opts.ShardDuration <= 0 {
 		opts.ShardDuration = DefaultShardDuration
 	}
@@ -179,7 +195,7 @@ func AnalyzeStream(opts StreamOptions, src trace.Stream) (*Report, error) {
 
 	first, err := src.Next()
 	if err == io.EOF {
-		return New(opts.Options).Report(), nil
+		return New(opts.Options), nil
 	}
 	if err != nil {
 		return nil, err
@@ -240,7 +256,7 @@ func nextShard(opts StreamOptions, first trace.Record, src trace.Stream) (
 
 // analyzeSerial is the workers == 1 path: accumulate and merge one shard
 // at a time on the calling goroutine.
-func analyzeSerial(opts StreamOptions, master *Analysis, first trace.Record, src trace.Stream) (*Report, error) {
+func analyzeSerial(opts StreamOptions, master *Analysis, first trace.Record, src trace.Stream) (*Analysis, error) {
 	for {
 		batch, next, done, err := nextShard(opts, first, src)
 		if err != nil {
@@ -248,7 +264,7 @@ func analyzeSerial(opts StreamOptions, master *Analysis, first trace.Record, src
 		}
 		master.merge(accumulateShard(opts.Options, batch))
 		if done {
-			return master.Report(), nil
+			return master, nil
 		}
 		first = next
 	}
@@ -257,7 +273,7 @@ func analyzeSerial(opts StreamOptions, master *Analysis, first trace.Record, src
 // analyzeParallel fans shards over a worker pool and merges results in
 // shard order. In-flight shards are bounded by the pool size: a semaphore
 // token is held from the moment a shard is cut until it has been merged.
-func analyzeParallel(opts StreamOptions, master *Analysis, first trace.Record, src trace.Stream, workers int) (*Report, error) {
+func analyzeParallel(opts StreamOptions, master *Analysis, first trace.Record, src trace.Stream, workers int) (*Analysis, error) {
 	type job struct {
 		idx   int
 		batch []trace.Record
@@ -324,5 +340,5 @@ func analyzeParallel(opts StreamOptions, master *Analysis, first trace.Record, s
 	if readErr != nil {
 		return nil, readErr
 	}
-	return master.Report(), nil
+	return master, nil
 }

@@ -1,0 +1,438 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"filemig/internal/device"
+	"filemig/internal/stats"
+	"filemig/internal/trace"
+	"filemig/internal/units"
+)
+
+// The s1 analysis-snapshot codec: a serialized Analysis that any number
+// of processes can produce over slices of a trace and a reducer can
+// merge into a result byte-identical to one process analysing the whole
+// trace — the map-reduce shape of the sharded in-process path
+// (AnalyzeStream) carried across process and machine boundaries. The
+// full wire layout is specified in docs/snapshots.md; briefly, after a
+// one-line ASCII header ("#filemig-trace b1"'s sibling,
+// "#filemig-snapshot s1") a snapshot carries
+//
+//	meta      start time, dedup window, total/error counts
+//	sums      the op×class accumulators (references, bytes, latency)
+//	latency   one serialized CDF per device class (Figure 3)
+//	interner  the path table, FileID-dense in first-seen order
+//	journal   one (fileID, op, Δstart, size) entry per good reference
+//
+// Two facts shape the format. First, per-file dedup survival (§5.3)
+// does not compose from end states: earlier history can flip which of a
+// later shard's accesses survive arbitrarily deep into the shard, and
+// Figure 9's interreference gaps must interleave across files in global
+// record order — so the journal, not the per-file arena, is the
+// serialized truth, and loading rebuilds the arena (plus everything
+// else derivable from (time, op, size): the calendar and periodicity
+// series, Figures 7 and 10) by replaying it through the exact code the
+// slice path runs. Second, what is not derivable from the journal — the
+// device-class split and the startup latencies — is serialized
+// directly, and doubles as an integrity check: the op×class reference
+// sums must equal the journal length, so a truncated or tampered
+// snapshot fails to load instead of skewing the merged report.
+
+// snapHasStart marks a snapshot whose analysis has seen at least one
+// record and therefore carries its resolved calendar origin. The
+// remaining flag bits are reserved and must be zero.
+const snapHasStart = 1 << 0
+
+// maxSnapshotPathLen bounds interned path fields, matching the b1 trace
+// codec's limit.
+const maxSnapshotPathLen = 1 << 16
+
+// maxSnapshotBlobLen bounds the length prefix of a serialized CDF
+// section. Reading is chunked, so this is a sanity bound on the length
+// field, not an allocation.
+const maxSnapshotBlobLen = 1 << 40
+
+// WriteSnapshot serializes the analysis accumulated so far in the s1
+// format. It requires Options.Journal (the reference journal is the
+// serialized source of per-file truth) and refuses an analysis carrying
+// a namespace Tree, which is not serializable. Snapshots are typically
+// written instead of reporting: a Report call is harmless but re-orders
+// CDF samples in place, so only an unreported analysis re-saves
+// byte-identically.
+func (a *Analysis) WriteSnapshot(w io.Writer) error {
+	if !a.opts.Journal {
+		return errors.New("core: WriteSnapshot needs Options.Journal set from the start of the analysis")
+	}
+	if a.opts.Tree != nil {
+		return errors.New("core: an analysis with a namespace Tree cannot be snapshotted (trees are not serialized)")
+	}
+	ww := trace.NewWireWriter(w)
+	ww.Raw([]byte(trace.SnapshotHeader))
+	ww.Byte('\n')
+
+	var flags byte
+	if !a.start.IsZero() {
+		flags |= snapHasStart
+	}
+	ww.Byte(flags)
+	if !a.start.IsZero() {
+		ww.Svarint(a.start.UnixNano())
+	}
+	ww.Uvarint(uint64(a.opts.DedupWindow))
+	ww.Uvarint(uint64(device.NClasses))
+	ww.Uvarint(uint64(a.total))
+	ww.Uvarint(uint64(a.errors))
+
+	for oi := 0; oi < 2; oi++ {
+		for ci := 0; ci < device.NClasses; ci++ {
+			ww.Uvarint(uint64(a.refs[oi][ci]))
+			ww.Uvarint(uint64(a.bytes[oi][ci]))
+			ww.Uvarint(uint64(a.latency[oi][ci].n))
+			ww.Uvarint(uint64(a.latency[oi][ci].micros))
+		}
+	}
+
+	var blob []byte
+	for ci := range a.latCDF {
+		blob = blob[:0]
+		if c := a.latCDF[ci]; c != nil {
+			blob, _ = c.AppendBinary(blob) // error is always nil
+		}
+		ww.Bytes(blob)
+	}
+
+	ww.Uvarint(uint64(a.interner.Len()))
+	for i := 0; i < a.interner.Len(); i++ {
+		ww.String(a.interner.Path(trace.FileID(i)))
+	}
+
+	ww.Uvarint(uint64(len(a.journal)))
+	var prev int64
+	for k := range a.journal {
+		e := &a.journal[k]
+		idOp := uint64(e.id) << 1
+		if e.write {
+			idOp |= 1
+		}
+		ww.Uvarint(idOp)
+		if k == 0 {
+			ww.Svarint(e.start)
+		} else {
+			if e.start < prev {
+				return fmt.Errorf("core: journal out of time order at entry %d", k+1)
+			}
+			ww.Uvarint(uint64(e.start - prev))
+		}
+		if e.size < 0 {
+			return fmt.Errorf("core: journal entry %d has negative size %d", k+1, e.size)
+		}
+		ww.Uvarint(uint64(e.size))
+		prev = e.start
+	}
+	return ww.Flush()
+}
+
+// ReadSnapshot loads one s1 snapshot into a fresh Analysis, replaying
+// its journal so the result is state-identical to the analysis that was
+// saved — Report renders the same bytes, further records can be fed
+// with Add, and the journal stays enabled so the analysis can be
+// re-snapshotted.
+func ReadSnapshot(r io.Reader) (*Analysis, error) {
+	return MergeSnapshots(r)
+}
+
+// MergeSnapshots loads any number of s1 snapshots — in trace time
+// order, each covering a disjoint contiguous slice — and merges them
+// into one Analysis whose rendered Report is byte-identical to a single
+// process analysing the concatenated trace. Slice boundaries need not
+// respect the dedup window or any shard width, and the snapshot
+// producers need not have agreed on a calendar origin: the first
+// snapshot's resolved origin anchors the merge, exactly as the first
+// record anchors a single-process run. Dedup windows must agree across
+// snapshots. On any decode or validation error the partial merge is
+// discarded.
+func MergeSnapshots(rs ...io.Reader) (*Analysis, error) {
+	if len(rs) == 0 {
+		return nil, errors.New("core: MergeSnapshots needs at least one snapshot")
+	}
+	m := New(Options{Journal: true})
+	for i, r := range rs {
+		if err := m.mergeSnapshot(r, i == 0); err != nil {
+			return nil, fmt.Errorf("core: snapshot %d: %w", i+1, err)
+		}
+	}
+	return m, nil
+}
+
+// mergeSnapshot decodes one snapshot from r and folds it into m,
+// validating structure and cross-checking the serialized sums against
+// the replayed journal as it goes.
+func (m *Analysis) mergeSnapshot(r io.Reader, first bool) error {
+	wr := trace.NewWireReader(r)
+	line, err := wr.Line()
+	if err != nil {
+		return fmt.Errorf("header: %w", err)
+	}
+	if line != trace.SnapshotHeader {
+		return fmt.Errorf("not an s1 snapshot header: %.60q", line)
+	}
+	flags, err := wr.ReadByte()
+	if err != nil {
+		return fmt.Errorf("flags: %w", unexpectEOF(err))
+	}
+	if flags&^byte(snapHasStart) != 0 {
+		return fmt.Errorf("reserved flag bits set (0x%02x)", flags)
+	}
+	var start time.Time
+	if flags&snapHasStart != 0 {
+		ns, err := wr.Svarint("start time")
+		if err != nil {
+			return err
+		}
+		start = time.Unix(0, ns).UTC()
+	}
+	dw, err := wr.Uvarint("dedup window", math.MaxInt64)
+	if err != nil {
+		return err
+	}
+	if dw == 0 {
+		return errors.New("dedup window must be positive")
+	}
+	if first {
+		m.opts.DedupWindow = time.Duration(dw)
+	} else if m.opts.DedupWindow != time.Duration(dw) {
+		return fmt.Errorf("dedup window %v disagrees with first snapshot's %v",
+			time.Duration(dw), m.opts.DedupWindow)
+	}
+	nc, err := wr.Uvarint("device class count", 64)
+	if err != nil {
+		return err
+	}
+	if int(nc) != device.NClasses {
+		return fmt.Errorf("snapshot has %d device classes, this build has %d", nc, device.NClasses)
+	}
+	total, err := wr.Uvarint("total references", math.MaxInt64)
+	if err != nil {
+		return err
+	}
+	errRefs, err := wr.Uvarint("error references", math.MaxInt64)
+	if err != nil {
+		return err
+	}
+	if errRefs > total {
+		return fmt.Errorf("%d error references exceed %d total", errRefs, total)
+	}
+
+	// The op×class accumulators, decoded into locals first: they fold by
+	// addition, and their reference sum must match the journal length.
+	var refs, bytes, latN, latMicros [2][device.NClasses]int64
+	var refsSum, latSum int64
+	for oi := 0; oi < 2; oi++ {
+		for ci := 0; ci < device.NClasses; ci++ {
+			for _, f := range []struct {
+				dst   *int64
+				field string
+			}{
+				{&refs[oi][ci], "references"},
+				{&bytes[oi][ci], "byte total"},
+				{&latN[oi][ci], "latency count"},
+				{&latMicros[oi][ci], "latency total"},
+			} {
+				v, err := wr.Uvarint(f.field, math.MaxInt64)
+				if err != nil {
+					return err
+				}
+				*f.dst = int64(v)
+			}
+			refsSum += refs[oi][ci]
+			latSum += latN[oi][ci]
+		}
+	}
+
+	// Figure 3's per-class latency CDFs.
+	var latCDF [device.NClasses]*stats.CDF
+	var latSamples int64
+	for ci := range latCDF {
+		blob, err := readBlob(wr, "latency cdf")
+		if err != nil {
+			return err
+		}
+		if len(blob) == 0 {
+			continue
+		}
+		c := &stats.CDF{}
+		if err := c.UnmarshalBinary(blob); err != nil {
+			return fmt.Errorf("latency cdf class %d: %w", ci, err)
+		}
+		if c.N() == 0 {
+			return fmt.Errorf("latency cdf class %d: present but empty", ci)
+		}
+		latCDF[ci] = c
+		latSamples += int64(c.N())
+	}
+	if latSamples != latSum {
+		return fmt.Errorf("latency cdfs hold %d samples, op×class counts say %d", latSamples, latSum)
+	}
+
+	// The interner table, pre-resolved to master FileIDs. Tables are
+	// written in first-seen order, so folding them in table order keeps
+	// the master's ID assignment identical to a single-process run.
+	nPaths, err := wr.Uvarint("path count", 1<<32)
+	if err != nil {
+		return err
+	}
+	remap := make([]trace.FileID, 0, capHint(nPaths))
+	for i := uint64(0); i < nPaths; i++ {
+		p, err := wr.Bytes("path", "path length", maxSnapshotPathLen)
+		if err != nil {
+			return err
+		}
+		if len(p) == 0 {
+			return fmt.Errorf("path %d is empty", i)
+		}
+		remap = append(remap, m.internFile(string(p)))
+	}
+
+	if !start.IsZero() && m.start.IsZero() {
+		m.start = start
+	}
+
+	// The journal, replayed straight into the master as it decodes.
+	nEntries, err := wr.Uvarint("journal entry count", math.MaxInt64)
+	if err != nil {
+		return err
+	}
+	if int64(nEntries) != refsSum {
+		return fmt.Errorf("journal holds %d entries, op×class references sum to %d", nEntries, refsSum)
+	}
+	if total != errRefs+uint64(refsSum) {
+		return fmt.Errorf("%d total references != %d errors + %d good", total, errRefs, refsSum)
+	}
+	if nEntries > 0 && m.start.IsZero() {
+		return errors.New("journal entries present but no snapshot so far has a start time")
+	}
+	var prev int64
+	seen := trace.FileID(0) // enforces dense first-seen ID order
+	for k := uint64(0); k < nEntries; k++ {
+		idOp, err := wr.Uvarint("journal file id", 1<<33-1)
+		if err != nil {
+			return err
+		}
+		sid := trace.FileID(idOp >> 1)
+		if uint64(sid) >= nPaths {
+			return fmt.Errorf("journal entry %d references path %d of %d", k+1, sid, nPaths)
+		}
+		if sid > seen {
+			return fmt.Errorf("journal entry %d breaks first-seen id order (%d after %d ids)", k+1, sid, seen)
+		}
+		if sid == seen {
+			seen++
+		}
+		var at int64
+		if k == 0 {
+			at, err = wr.Svarint("journal start time")
+			if err != nil {
+				return err
+			}
+		} else {
+			dt, err := wr.Uvarint("journal time delta", math.MaxInt64)
+			if err != nil {
+				return err
+			}
+			if prev > 0 && int64(dt) > math.MaxInt64-prev {
+				return fmt.Errorf("journal entry %d time overflows", k+1)
+			}
+			at = prev + int64(dt)
+		}
+		size, err := wr.Uvarint("journal size", math.MaxInt64)
+		if err != nil {
+			return err
+		}
+		t := time.Unix(0, at).UTC()
+		if k == 0 && !m.lastStart.IsZero() && t.Before(m.lastStart) {
+			return fmt.Errorf("journal starts at %v, before already-merged data ending %v (snapshots must arrive in trace order)",
+				t, m.lastStart)
+		}
+		opIdx, op := 0, trace.Read
+		if idOp&1 != 0 {
+			opIdx, op = 1, trace.Write
+		}
+		m.addDerived(t, opIdx, int64(size))
+		m.addInterval(t)
+		m.addFileAccessID(remap[sid], op, t, units.Bytes(size))
+		prev = at
+	}
+	if uint64(seen) != nPaths {
+		return fmt.Errorf("interner table has %d paths but the journal references only %d", nPaths, seen)
+	}
+	if err := wr.ExpectEOF(); err != nil {
+		return err
+	}
+
+	// All validation passed: fold the serialized accumulators.
+	m.total += int64(total)
+	m.errors += int64(errRefs)
+	for oi := 0; oi < 2; oi++ {
+		for ci := 0; ci < device.NClasses; ci++ {
+			m.refs[oi][ci] += refs[oi][ci]
+			m.bytes[oi][ci] += bytes[oi][ci]
+			m.latency[oi][ci].n += latN[oi][ci]
+			m.latency[oi][ci].micros += latMicros[oi][ci]
+		}
+	}
+	for ci, c := range latCDF {
+		if c == nil {
+			continue
+		}
+		if m.latCDF[ci] == nil {
+			m.latCDF[ci] = &stats.CDF{}
+		}
+		m.latCDF[ci].Merge(c)
+	}
+	return nil
+}
+
+// readBlob reads one length-prefixed binary section in window-sized
+// chunks, so a corrupt length prefix cannot force a large allocation
+// before the stream runs dry.
+func readBlob(wr *trace.WireReader, field string) ([]byte, error) {
+	n, err := wr.Uvarint(field+" length", maxSnapshotBlobLen)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, capHint(n))
+	for remaining := n; remaining > 0; {
+		chunk := remaining
+		if chunk > 1<<15 {
+			chunk = 1 << 15
+		}
+		b, err := wr.Fixed(field, int(chunk))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+		remaining -= chunk
+	}
+	return out, nil
+}
+
+// capHint bounds a pre-allocation by a declared-but-unverified count.
+func capHint(n uint64) int {
+	if n > 1<<16 {
+		return 1 << 16
+	}
+	return int(n)
+}
+
+// unexpectEOF converts a clean EOF into io.ErrUnexpectedEOF for fields
+// that must be present.
+func unexpectEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

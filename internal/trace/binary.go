@@ -1,9 +1,6 @@
 package trace
 
 import (
-	"bufio"
-	"bytes"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
@@ -63,17 +60,17 @@ var wireToDev = [4]device.Class{
 	device.ClassOptical,
 }
 
-// BinaryWriter emits records in the binary b1 format. Like the ASCII
-// Writer, records must be written in non-decreasing start-time order.
+// BinaryWriter emits records in the binary b1 format through the shared
+// WireWriter. Like the ASCII Writer, records must be written in
+// non-decreasing start-time order.
 type BinaryWriter struct {
-	w         *bufio.Writer
+	wire      *WireWriter
 	epoch     time.Time
 	headerOut bool
 	prevStart time.Time
 	prevUID   uint32
 	prevSet   bool
 	count     int64
-	scratch   []byte
 }
 
 // NewBinaryWriter returns a BinaryWriter using the package Epoch.
@@ -82,7 +79,7 @@ func NewBinaryWriter(w io.Writer) *BinaryWriter { return NewBinaryWriterEpoch(w,
 // NewBinaryWriterEpoch returns a BinaryWriter with an explicit epoch;
 // records must not start before it.
 func NewBinaryWriterEpoch(w io.Writer, epoch time.Time) *BinaryWriter {
-	return &BinaryWriter{w: bufio.NewWriterSize(w, 1<<16), epoch: epoch, prevStart: epoch}
+	return &BinaryWriter{wire: NewWireWriter(w), epoch: epoch, prevStart: epoch}
 }
 
 // Count reports the number of records written.
@@ -94,9 +91,7 @@ func (w *BinaryWriter) Write(r *Record) error {
 		return err
 	}
 	if !w.headerOut {
-		if _, err := fmt.Fprintf(w.w, "%s%d\n", binaryHeaderPrefix, w.epoch.Unix()); err != nil {
-			return err
-		}
+		w.wire.Raw(fmt.Appendf(nil, "%s%d\n", binaryHeaderPrefix, w.epoch.Unix()))
 		w.headerOut = true
 	}
 	dt := int64(r.Start.Sub(w.prevStart) / time.Second)
@@ -127,21 +122,17 @@ func (w *BinaryWriter) Write(r *Record) error {
 		flags |= binFlagSameUser
 	}
 
-	b := w.scratch[:0]
-	b = append(b, flags)
-	b = binary.AppendUvarint(b, uint64(dt))
-	b = binary.AppendUvarint(b, uint64(r.Startup/time.Second))
-	b = binary.AppendUvarint(b, uint64(r.Transfer/time.Millisecond))
-	b = binary.AppendUvarint(b, uint64(r.Size))
+	w.wire.Byte(flags)
+	w.wire.Uvarint(uint64(dt))
+	w.wire.Uvarint(uint64(r.Startup / time.Second))
+	w.wire.Uvarint(uint64(r.Transfer / time.Millisecond))
+	w.wire.Uvarint(uint64(r.Size))
 	if !sameUser {
-		b = binary.AppendUvarint(b, uint64(r.UserID))
+		w.wire.Uvarint(uint64(r.UserID))
 	}
-	b = binary.AppendUvarint(b, uint64(len(r.MSSPath)))
-	b = append(b, r.MSSPath...)
-	b = binary.AppendUvarint(b, uint64(len(r.LocalPath)))
-	b = append(b, r.LocalPath...)
-	w.scratch = b[:0]
-	if _, err := w.w.Write(b); err != nil {
+	w.wire.String(r.MSSPath)
+	w.wire.String(r.LocalPath)
+	if err := w.wire.Err(); err != nil {
 		return err
 	}
 	// Like the ASCII writer, track the *truncated* start time so deltas
@@ -154,26 +145,22 @@ func (w *BinaryWriter) Write(r *Record) error {
 }
 
 // Flush flushes buffered output.
-func (w *BinaryWriter) Flush() error { return w.w.Flush() }
+func (w *BinaryWriter) Flush() error { return w.wire.Flush() }
 
 // BinaryReader decodes the binary b1 format. It streams: each Next call
-// decodes one record. The reader owns its buffer: varints decode inline
-// from the buffered window and path fields are interned straight out of
-// it, so each distinct path is allocated once and every later record
-// carrying it reuses the canonical string — steady-state decode moves no
-// memory and allocates nothing per record.
+// decodes one record. The shared WireReader owns the buffer: varints
+// decode inline from the buffered window and path fields are interned
+// straight out of it, so each distinct path is allocated once and every
+// later record carrying it reuses the canonical string — steady-state
+// decode moves no memory and allocates nothing per record.
 type BinaryReader struct {
-	src       io.Reader
-	buf       []byte // buffered window of the stream
-	pos, end  int    // unread bytes are buf[pos:end]
-	srcErr    error  // sticky source error, surfaced once the window drains
+	wire      *WireReader
 	prevStart time.Time
 	prevUID   uint32
 	started   bool
 	rec       int64
 	in        *Interner
 	local     pathCache // bounded cache for local paths (no interned consumer)
-	scratch   []byte    // spill for path fields straddling a window edge
 }
 
 // NewBinaryReader returns a BinaryReader over r with a private path
@@ -189,76 +176,14 @@ func NewBinaryReader(r io.Reader) *BinaryReader {
 // bounded cache instead, so the interner's memory tracks distinct MSS
 // paths only.
 func NewBinaryReaderInterned(r io.Reader, in *Interner) *BinaryReader {
-	return &BinaryReader{src: r, buf: make([]byte, 1<<16), in: in}
-}
-
-// fill compacts the unread window to the front of the buffer and reads
-// more data, reporting whether any arrived. After a false return the
-// sticky source error is set. Like bufio, a reader that repeatedly
-// returns (0, nil) — legal under the io.Reader contract — is cut off
-// with io.ErrNoProgress rather than spun on forever.
-func (r *BinaryReader) fill() bool {
-	if r.pos > 0 {
-		copy(r.buf, r.buf[r.pos:r.end])
-		r.end -= r.pos
-		r.pos = 0
-	}
-	for tries := 0; r.srcErr == nil && r.end < len(r.buf); tries++ {
-		if tries >= 100 {
-			r.srcErr = io.ErrNoProgress
-			break
-		}
-		n, err := r.src.Read(r.buf[r.end:])
-		r.end += n
-		if err != nil {
-			r.srcErr = err
-		}
-		if n > 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// readByte returns the next stream byte; at the end of the stream it
-// returns the sticky source error (io.EOF for a clean end).
-func (r *BinaryReader) readByte() (byte, error) {
-	if r.pos >= r.end && !r.fill() {
-		return 0, r.srcErr
-	}
-	b := r.buf[r.pos]
-	r.pos++
-	return b, nil
-}
-
-// readHeader consumes the one-line ASCII header.
-func (r *BinaryReader) readHeader() (string, error) {
-	for {
-		if i := bytes.IndexByte(r.buf[r.pos:r.end], '\n'); i >= 0 {
-			line := string(r.buf[r.pos : r.pos+i])
-			r.pos += i + 1
-			return line, nil
-		}
-		if r.end-r.pos >= len(r.buf) {
-			return "", fmt.Errorf("header line exceeds %d bytes", len(r.buf))
-		}
-		if !r.fill() {
-			if r.pos == r.end && r.srcErr == io.EOF {
-				return "", io.EOF
-			}
-			if r.srcErr == io.EOF {
-				return "", io.ErrUnexpectedEOF
-			}
-			return "", r.srcErr
-		}
-	}
+	return &BinaryReader{wire: NewWireReader(r), in: in}
 }
 
 // Next decodes the next record. It returns io.EOF when the stream ends
 // cleanly and io.ErrUnexpectedEOF (wrapped) when it ends mid-record.
 func (r *BinaryReader) Next() (Record, error) {
 	if !r.started {
-		line, err := r.readHeader()
+		line, err := r.wire.Line()
 		if err == io.EOF {
 			return Record{}, io.EOF
 		}
@@ -275,7 +200,7 @@ func (r *BinaryReader) Next() (Record, error) {
 		r.prevStart = time.Unix(sec, 0).UTC()
 		r.started = true
 	}
-	flags, err := r.readByte()
+	flags, err := r.wire.ReadByte()
 	if err == io.EOF {
 		return Record{}, io.EOF
 	}
@@ -356,94 +281,21 @@ const (
 	maxWireMillis  = uint64(math.MaxInt64 / int64(time.Millisecond))
 )
 
-// uvarint reads one varint field, converting a mid-record EOF into
-// io.ErrUnexpectedEOF and rejecting values above max. The fast path
-// decodes inline from the reader's buffered window — no per-byte calls;
-// only a varint near the window edge takes the refilling loop.
+// uvarint reads one varint field through the shared wire reader.
 func (r *BinaryReader) uvarint(field string, max uint64) (uint64, error) {
-	if r.end-r.pos >= binary.MaxVarintLen64 {
-		v, k := binary.Uvarint(r.buf[r.pos:r.end])
-		if k <= 0 { // k == 0 impossible with a full varint's worth of bytes
-			return 0, fmt.Errorf("%s: varint overflows 64 bits", field)
-		}
-		r.pos += k
-		if v > max {
-			return 0, fmt.Errorf("%s %d out of range (max %d)", field, v, max)
-		}
-		return v, nil
-	}
-	return r.uvarintSlow(field, max)
-}
-
-// uvarintSlow is the byte-at-a-time refilling tail of uvarint, reached
-// only within a varint's length of the window edge.
-func (r *BinaryReader) uvarintSlow(field string, max uint64) (uint64, error) {
-	var v uint64
-	var s uint
-	for i := 0; ; i++ {
-		b, err := r.readByte()
-		if err != nil {
-			if err == io.EOF {
-				err = io.ErrUnexpectedEOF
-			}
-			return 0, fmt.Errorf("%s: %w", field, err)
-		}
-		if b < 0x80 {
-			if i == binary.MaxVarintLen64-1 && b > 1 {
-				return 0, fmt.Errorf("%s: varint overflows 64 bits", field)
-			}
-			v |= uint64(b) << s
-			break
-		}
-		if i >= binary.MaxVarintLen64-1 {
-			return 0, fmt.Errorf("%s: varint overflows 64 bits", field)
-		}
-		v |= uint64(b&0x7f) << s
-		s += 7
-	}
-	if v > max {
-		return 0, fmt.Errorf("%s %d out of range (max %d)", field, v, max)
-	}
-	return v, nil
+	return r.wire.Uvarint(field, max)
 }
 
 // pathBytes reads one length-prefixed path field, returning a view the
-// caller must canonicalise before the next read: a path fully inside
-// the buffered window — the overwhelming case — is sliced directly from
-// the buffer with no copy; only a path straddling a window edge is
-// gathered through the scratch spill. Both labels arrive as literals so
-// the hot path never builds an error-message string it will not use.
+// caller must canonicalise before the next read (WireReader.Bytes
+// semantics), and rejecting the empty path b1 never emits.
 func (r *BinaryReader) pathBytes(field, lenField string) ([]byte, error) {
-	n64, err := r.uvarint(lenField, maxBinaryPathLen)
+	b, err := r.wire.Bytes(field, lenField, maxBinaryPathLen)
 	if err != nil {
 		return nil, err
 	}
-	if n64 == 0 {
+	if len(b) == 0 {
 		return nil, fmt.Errorf("%s length must be positive", field)
 	}
-	n := int(n64)
-	if r.end-r.pos >= n {
-		b := r.buf[r.pos : r.pos+n]
-		r.pos += n
-		return b, nil
-	}
-	if cap(r.scratch) < n {
-		r.scratch = make([]byte, n)
-	}
-	buf := r.scratch[:n]
-	got := copy(buf, r.buf[r.pos:r.end])
-	r.pos = r.end
-	for got < n {
-		if !r.fill() {
-			err := r.srcErr
-			if err == nil || err == io.EOF {
-				err = io.ErrUnexpectedEOF
-			}
-			return nil, fmt.Errorf("%s: %w", field, err)
-		}
-		m := copy(buf[got:], r.buf[r.pos:r.end])
-		r.pos += m
-		got += m
-	}
-	return buf, nil
+	return b, nil
 }

@@ -64,6 +64,12 @@ func NewFormatWriterEpoch(w io.Writer, f Format, epoch time.Time) FlushSink {
 // the two formats apart.
 const sniffLen = len(headerPrefix) - len(" epoch=")
 
+// SnapshotHeader is the header line (sans newline) of the s1 analysis
+// snapshot format (internal/core, docs/snapshots.md). It lives here so
+// trace readers can tell a snapshot from a trace and point the user at
+// the snapshot tooling instead of failing with a generic header error.
+const SnapshotHeader = "#filemig-snapshot s1"
+
 // emptyStream is what OpenStream returns for zero-byte input: a stream
 // that is immediately at io.EOF, matching the ASCII Reader's tolerance
 // for empty traces.
@@ -77,7 +83,7 @@ func (emptyStream) Next() (Record, error) { return Record{}, io.EOF }
 // stream; an unrecognised header is an error.
 func OpenStream(r io.Reader) (Stream, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
-	head, err := br.Peek(sniffLen)
+	head, err := br.Peek(len(SnapshotHeader))
 	if err == io.EOF && len(head) == 0 {
 		return emptyStream{}, nil
 	}
@@ -97,6 +103,9 @@ func OpenStream(r io.Reader) (Stream, error) {
 // sniffFormat classifies a peeked header prefix.
 func sniffFormat(head []byte) (Format, error) {
 	const common = "#filemig-trace "
+	if len(head) >= len(SnapshotHeader) && string(head[:len(SnapshotHeader)]) == SnapshotHeader {
+		return 0, fmt.Errorf("trace: input is an s1 analysis snapshot, not a trace; load it with mssanalyze merge (or core.ReadSnapshot)")
+	}
 	if len(head) < sniffLen || string(head[:len(common)]) != common {
 		return 0, fmt.Errorf("trace: unrecognised header %q", head)
 	}
