@@ -1,11 +1,9 @@
 #!/bin/sh
-# Doc-lint gate: vet, gofmt, and doc-comment coverage for every internal
-# package plus the facade.
+# Lint gate: gofmt, go vet, and the miglint analyzer suite (which now
+# subsumes the old doc-comment checker as its doccomment analyzer — see
+# docs/lint.md).
 # Run from the repository root: .github/doclint.sh
 set -e
-
-echo "== go vet =="
-go vet ./...
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
@@ -15,6 +13,9 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== doclint (internal/..., facade) =="
-go run .github/doclint/doclint.go $(go list -f '{{.Dir}}' ./internal/...) .
-echo "doc lint clean"
+echo "== go vet =="
+go vet ./...
+
+echo "== miglint =="
+go run ./cmd/miglint ./...
+echo "miglint clean"

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"filemig/internal/experiment"
+	"filemig/internal/host"
 	"filemig/internal/workload"
 )
 
@@ -94,6 +95,11 @@ func runCmd(args []string) {
 	}
 	if *workers >= 0 {
 		spec.Workers = *workers
+	}
+	// The experiment runner takes only explicit worker counts; the
+	// per-CPU default is resolved here at the boundary.
+	if spec.Workers <= 0 {
+		spec.Workers = host.DefaultWorkers()
 	}
 	plan, err := experiment.BuildPlan(spec)
 	if err != nil {

@@ -1,0 +1,139 @@
+// Command miglint machine-checks the repository's correctness
+// invariants: deterministic output (mapiter, detsource), exact shard
+// merges (floatsum), near-zero-allocation hot paths (hotalloc), the
+// ARCHITECTURE.md package layering (layering), and doc-comment coverage
+// (doccomment). Each analyzer is specified in docs/lint.md.
+//
+// It runs two ways, sharing one type-checking path:
+//
+//	miglint ./...                 # standalone: re-execs go vet -vettool=itself
+//	go vet -vettool=miglint ./... # as a vet tool, via cmd/go's vet.cfg protocol
+//
+// Analyzers are enabled by default and can be switched off per run
+// (`miglint -hotalloc=false ./...`). Exit status: 0 clean, 1 internal
+// error, 2 findings.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"filemig/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("miglint", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: miglint [-<analyzer>=false ...] <packages>\n\nanalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	vFlag := fs.String("V", "", "print version and exit (cmd/go probes with -V=full)")
+	flagsProbe := fs.Bool("flags", false, "print the analyzer flags as JSON (cmd/go's vet-tool probe)")
+	enabled := map[string]*bool{}
+	for _, a := range lint.Analyzers() {
+		enabled[a.Name] = fs.Bool(a.Name, true, a.Doc)
+	}
+	fs.Parse(args)
+
+	if *vFlag != "" {
+		return printVersion()
+	}
+	if *flagsProbe {
+		return printFlagsJSON(os.Stdout)
+	}
+
+	var active []*lint.Analyzer
+	for _, a := range lint.Analyzers() {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return lint.RunVetCfg(rest[0], active)
+	}
+	return standalone(fs, rest)
+}
+
+// standalone re-execs the current binary through `go vet -vettool` so
+// cmd/go resolves patterns, compiles dependencies, and feeds back one
+// vet.cfg per package — a single type-checking path for both modes.
+func standalone(fs *flag.FlagSet, patterns []string) int {
+	if len(patterns) == 0 {
+		fs.Usage()
+		return 1
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "miglint: %v\n", err)
+		return 1
+	}
+	vetArgs := []string{"vet", "-vettool=" + exe}
+	// Forward analyzer switches the user set explicitly.
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name != "V" && f.Name != "flags" {
+			vetArgs = append(vetArgs, "-"+f.Name+"="+f.Value.String())
+		}
+	})
+	vetArgs = append(vetArgs, patterns...)
+	cmd := exec.Command("go", vetArgs...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "miglint: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// printVersion answers cmd/go's -V=full probe. The content hash of the
+// binary itself serves as the buildID, so editing an analyzer and
+// rebuilding invalidates cmd/go's cached vet results.
+func printVersion() int {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("miglint version devel buildID=%x\n", h.Sum(nil))
+	return 0
+}
+
+// printFlagsJSON answers cmd/go's -flags probe with the schema
+// cmd/go/internal/vet expects: a JSON array of {Name, Bool, Usage}.
+func printFlagsJSON(w io.Writer) int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	for _, a := range lint.Analyzers() {
+		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "miglint: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(w, string(data))
+	return 0
+}

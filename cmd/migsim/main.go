@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"filemig"
+	"filemig/internal/host"
 	"filemig/internal/migration"
 	"filemig/internal/trace"
 	"filemig/internal/units"
@@ -40,6 +41,11 @@ func main() {
 		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
+	// The sweep runner takes only explicit worker counts; the per-CPU
+	// default is resolved here at the boundary.
+	if *workers <= 0 {
+		*workers = host.DefaultWorkers()
+	}
 
 	recs, days := load(*in, *scale, *seed)
 	accs := migration.AccessesFromRecords(recs)

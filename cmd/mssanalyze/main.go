@@ -41,6 +41,7 @@ import (
 
 	"filemig"
 	"filemig/internal/core"
+	"filemig/internal/host"
 	"filemig/internal/trace"
 	"filemig/internal/workload"
 )
@@ -76,6 +77,11 @@ func main() {
 	flag.Parse()
 	if !*stream && (*workers != 0 || *shardDays != 0) {
 		log.Fatal("-workers and -shard-days only apply with -stream")
+	}
+	// The deterministic analysis packages take only explicit worker
+	// counts; the per-CPU default is resolved here at the boundary.
+	if *stream && *workers <= 0 {
+		*workers = host.DefaultWorkers()
 	}
 	if *in == "" && *format != "auto" {
 		log.Fatal("-format only applies when reading a trace with -i")

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"filemig/internal/core"
+	"filemig/internal/host"
 	"filemig/internal/migration"
 	"filemig/internal/mss"
 	"filemig/internal/trace"
@@ -141,7 +142,9 @@ type StreamConfig struct {
 	// core.DefaultShardDuration (four weeks).
 	ShardDuration time.Duration
 
-	// Workers bounds the analysis worker pool; <= 0 means one per CPU.
+	// Workers bounds the analysis worker pool; <= 0 means one per CPU
+	// (resolved here at the facade — the deterministic core takes only
+	// explicit counts). Output is identical for any worker count.
 	Workers int
 }
 
@@ -159,10 +162,14 @@ func RunStream(cfg StreamConfig) (*core.Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = host.DefaultWorkers()
+	}
 	return core.AnalyzeStream(core.StreamOptions{
 		Options:       core.Options{Start: wcfg.Start, Days: wcfg.Days, Tree: sr.Tree},
 		ShardDuration: cfg.ShardDuration,
-		Workers:       cfg.Workers,
+		Workers:       workers,
 	}, sr.Stream)
 }
 

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
-	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -48,8 +48,11 @@ type StreamOptions struct {
 	// DefaultShardDuration.
 	ShardDuration time.Duration
 
-	// Workers bounds the shard worker pool. <= 0 means one per CPU; 1
-	// runs every shard on the calling goroutine.
+	// Workers bounds the shard worker pool. <= 1 runs every shard on
+	// the calling goroutine; this package never reads the host CPU
+	// count, so callers wanting one worker per CPU resolve the count
+	// explicitly (the facade and cmd/* use internal/host). The merged
+	// result is byte-identical for any worker count.
 	Workers int
 }
 
@@ -133,7 +136,13 @@ func (a *Analysis) merge(sh *shardAccum) {
 		a.dayBytes[d][0] += sub.dayBytes[d][0]
 		a.dayBytes[d][1] += sub.dayBytes[d][1]
 	}
-	for w, b := range sub.weekBytes {
+	weeks := make([]int, 0, len(sub.weekBytes))
+	for w := range sub.weekBytes {
+		weeks = append(weeks, w)
+	}
+	sort.Ints(weeks)
+	for _, w := range weeks {
+		b := sub.weekBytes[w]
 		wb := a.weekBytes[w]
 		wb[0] += b[0]
 		wb[1] += b[1]
@@ -144,8 +153,9 @@ func (a *Analysis) merge(sh *shardAccum) {
 		a.hourlyRead = append(a.hourlyRead, 0)
 	}
 	for i, v := range sub.hourlyReqs {
+		//lint:floatsum-ok index-aligned sums of integer-valued counts, merged in fixed shard order and exact below 2^53
 		a.hourlyReqs[i] += v
-		a.hourlyRead[i] += sub.hourlyRead[i]
+		a.hourlyRead[i] += sub.hourlyRead[i] //lint:floatsum-ok same integer-valued hourly counter as the line above
 	}
 
 	// Figure 7: the boundary interval precedes the shard's internal
@@ -190,7 +200,7 @@ func AccumulateStream(opts StreamOptions, src trace.Stream) (*Analysis, error) {
 	}
 	workers := opts.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = 1
 	}
 
 	first, err := src.Next()

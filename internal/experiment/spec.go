@@ -83,10 +83,12 @@ type Spec struct {
 	// total referenced bytes. Default: the §2.3 sweep, 0.5% to 10%.
 	Capacities []float64 `json:"capacities,omitempty"`
 
-	// Workers bounds the replay worker pool (0 = one per CPU, 1 =
-	// serial). An execution knob, not an experiment parameter: it never
-	// changes results, and Run normalizes it to zero in the manifest
-	// echo so manifests stay byte-identical across worker counts.
+	// Workers bounds the replay worker pool. This package takes only
+	// explicit counts (<= 1 runs serially); the migexp CLI resolves 0
+	// to one worker per CPU at the boundary. An execution knob, not an
+	// experiment parameter: it never changes results, and Run
+	// normalizes it to zero in the manifest echo so manifests stay
+	// byte-identical across worker counts.
 	Workers int `json:"workers,omitempty"`
 }
 

@@ -1,0 +1,16 @@
+// Package host isolates the process's view of the machine it runs on.
+// The deterministic packages never read host state — miglint's
+// detsource analyzer rejects runtime.GOMAXPROCS, runtime.NumCPU, clock
+// and environment reads there — so worker counts arrive in those
+// packages as explicit parameters. Every host-CPU read in the
+// repository funnels through this package instead, used only by the
+// boundary layers (cmd/* and the filemig facade) that own execution
+// policy rather than results.
+package host
+
+import "runtime"
+
+// DefaultWorkers returns the default worker-pool size for sweep and
+// streaming-analysis fan-out: one worker per available CPU. Output
+// never depends on the worker count — only wall-clock time does.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetSource forbids nondeterministic inputs inside the deterministic
+// packages (internal/{core,trace,experiment,migration,workload,stats,
+// mss}): wall-clock reads, the global math/rand stream, environment
+// lookups, and host-CPU introspection. Seeded generators stay legal —
+// rand.New(rand.NewSource(k)) constructs a *rand.Rand whose methods are
+// all fine; it is only the package-level convenience functions (which
+// share an unseeded global source) that are banned. Worker counts must
+// flow in as explicit parameters: runtime.GOMAXPROCS / runtime.NumCPU
+// belong to the callers (cmd/*, the facade, internal/host), never to
+// the packages whose output is replayed and merged byte-identically.
+var DetSource = &Analyzer{
+	Name:     "detsource",
+	Doc:      "forbid wall-clock, global rand, env, and CPU-count reads in deterministic packages",
+	Suppress: "detsource-ok",
+	Run:      runDetSource,
+}
+
+// detBanned maps source package path -> banned function -> why.
+var detBanned = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read; thread a time.Time in from the caller",
+		"Since": "wall-clock read; compute from an explicit timestamp",
+		"Until": "wall-clock read; compute from an explicit timestamp",
+	},
+	"os": {
+		"Getenv":    "environment-dependent behavior; pass configuration explicitly",
+		"LookupEnv": "environment-dependent behavior; pass configuration explicitly",
+		"Environ":   "environment-dependent behavior; pass configuration explicitly",
+		"ExpandEnv": "environment-dependent behavior; pass configuration explicitly",
+	},
+	"runtime": {
+		"GOMAXPROCS": "host-CPU read; worker counts must arrive as explicit parameters (see internal/host)",
+		"NumCPU":     "host-CPU read; worker counts must arrive as explicit parameters (see internal/host)",
+	},
+}
+
+// randAllowed are the package-level math/rand identifiers that do not
+// touch the unseeded global source.
+var randAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"PCG":        true,
+	"ChaCha8":    true,
+	// Types (and their methods, which hang off a seeded value).
+	"Rand":   true,
+	"Source": true,
+	"Zipf":   true,
+}
+
+func runDetSource(p *Pass) {
+	if !IsDeterministic(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			// Methods are always fine: a method value hangs off an
+			// explicitly-constructed receiver (e.g. a seeded *rand.Rand).
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			srcPkg := obj.Pkg().Path()
+			name := obj.Name()
+			if why, ok := detBanned[srcPkg][name]; ok {
+				p.Reportf(sel.Pos(), "deterministic package %s must not use %s.%s: %s",
+					p.Path, srcPkg, name, why)
+				return true
+			}
+			if (srcPkg == "math/rand" || srcPkg == "math/rand/v2") && !randAllowed[name] {
+				p.Reportf(sel.Pos(), "deterministic package %s must not use the global %s.%s: "+
+					"seed an explicit generator with rand.New(rand.NewSource(k)) instead",
+					p.Path, srcPkg, name)
+			}
+			return true
+		})
+	}
+}

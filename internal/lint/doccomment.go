@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DocComment keeps `go doc` output useful for every library package:
+// each package must have a package comment, and every exported
+// declaration (functions and methods on exported receivers, types,
+// consts, vars) must carry a doc comment. This folds the old
+// .github/doclint checker into the miglint suite, widening it from the
+// two packages the shell script named to the facade and all of
+// internal/ — commands and examples are exempt (their interface is the
+// CLI and the prose, not godoc).
+var DocComment = &Analyzer{
+	Name:     "doccomment",
+	Doc:      "require package comments and doc comments on exported identifiers in library packages",
+	Suppress: "doc-ok",
+	Run:      runDocComment,
+}
+
+func runDocComment(p *Pass) {
+	if !InModule(p.Path) {
+		return
+	}
+	// Library packages only: the facade and internal/*.
+	if p.Path != ModulePath && !strings.HasPrefix(p.Path, internalPrefix) {
+		return
+	}
+	pkgDoc := false
+	for _, f := range p.Files {
+		if f.Doc != nil {
+			pkgDoc = true
+		}
+		checkDocFile(p, f)
+	}
+	if !pkgDoc && len(p.Files) > 0 {
+		p.Reportf(p.Files[0].Package, "package %s has no package comment", p.Path)
+	}
+}
+
+// checkDocFile reports undocumented exported declarations in one file.
+func checkDocFile(p *Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedReceiver(d) {
+				continue
+			}
+			if d.Doc == nil {
+				p.Reportf(d.Pos(), "exported function %s has no doc comment", funcKey(d))
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+						p.Reportf(s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						if n.IsExported() && d.Doc == nil && s.Doc == nil {
+							p.Reportf(n.Pos(), "exported value %s has no doc comment", n.Name)
+							break // one report per spec line is enough
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method's receiver type is exported
+// (functions without receivers count as exported scope).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}

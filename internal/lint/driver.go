@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig mirrors the JSON vet.cfg file cmd/go writes for each unit
+// when it drives a vet tool. Only the fields miglint consumes are
+// declared; the rest are ignored by encoding/json.
+type vetConfig struct {
+	ID          string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string // import path as written -> canonical
+	PackageFile map[string]string // canonical import path -> export data file
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetCfg executes one unit of the cmd/go vet protocol: parse the
+// config at cfgPath, type-check the package against the export data
+// cmd/go compiled, run the enabled analyzers, and print findings to
+// stderr in the file:line:col form go vet relays.
+//
+// Exit codes: 0 clean (or unit out of scope), 1 internal/type error,
+// 2 diagnostics found. Any nonzero exit makes the surrounding go vet
+// fail, which is what wires miglint into CI.
+func RunVetCfg(cfgPath string, enabled []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "miglint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "miglint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// cmd/go caches the VetxOutput file between runs; writing it (even
+	// empty — miglint exports no facts) lets dependency units cache-hit
+	// instead of re-running the tool on every invocation.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "miglint: %v\n", err)
+			return 1
+		}
+	}
+	// Test-variant units carry an " [pkg.test]" suffix on the path.
+	path, _, _ := strings.Cut(cfg.ImportPath, " ")
+	if cfg.VetxOnly || !InModule(path) {
+		return 0
+	}
+	u, code := typecheckUnit(&cfg, path)
+	if u == nil {
+		return code
+	}
+	diags := RunUnit(u, enabled)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// typecheckUnit parses the unit's non-test files and type-checks them
+// against the export data listed in the config. On failure it returns
+// nil and the exit code to use.
+func typecheckUnit(cfg *vetConfig, path string) (*Unit, int) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		// go vet hands the test-augmented variant of each package;
+		// miglint's invariants are about shipped code, so _test.go
+		// files are out of scope.
+		if strings.HasSuffix(filepath.Base(name), "_test.go") {
+			continue
+		}
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "miglint: %v\n", err)
+			return nil, 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, 0
+	}
+	imp := importer.ForCompiler(fset, "gc", func(importPath string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[importPath]; ok {
+			importPath = canonical
+		}
+		file, ok := cfg.PackageFile[importPath]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", importPath)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	tcfg := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := tcfg.Check(path, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, 0
+		}
+		fmt.Fprintf(os.Stderr, "miglint: typecheck %s: %v\n", path, err)
+		return nil, 1
+	}
+	return &Unit{Fset: fset, Path: path, Files: files, Pkg: pkg, Info: info}, 0
+}

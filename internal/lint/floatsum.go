@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatSum guards the exactness argument behind the byte-identical
+// shard merge and s1 snapshot load (ARCHITECTURE.md, docs/snapshots.md):
+// counts and byte totals must be integer sums, and distribution samples
+// must merge by order-preserved concatenation, because float addition is
+// not associative. Within the deterministic packages it builds the
+// intra-package call graph and flags float32/float64 accumulation
+// (`x += v`, `x = x + v`, `x++`) in any function reachable from a
+// shard-merge or snapshot/manifest-load entry point (Merge*, merge*,
+// *Snapshot loads, Unmarshal*).
+//
+// An accumulation that is genuinely order-preserved (replayed in record
+// order, or index-aligned in shard order) carries an audited
+// //lint:floatsum-ok <reason> waiver.
+var FloatSum = &Analyzer{
+	Name:     "floatsum",
+	Doc:      "flag float accumulation reachable from shard-merge or snapshot-load entry points",
+	Suppress: "floatsum-ok",
+	Run:      runFloatSum,
+}
+
+// floatSumRoot reports whether a function name is a merge/load entry
+// point whose transitive callees must not float-accumulate.
+func floatSumRoot(name string) bool {
+	for _, prefix := range []string{"Merge", "merge", "Unmarshal", "unmarshal"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	if strings.Contains(name, "Snapshot") {
+		for _, prefix := range []string{"Read", "read", "Load", "load"} {
+			if strings.HasPrefix(name, prefix) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func runFloatSum(p *Pass) {
+	if !IsDeterministic(p.Path) {
+		return
+	}
+	// Map every function object declared in this package to its decl.
+	decls := map[types.Object]*ast.FuncDecl{}
+	var all []*ast.FuncDecl
+	for _, f := range p.Files {
+		for _, fd := range enclosingFuncs(f) {
+			if obj := p.Info.Defs[fd.Name]; obj != nil {
+				decls[obj] = fd
+			}
+			all = append(all, fd)
+		}
+	}
+	// BFS the intra-package call graph from the merge/load roots,
+	// remembering which root made each function reachable.
+	reachedVia := map[*ast.FuncDecl]string{}
+	var queue []*ast.FuncDecl
+	for _, fd := range all {
+		if floatSumRoot(fd.Name.Name) {
+			reachedVia[fd] = funcKey(fd)
+			queue = append(queue, fd)
+		}
+	}
+	for len(queue) > 0 {
+		fd := queue[0]
+		queue = queue[1:]
+		root := reachedVia[fd]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			var id *ast.Ident
+			switch x := n.(type) {
+			case *ast.Ident:
+				id = x
+			case *ast.SelectorExpr:
+				id = x.Sel
+			default:
+				return true
+			}
+			if callee, ok := decls[p.Info.Uses[id]]; ok {
+				if _, seen := reachedVia[callee]; !seen {
+					reachedVia[callee] = root
+					queue = append(queue, callee)
+				}
+			}
+			return true
+		})
+	}
+	for _, fd := range all {
+		if root, ok := reachedVia[fd]; ok {
+			checkFloatAccum(p, fd, root)
+		}
+	}
+}
+
+// checkFloatAccum flags float accumulation statements in one function.
+func checkFloatAccum(p *Pass, fd *ast.FuncDecl, root string) {
+	report := func(pos token.Pos) {
+		p.Reportf(pos, "float accumulation in %s (reachable from merge/load entry point %s): "+
+			"merge exactness needs integer sums or order-preserved sample merges; "+
+			"if the order is provably preserved, waive with //lint:floatsum-ok <reason>",
+			funcKey(fd), root)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return true
+			}
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN:
+				if isFloatExpr(p, s.Lhs[0]) {
+					report(s.TokPos)
+				}
+			case token.ASSIGN:
+				// x = x + v / x = x - v / x = v + x
+				b, ok := s.Rhs[0].(*ast.BinaryExpr)
+				if !ok || (b.Op != token.ADD && b.Op != token.SUB) || !isFloatExpr(p, s.Lhs[0]) {
+					return true
+				}
+				lv := lvalString(s.Lhs[0])
+				if lv == "" {
+					return true
+				}
+				if lvalString(b.X) == lv || (b.Op == token.ADD && lvalString(b.Y) == lv) {
+					report(s.TokPos)
+				}
+			}
+		case *ast.IncDecStmt:
+			if isFloatExpr(p, s.X) {
+				report(s.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// isFloatExpr reports whether e's static type is float32/float64.
+func isFloatExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// lvalString canonicalises simple lvalue chains (x, x.f, x[i].g) so
+// `x = x + v` self-accumulation can be matched structurally. Unknown
+// forms return "".
+func lvalString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if base := lvalString(x.X); base != "" {
+			return base + "." + x.Sel.Name
+		}
+	case *ast.IndexExpr:
+		base, idx := lvalString(x.X), lvalString(x.Index)
+		if base != "" && idx != "" {
+			return base + "[" + idx + "]"
+		}
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.ParenExpr:
+		return lvalString(x.X)
+	}
+	return ""
+}

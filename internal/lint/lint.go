@@ -1,0 +1,254 @@
+// Package lint machine-checks the invariants this reproduction's
+// correctness arguments rest on: deterministic output (no map-iteration
+// order or wall-clock leaks), exact shard merges (no float accumulation
+// on merge/load paths), near-zero allocation on the annotated hot
+// paths, the ARCHITECTURE.md package layering, and doc-comment coverage.
+//
+// The analyzers run through cmd/miglint, either standalone
+// (`go run ./cmd/miglint ./...`) or as a `go vet -vettool`; each is
+// specified, with its suppression grammar, in docs/lint.md.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ModulePath is the import path prefix of the packages the analyzers
+// know how to judge; everything outside it is ignored.
+const ModulePath = "filemig"
+
+// deterministicPkgs lists the packages whose output feeds committed
+// goldens, snapshots, or manifests, and which therefore must be
+// byte-reproducible: no wall-clock, no global RNG, no environment, no
+// CPU-count reads, no unordered map iteration.
+var deterministicPkgs = map[string]bool{
+	ModulePath + "/internal/core":       true,
+	ModulePath + "/internal/trace":      true,
+	ModulePath + "/internal/experiment": true,
+	ModulePath + "/internal/migration":  true,
+	ModulePath + "/internal/workload":   true,
+	ModulePath + "/internal/stats":      true,
+	ModulePath + "/internal/mss":        true,
+}
+
+// IsDeterministic reports whether pkgPath is one of the packages the
+// determinism analyzers (detsource, floatsum) apply to.
+func IsDeterministic(pkgPath string) bool { return deterministicPkgs[pkgPath] }
+
+// InModule reports whether pkgPath belongs to this module.
+func InModule(pkgPath string) bool {
+	return pkgPath == ModulePath || strings.HasPrefix(pkgPath, ModulePath+"/")
+}
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats a diagnostic the way go vet prints findings.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Unit is one package ready for analysis: parsed non-test files plus
+// type information. Both drivers (the vet.cfg protocol and the test
+// fixture loader) produce Units; analyzers never load anything
+// themselves.
+type Unit struct {
+	Fset  *token.FileSet
+	Path  string // canonical package import path
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Pass is the per-analyzer view of a Unit, with a Report sink.
+type Pass struct {
+	*Unit
+	Analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named invariant check. Suppress is the comment token
+// that waives one of its findings (`//lint:<Suppress> reason`); every
+// suppression must carry a reason or it is itself reported.
+type Analyzer struct {
+	Name     string
+	Doc      string
+	Suppress string
+	Run      func(*Pass)
+}
+
+// Analyzers returns the full miglint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapIter,
+		DetSource,
+		HotAlloc,
+		FloatSum,
+		Layering,
+		DocComment,
+	}
+}
+
+// RunUnit applies the given analyzers to one package and returns the
+// surviving diagnostics, sorted by position. Suppressed findings are
+// dropped; malformed suppressions (no reason) are reported.
+func RunUnit(u *Unit, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	sup := collectSuppressions(u, analyzers, &diags)
+	for _, a := range analyzers {
+		var raw []Diagnostic
+		a.Run(&Pass{Unit: u, Analyzer: a, diags: &raw})
+		for _, d := range raw {
+			if !sup.covers(a.Suppress, d.Pos) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// suppressions maps an analyzer's suppression token to the set of
+// (file, line) pairs it waives. A comment waives its own line and, when
+// it stands alone on a line, the following line.
+type suppressions map[string]map[string]map[int]bool
+
+func (s suppressions) add(token, file string, line int) {
+	byFile := s[token]
+	if byFile == nil {
+		byFile = map[string]map[int]bool{}
+		s[token] = byFile
+	}
+	lines := byFile[file]
+	if lines == nil {
+		lines = map[int]bool{}
+		byFile[file] = lines
+	}
+	lines[line] = true
+}
+
+func (s suppressions) covers(token string, pos token.Position) bool {
+	return s[token][pos.Filename][pos.Line]
+}
+
+// suppressPrefix introduces a suppression comment: //lint:<token> reason.
+const suppressPrefix = "//lint:"
+
+// collectSuppressions scans every comment for the //lint:<token> reason
+// grammar. Unknown tokens and missing reasons are reported (an audited
+// suppression must say why), so stale or sloppy waivers cannot
+// accumulate silently.
+func collectSuppressions(u *Unit, analyzers []*Analyzer, diags *[]Diagnostic) suppressions {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		if a.Suppress != "" {
+			known[a.Suppress] = true
+		}
+	}
+	sup := suppressions{}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, suppressPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, suppressPrefix)
+				tok, reason, _ := strings.Cut(rest, " ")
+				pos := u.Fset.Position(c.Pos())
+				if !known[tok] {
+					*diags = append(*diags, Diagnostic{Pos: pos, Analyzer: "miglint",
+						Message: fmt.Sprintf("unknown suppression %q (known: %s)", tok, knownTokens(analyzers))})
+					continue
+				}
+				if strings.TrimSpace(reason) == "" {
+					*diags = append(*diags, Diagnostic{Pos: pos, Analyzer: "miglint",
+						Message: fmt.Sprintf("suppression //lint:%s needs a reason: //lint:%s <why this is safe>", tok, tok)})
+					continue
+				}
+				// A comment waives its own line (trailing form) and the
+				// next line (standalone form).
+				sup.add(tok, pos.Filename, pos.Line)
+				sup.add(tok, pos.Filename, pos.Line+1)
+			}
+		}
+	}
+	return sup
+}
+
+// knownTokens renders the valid suppression tokens for error messages.
+func knownTokens(analyzers []*Analyzer) string {
+	var ts []string
+	for _, a := range analyzers {
+		if a.Suppress != "" {
+			ts = append(ts, a.Suppress)
+		}
+	}
+	sort.Strings(ts)
+	return strings.Join(ts, ", ")
+}
+
+// funcKey renders a FuncDecl as "(recv).Name" or "Name", the notation
+// the hot-path annotation requirements use.
+func funcKey(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	return "(" + typeExprString(d.Recv.List[0].Type) + ")." + d.Name.Name
+}
+
+// typeExprString renders a receiver type expression compactly.
+func typeExprString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return "*" + typeExprString(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return typeExprString(t.X)
+	case *ast.IndexListExpr:
+		return typeExprString(t.X)
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// enclosingFuncs returns the FuncDecl bodies of a file in source order.
+func enclosingFuncs(f *ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			out = append(out, fd)
+		}
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package lint_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"filemig/internal/lint"
+)
+
+// The fixture corpus: testdata/src/<suite>/<import/path>/*.go, in the
+// analysistest style. A `// want ...` comment holds one or more
+// backtick-quoted regexes, each of which must match one diagnostic on
+// that line (or on the previous line when the comment stands alone);
+// any unmatched diagnostic or leftover expectation fails the test.
+
+// suites maps each fixture directory to the analyzers it runs. The
+// suppress suite runs everything, exercising the waiver grammar.
+func suites() map[string][]*lint.Analyzer {
+	return map[string][]*lint.Analyzer{
+		"mapiter":    {lint.MapIter},
+		"detsource":  {lint.DetSource},
+		"hotalloc":   {lint.HotAlloc},
+		"floatsum":   {lint.FloatSum},
+		"layering":   {lint.Layering},
+		"doccomment": {lint.DocComment},
+		"suppress":   lint.Analyzers(),
+	}
+}
+
+func TestFixtures(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := fixtureImporter{
+		src:   importer.ForCompiler(fset, "source", nil),
+		stubs: map[string]*types.Package{},
+	}
+	names := make([]string, 0, len(suites()))
+	for name := range suites() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		analyzers := suites()[name]
+		t.Run(name, func(t *testing.T) {
+			root := filepath.Join("testdata", "src", name)
+			pkgs := fixturePackages(t, root)
+			if len(pkgs) == 0 {
+				t.Fatalf("no fixture packages under %s", root)
+			}
+			for _, dir := range pkgs {
+				path, err := filepath.Rel(root, dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkFixture(t, fset, imp, dir, filepath.ToSlash(path), analyzers)
+			}
+		})
+	}
+}
+
+// fixturePackages returns every directory under root that directly
+// contains .go files.
+func fixturePackages(t *testing.T, root string) []string {
+	seen := map[string]bool{}
+	var out []string
+	err := filepath.Walk(root, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && strings.HasSuffix(p, ".go") {
+			dir := filepath.Dir(p)
+			if !seen[dir] {
+				seen[dir] = true
+				out = append(out, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkFixture type-checks one fixture package, runs the analyzers, and
+// compares the diagnostics against the file's want expectations.
+func checkFixture(t *testing.T, fset *token.FileSet, imp types.Importer,
+	dir, path string, analyzers []*lint.Analyzer) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	wants := map[string][]*want{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		fname := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, fname, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", fname, err)
+		}
+		files = append(files, f)
+		ws, err := collectWants(fname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[fname] = ws
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	cfg := types.Config{Importer: imp}
+	pkg, err := cfg.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", path, err)
+	}
+	u := &lint.Unit{Fset: fset, Path: path, Files: files, Pkg: pkg, Info: info}
+	for _, d := range lint.RunUnit(u, analyzers) {
+		if !claimWant(wants[d.Pos.Filename], d.Pos.Line, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for fname, ws := range wants {
+		for _, w := range ws {
+			if !w.claimed {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", fname, w.line, w.re)
+			}
+		}
+	}
+}
+
+// want is one expectation: a regex a diagnostic on its line must match.
+type want struct {
+	line    int
+	re      *regexp.Regexp
+	claimed bool
+}
+
+// wantMarker introduces expectations inside a comment.
+const wantMarker = "// want "
+
+// collectWants scans a fixture file's raw lines for want comments. A
+// line whose content is only the want comment attaches to the previous
+// line (for diagnostics reported at a comment's own position).
+func collectWants(fname string) ([]*want, error) {
+	data, err := os.ReadFile(fname)
+	if err != nil {
+		return nil, err
+	}
+	var out []*want
+	for i, line := range strings.Split(string(data), "\n") {
+		at := strings.Index(line, wantMarker)
+		if at < 0 {
+			continue
+		}
+		lineNo := i + 1
+		if strings.HasPrefix(strings.TrimSpace(line), strings.TrimSpace(wantMarker)) {
+			lineNo--
+		}
+		rest := line[at+len(wantMarker):]
+		any := false
+		for {
+			start := strings.IndexByte(rest, '`')
+			if start < 0 {
+				break
+			}
+			end := strings.IndexByte(rest[start+1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("%s:%d: unterminated want regex", fname, i+1)
+			}
+			re, err := regexp.Compile(rest[start+1 : start+1+end])
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %v", fname, i+1, err)
+			}
+			out = append(out, &want{line: lineNo, re: re})
+			any = true
+			rest = rest[start+end+2:]
+		}
+		if !any {
+			return nil, fmt.Errorf("%s:%d: want comment without a backtick-quoted regex", fname, i+1)
+		}
+	}
+	return out, nil
+}
+
+// claimWant consumes the first unclaimed expectation on the line whose
+// regex matches msg.
+func claimWant(ws []*want, line int, msg string) bool {
+	for _, w := range ws {
+		if !w.claimed && w.line == line && w.re.MatchString(msg) {
+			w.claimed = true
+			return true
+		}
+	}
+	return false
+}
+
+// fixtureImporter resolves standard-library imports from GOROOT source
+// and stubs out filemig/* imports (fixtures reference them only in
+// import declarations, never by symbol).
+type fixtureImporter struct {
+	src   types.Importer
+	stubs map[string]*types.Package
+}
+
+func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	if !strings.HasPrefix(path, "filemig") {
+		return fi.src.Import(path)
+	}
+	if p, ok := fi.stubs[path]; ok {
+		return p, nil
+	}
+	p := types.NewPackage(path, path[strings.LastIndexByte(path, '/')+1:])
+	p.MarkComplete()
+	fi.stubs[path] = p
+	return p, nil
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIter flags `range` over a map anywhere in the module. Go map
+// iteration order is random per run, so any map range whose body feeds
+// serialized output, accumulators, or escaping slices is a determinism
+// bug — exactly the class the byte-identical shard merges, s1
+// snapshots, and migexp manifests cannot tolerate.
+//
+// Two shapes are recognised as safe and stay quiet:
+//
+//   - the collect-then-sort idiom: a body that only appends the key (or
+//     value) to a slice which a sort.* / slices.* call in the same
+//     function then orders;
+//   - order-insensitive bookkeeping: a body consisting only of
+//     delete(m, k) calls and/or stores into a map indexed by the range
+//     key (each key is visited once, so last-write ambiguity cannot
+//     arise).
+//
+// Anything else needs an audited waiver: //lint:sorted-ok <reason>.
+var MapIter = &Analyzer{
+	Name:     "mapiter",
+	Doc:      "flag map iteration whose order can leak into output or accumulators",
+	Suppress: "sorted-ok",
+	Run:      runMapIter,
+}
+
+func runMapIter(p *Pass) {
+	if !InModule(p.Path) {
+		return
+	}
+	for _, f := range p.Files {
+		for _, fd := range enclosingFuncs(f) {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := p.Info.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if mapRangeIsSafe(p, rs, fd) {
+					return true
+				}
+				p.Reportf(rs.Pos(), "range over map %s has nondeterministic order; "+
+					"collect and sort the keys first, or waive with //lint:sorted-ok <reason>",
+					exprString(rs.X))
+				return true
+			})
+		}
+	}
+}
+
+// mapRangeIsSafe reports whether every statement in the range body is
+// one of the allowed order-insensitive forms, and that any slice the
+// body appends to is sorted later in the same function.
+func mapRangeIsSafe(p *Pass, rs *ast.RangeStmt, fd *ast.FuncDecl) bool {
+	keyObj := rangeVarObj(p, rs.Key)
+	for _, stmt := range rs.Body.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if appendTarget := appendAssignTarget(p, s); appendTarget != nil {
+				if !sortedLater(p, fd, appendTarget, rs.End()) {
+					return false
+				}
+				continue
+			}
+			if mapStoreKeyedByRangeKey(p, s, keyObj) {
+				continue
+			}
+			return false
+		case *ast.ExprStmt:
+			if isDeleteCall(s.X) {
+				continue
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// rangeVarObj resolves the range key/value identifier to its object.
+func rangeVarObj(p *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if o := p.Info.Defs[id]; o != nil {
+		return o
+	}
+	return p.Info.Uses[id]
+}
+
+// appendAssignTarget matches `s = append(s, ...)` (or s := append(s, …))
+// with a single pair of operands and returns s's object, or nil.
+func appendAssignTarget(p *Pass, s *ast.AssignStmt) types.Object {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return nil
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return nil
+	}
+	if b, ok := p.Info.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	lhs, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return rangeVarObj(p, lhs)
+}
+
+// mapStoreKeyedByRangeKey matches `m[k] = ...` and `m[k] op= ...` where
+// m is a map and k is the range key variable: each distinct key is
+// stored exactly once per iteration pass, so order cannot matter.
+func mapStoreKeyedByRangeKey(p *Pass, s *ast.AssignStmt, keyObj types.Object) bool {
+	if keyObj == nil || len(s.Lhs) != 1 {
+		return false
+	}
+	ix, ok := s.Lhs[0].(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	if tv, ok := p.Info.Types[ix.X]; !ok {
+		return false
+	} else if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	id, ok := ix.Index.(*ast.Ident)
+	return ok && rangeVarObj(p, id) == keyObj
+}
+
+// isDeleteCall matches delete(m, k).
+func isDeleteCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "delete"
+}
+
+// sortedLater reports whether a sort.*/slices.* call after pos in fd
+// mentions target, i.e. the collected keys get ordered before use.
+func sortedLater(p *Pass, fd *ast.FuncDecl, target types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return true
+		}
+		if _, isPkg := p.Info.Uses[pkg].(*types.PkgName); !isPkg {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && rangeVarObj(p, id) == target {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// exprString renders a short expression (identifiers and selectors) for
+// diagnostics.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	default:
+		return "expression"
+	}
+}

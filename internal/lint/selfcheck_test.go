@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsClean builds cmd/miglint and runs it over the whole module
+// through the go vet -vettool protocol, asserting the repository obeys
+// its own invariants: every map range is sorted or waived, the
+// deterministic packages read no host state, the annotated hot paths
+// stay allocation-free, merge paths avoid float accumulation, the
+// import graph matches ARCHITECTURE.md, and every exported identifier
+// is documented. A failure prints the diagnostics to fix (or waive with
+// an audited //lint: comment).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets the whole module")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "miglint")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/miglint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building miglint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("miglint is not clean on this repository: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,27 @@
+// Package trace is a detsource fixture.
+package trace
+
+import (
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()                     // want `must not use time.Now`
+	_ = os.Getenv("HOME")              // want `must not use os.Getenv`
+	_ = runtime.GOMAXPROCS(0)          // want `must not use runtime.GOMAXPROCS`
+	_ = runtime.NumCPU()               // want `must not use runtime.NumCPU`
+	_ = rand.Int()                     // want `must not use the global math/rand.Int`
+	rand.Shuffle(1, func(i, j int) {}) // want `must not use the global math/rand.Shuffle`
+}
+
+func good(now time.Time, workers int) time.Duration {
+	rng := rand.New(rand.NewSource(42))
+	_ = rng.Int()
+	z := rand.NewZipf(rng, 1.2, 1, 100)
+	_ = z.Uint64()
+	_ = workers
+	return now.Sub(now)
+}

@@ -1,0 +1,25 @@
+package docfix // want `package filemig/internal/docfix has no package comment`
+
+// Documented is documented.
+type Documented struct{}
+
+type Undocumented struct{} // want `exported type Undocumented has no doc comment`
+
+func Exported() {} // want `exported function Exported has no doc comment`
+
+func unexported() {}
+
+// Method is documented.
+func (Documented) Method() {}
+
+func (Documented) Plain() {} // want `exported function \(Documented\)\.Plain has no doc comment`
+
+const Exp = 1 // want `exported value Exp has no doc comment`
+
+const (
+	// A is documented.
+	A = 1
+	B = 2 // want `exported value B has no doc comment`
+)
+
+var _ = unexported

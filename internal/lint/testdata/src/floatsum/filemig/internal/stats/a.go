@@ -1,0 +1,40 @@
+// Package stats is a floatsum fixture.
+package stats
+
+type agg struct {
+	total float64
+	n     int
+}
+
+// Merge is a root by name: direct float accumulation is flagged, the
+// integer field is not.
+func (a *agg) Merge(b *agg) {
+	a.total += b.total // want `float accumulation in \(\*agg\)\.Merge`
+	a.n += b.n
+	a.total = a.total + 1 // want `float accumulation in \(\*agg\)\.Merge`
+}
+
+// ReadSnapshotState is a root by name; fold is reachable from it.
+func ReadSnapshotState(a, b *agg) {
+	a.fold(b)
+}
+
+func (a *agg) fold(b *agg) {
+	a.total += b.total // want `float accumulation in \(\*agg\)\.fold \(reachable from merge/load entry point ReadSnapshotState\)`
+}
+
+// Add is not reachable from any merge/load root, so per-record float
+// accumulation here is fine (record order is deterministic).
+func (a *agg) Add(v float64) {
+	a.total += v
+}
+
+// mergeSeries is a root; float IncDec counts too.
+func mergeSeries(c []float64) {
+	c[0]++ // want `float accumulation in mergeSeries`
+}
+
+// MergeExact carries an audited waiver.
+func MergeExact(a, b *agg) {
+	a.total += b.total //lint:floatsum-ok fixture: pretend this order is pinned
+}

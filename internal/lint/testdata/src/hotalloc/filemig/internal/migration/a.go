@@ -1,0 +1,10 @@
+// Package migration is a hotalloc fixture for the required-annotation
+// rule: (*Cache).Step exists but lacks the //filemig:hotpath directive.
+package migration
+
+type Cache struct{ n int }
+
+// Step is the replay inner loop.
+func (c *Cache) Step(x int) { // want `\(\*Cache\)\.Step is a proven hot path and must be annotated`
+	c.n += x
+}

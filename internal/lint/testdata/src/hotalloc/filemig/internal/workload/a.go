@@ -1,0 +1,42 @@
+// Package workload is a hotalloc fixture.
+package workload
+
+import "fmt"
+
+//filemig:hotpath
+func hot(m map[string]int, k string, b []byte) int {
+	s := make([]int, 4) // want `make allocates`
+	fmt.Println(k)      // want `fmt.Println boxes its arguments`
+	m[k] = 1            // want `map insert may allocate`
+	_ = string(b)       // want `string\(\[\]byte\) copies`
+	_ = m[string(b)]    // map-key position: the compiler elides the copy
+	return s[0]
+}
+
+//filemig:hotpath
+func hotMore(a, b string, v int) any {
+	c := a + b // want `string concatenation allocates`
+	_ = c
+	f := func() int { return v } // want `closure may capture`
+	_ = f
+	return any(v) // want `conversion to interface boxes`
+}
+
+//filemig:hotpath
+func hotErr(v int) (int, error) {
+	if v < 0 {
+		// Error construction on the cold exit is allowed.
+		return 0, fmt.Errorf("bad %d", v)
+	}
+	return v, nil
+}
+
+//filemig:hotpath
+func hotWaived(k string) {
+	_ = k + "!" //lint:hotalloc-ok fixture: amortized elsewhere
+}
+
+// cold is not annotated, so nothing in it is checked.
+func cold(k string) string {
+	return fmt.Sprintf("%q", k)
+}

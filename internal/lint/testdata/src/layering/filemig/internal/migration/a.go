@@ -1,0 +1,9 @@
+// Package migration is a layering fixture: trace and units are granted,
+// core is not.
+package migration
+
+import (
+	_ "filemig/internal/core" // want `must not import filemig/internal/core`
+	_ "filemig/internal/trace"
+	_ "filemig/internal/units"
+)

@@ -1,0 +1,6 @@
+// Package newpkg is a layering fixture: it has no row in the
+// ARCHITECTURE.md dependency table, so any intra-module import fails
+// until the table is updated.
+package newpkg
+
+import _ "filemig/internal/units" // want `not in the ARCHITECTURE.md dependency table`

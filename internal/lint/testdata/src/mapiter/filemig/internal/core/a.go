@@ -1,0 +1,48 @@
+// Package core is a mapiter fixture.
+package core
+
+import "sort"
+
+// emit's first loop is the blessed collect-then-sort idiom; the second
+// builds output directly from iteration order and must be flagged.
+func emit(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []string
+	for k, v := range m { // want `range over map m has nondeterministic order`
+		_ = v
+		out = append(out, k)
+	}
+	return out
+}
+
+// prune's body is order-insensitive bookkeeping: deletes and stores
+// keyed by the range key.
+func prune(m map[int]bool, dead map[int]bool, seen map[int]int) {
+	for k := range dead {
+		delete(m, k)
+		seen[k] = 1
+	}
+}
+
+// sum is flagged by the analyzer but carries an audited waiver.
+func sum(m map[string]int) int {
+	t := 0
+	//lint:sorted-ok integer sum is order-independent
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// collectNoSort appends but never sorts, so iteration order escapes.
+func collectNoSort(m map[string]int) []string {
+	var ks []string
+	for k := range m { // want `range over map m has nondeterministic order`
+		ks = append(ks, k)
+	}
+	return ks
+}

@@ -1,0 +1,17 @@
+// Package workload is a fixture for the suppression grammar itself,
+// run under the full analyzer suite.
+package workload
+
+func bogus(m map[int]int) int {
+	t := 0
+	//lint:made-up-token because // want `unknown suppression "made-up-token"`
+	for _, v := range m { // want `range over map m has nondeterministic order`
+		t += v
+	}
+	//lint:sorted-ok
+	// want `suppression //lint:sorted-ok needs a reason`
+	for _, v := range m { // want `range over map m has nondeterministic order`
+		t += v
+	}
+	return t
+}

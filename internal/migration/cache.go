@@ -302,6 +302,8 @@ func (c *Cache) Replay(accs []Access) CacheResult {
 }
 
 // Step processes a single access.
+//
+//filemig:hotpath
 func (c *Cache) Step(a Access) {
 	if a.FileID < 0 {
 		panic("migration: negative Access.FileID")
@@ -554,8 +556,7 @@ type SweepPoint struct {
 // CapacitySweep replays the access string at several cache sizes
 // expressed as fractions of the total referenced data, for one policy
 // builder (a fresh Policy per run — Random and OPT carry state). The
-// replays run concurrently on the default worker pool; results keep
-// input order.
+// replays run serially; use CapacitySweepWorkers to fan out.
 func CapacitySweep(accs []Access, fractions []float64, mk func() Policy) ([]SweepPoint, error) {
 	return CapacitySweepWorkers(accs, fractions, mk, 0)
 }
@@ -579,8 +580,8 @@ func TotalReferencedBytes(accs []Access) units.Bytes {
 
 // ComparePolicies replays the same access string under each policy at the
 // given capacity and returns results sorted by read miss ratio (best
-// first). One replay per policy runs concurrently on the default worker
-// pool; each Policy instance must be private to its entry.
+// first). The replays run serially (use ComparePoliciesWorkers to fan
+// out); each Policy instance must be private to its entry.
 func ComparePolicies(accs []Access, capacity units.Bytes, policies []Policy) ([]CacheResult, error) {
 	return ComparePoliciesWorkers(accs, capacity, policies, 0)
 }

@@ -2,7 +2,6 @@ package migration
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"filemig/internal/units"
@@ -15,17 +14,12 @@ import (
 // by job index, preserving input order regardless of completion order,
 // and each job's replay stays single-threaded and deterministic.
 
-// DefaultWorkers is the worker count used when a sweep is given workers
-// <= 0: one per available CPU.
-func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
-
 // forEachJob runs fn(0..jobs-1) on at most workers goroutines and
-// returns the first error by job order. workers <= 0 means
-// DefaultWorkers; workers == 1 runs serially on the calling goroutine.
+// returns the first error by job order. workers <= 1 runs serially on
+// the calling goroutine; this package never reads the host CPU count,
+// so callers wanting one worker per CPU resolve the count explicitly
+// (cmd/* use internal/host).
 func forEachJob(jobs, workers int, fn func(i int) error) error {
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
 	if workers > jobs {
 		workers = jobs
 	}
@@ -63,7 +57,7 @@ func forEachJob(jobs, workers int, fn func(i int) error) error {
 }
 
 // CapacitySweepWorkers is CapacitySweep with an explicit worker count
-// (<= 0 for the default, 1 to force a serial run).
+// (<= 1 runs serially).
 func CapacitySweepWorkers(accs []Access, fractions []float64, mk func() Policy,
 	workers int) ([]SweepPoint, error) {
 	total := TotalReferencedBytes(accs)
@@ -172,7 +166,8 @@ type ExponentPoint struct {
 
 // STPExponentSweep replays the access string under STP^k for each
 // exponent at the given capacity — Smith's ablation that singled out
-// K=1.4 — fanning the replays over the default worker pool.
+// K=1.4. The replays run serially; use STPExponentSweepWorkers to fan
+// out.
 func STPExponentSweep(accs []Access, capacity units.Bytes, ks []float64) ([]ExponentPoint, error) {
 	return STPExponentSweepWorkers(accs, capacity, ks, 0)
 }

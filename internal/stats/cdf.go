@@ -267,7 +267,7 @@ func (c *WeightedCDF) Merge(other *WeightedCDF) {
 	}
 	c.pairs = append(c.pairs, other.pairs...)
 	for _, p := range other.pairs {
-		c.total += p.w
+		c.total += p.w //lint:floatsum-ok re-accumulated pair by pair in insertion order, bit-identical to one sequential Add stream
 	}
 	c.sorted = false
 }

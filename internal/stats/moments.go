@@ -87,7 +87,7 @@ func (m *Moments) Merge(other *Moments) {
 	mean := m.mean + d*float64(other.n)/float64(n)
 	m.m2 = m.m2 + other.m2 + d*d*float64(m.n)*float64(other.n)/float64(n)
 	m.mean = mean
-	m.sum += other.sum
+	m.sum += other.sum //lint:floatsum-ok pairwise fold applied in fixed shard order; reported moments round to far fewer digits than the fold can perturb
 	m.n = n
 	if other.min < m.min {
 		m.min = other.min

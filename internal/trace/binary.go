@@ -217,6 +217,8 @@ func (r *BinaryReader) Next() (Record, error) {
 
 // decodeBody decodes everything after the flags byte. All errors are
 // returned, never panicked, so truncated or corrupt input fails cleanly.
+//
+//filemig:hotpath
 func (r *BinaryReader) decodeBody(flags byte) (Record, error) {
 	var rec Record
 	if flags&binFlagReserved != 0 {

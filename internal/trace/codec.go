@@ -136,8 +136,8 @@ func decodeFlags(s []byte, r *Record) error {
 		return fmt.Errorf("trace: bad flags suffix %q", rest)
 	}
 	name := rest[1:]
-	for code, n := range errNames {
-		if code != ErrNone && n == string(name) {
+	for code := ErrNone + 1; int(code) < len(errNames); code++ {
+		if errNames[code] == string(name) {
 			r.Err = code
 			return nil
 		}

@@ -40,6 +40,8 @@ func NewInterner() *Interner {
 
 // Intern returns the FileID for path, assigning the next dense ID (and
 // deriving the directory) on first sight.
+//
+//filemig:hotpath
 func (in *Interner) Intern(path string) FileID {
 	if id, ok := in.ids[path]; ok {
 		return id
@@ -50,11 +52,13 @@ func (in *Interner) Intern(path string) FileID {
 // InternBytes is Intern for a byte-slice key. On a hit — the overwhelming
 // steady-state case — it performs no allocation; only a first sighting
 // copies the bytes into a new canonical string.
+//
+//filemig:hotpath
 func (in *Interner) InternBytes(path []byte) FileID {
 	if id, ok := in.ids[string(path)]; ok { // no-alloc map lookup
 		return id
 	}
-	return in.add(string(path))
+	return in.add(string(path)) //lint:hotalloc-ok first sighting only: the one canonical copy per distinct path
 }
 
 // add registers a new path under the next dense FileID.

@@ -53,7 +53,10 @@ const (
 	ErrTerminated         // request terminated prematurely
 )
 
-var errNames = map[ErrCode]string{
+// errNames spells each ErrCode as it appears in the flags field. A
+// dense slice rather than a map: the codec scans it when parsing, and
+// slice order is code order, not random map order.
+var errNames = [...]string{
 	ErrNone:       "",
 	ErrNoFile:     "nofile",
 	ErrMedia:      "media",
@@ -62,8 +65,8 @@ var errNames = map[ErrCode]string{
 
 // String names the error code; ErrNone is the empty string.
 func (e ErrCode) String() string {
-	if n, ok := errNames[e]; ok {
-		return n
+	if e >= 0 && int(e) < len(errNames) {
+		return errNames[e]
 	}
 	return fmt.Sprintf("err(%d)", int(e))
 }

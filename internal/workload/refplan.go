@@ -145,6 +145,7 @@ func dedupPlanInvariant(plan []planOp) bool {
 	for _, p := range plan {
 		byOp[p.op] = append(byOp[p.op], p.at)
 	}
+	//lint:sorted-ok order-independent predicate: the result is the AND over all ops, no output or state escapes
 	for _, ts := range byOp {
 		sort.Slice(ts, func(i, j int) bool { return ts[i].Before(ts[j]) })
 		for i := 1; i < len(ts); i++ {
