@@ -206,6 +206,104 @@ func BenchmarkStreamAnalyze(b *testing.B) {
 	})
 }
 
+// BenchmarkB2Decode measures the b2 columnar codec next to
+// BenchmarkTraceCodecBinary: the same records through the sequential
+// whole-block reader and through the seekable index + parallel block
+// decoder.
+func BenchmarkB2Decode(b *testing.B) {
+	p, _ := fixture(b)
+	n := len(p.Records)
+	if n > 20000 {
+		n = 20000
+	}
+	recs := p.Records[:n]
+	var buf bytes.Buffer
+	if err := trace.WriteAllFormat(&buf, recs, trace.FormatB2); err != nil {
+		b.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(encoded)))
+		for i := 0; i < b.N; i++ {
+			got, err := trace.ReadAll(bytes.NewReader(encoded))
+			if err != nil || len(got) != n {
+				b.Fatalf("decode: %v (%d records)", err, len(got))
+			}
+		}
+		b.ReportMetric(float64(len(encoded))/float64(n), "bytes/rec")
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "recs/s")
+	})
+	b.Run("parallel-workers=4", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(encoded)))
+		for i := 0; i < b.N; i++ {
+			f, err := trace.OpenB2File(bytes.NewReader(encoded), int64(len(encoded)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, err := trace.Collect(f.Stream(4))
+			if err != nil || len(got) != n {
+				b.Fatalf("decode: %v (%d records)", err, len(got))
+			}
+		}
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "recs/s")
+	})
+}
+
+// BenchmarkStreamAnalyzeB2 is BenchmarkStreamAnalyze's trace re-encoded
+// as b2: the same analysis fed by the sequential b2 stream reader, and
+// by the index-seek path — shard cutting from the block index,
+// parallel block decode, no record-level streaming at all. The
+// indexseek variant is the headline: it must beat the committed b1
+// stream-workers=4 baseline on both ns/op and allocs/op.
+func BenchmarkStreamAnalyzeB2(b *testing.B) {
+	p, _ := fixture(b)
+	var buf bytes.Buffer
+	if err := trace.WriteAllFormat(&buf, p.Records, trace.FormatB2); err != nil {
+		b.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	const shardDur = 28 * 24 * time.Hour
+	const workers = 4
+	opts := core.Options{DedupWindow: workload.DedupWindow}
+	check := func(b *testing.B, r *core.Report) {
+		if r.Table3.GrandTotal == 0 {
+			b.Fatal("empty report")
+		}
+	}
+	b.Run(fmt.Sprintf("stream-workers=%d", workers), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src, err := trace.OpenStream(bytes.NewReader(encoded))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := core.AnalyzeStream(core.StreamOptions{
+				Options: opts, Workers: workers, ShardDuration: shardDur}, src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			check(b, rep)
+		}
+	})
+	b.Run(fmt.Sprintf("indexseek-workers=%d", workers), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f, err := trace.OpenB2File(bytes.NewReader(encoded), int64(len(encoded)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := core.AnalyzeB2(core.B2Options{StreamOptions: core.StreamOptions{
+				Options: opts, Workers: workers, ShardDuration: shardDur}}, f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			check(b, rep)
+		}
+	})
+}
+
 // maxShardWindow reports the most records any n consecutive time shards
 // of the given width hold.
 func maxShardWindow(recs []trace.Record, shard time.Duration, n int) int {

@@ -13,14 +13,17 @@
 //	mssanalyze merge [-id ...] s0.s1 s1.s1        # reduce: merge + report
 //
 // With -scale and no -i, a synthetic trace is generated and simulated
-// in-process. The input codec (ASCII v1 or binary b1) is auto-detected;
-// -format forces one. With -stream, records are never materialized:
-// the trace is cut into time shards analysed on a bounded worker pool
-// (-workers, -shard-days), producing byte-identical output in shard-sized
-// memory — the coalesce experiment is skipped there, as it needs the raw
-// request list, and in generate mode the MSS simulation is skipped too
-// (latency columns stay empty), since simulation replays the whole
-// trace.
+// in-process. The input codec (ASCII v1, binary b1, or columnar b2) is
+// auto-detected; -format forces one. With -stream, records are never
+// materialized: the trace is cut into time shards analysed on a bounded
+// worker pool (-workers, -shard-days), producing byte-identical output
+// in shard-sized memory — the coalesce experiment is skipped there, as
+// it needs the raw request list, and in generate mode the MSS
+// simulation is skipped too (latency columns stay empty), since
+// simulation replays the whole trace. A named b2 file under -stream is
+// opened through its trailing block index: shards are cut from index
+// metadata without decoding skipped blocks, and blocks decode in
+// parallel on the worker pool.
 //
 // With -snapshot, the analysis state is written to the named s1 file
 // ('-' for stdout) instead of printing a report; trace slices may be
@@ -32,6 +35,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -70,7 +74,7 @@ func main() {
 		stream    = flag.Bool("stream", false, "sharded streaming analysis (bounded memory)")
 		workers   = flag.Int("workers", 0, "streaming analysis worker pool size (0 = one per CPU)")
 		shardDays = flag.Int("shard-days", 0, "streaming shard width in days (0 = 28)")
-		format    = flag.String("format", "auto", "input format: auto, ascii or binary")
+		format    = flag.String("format", "auto", "input format: auto, ascii, binary or b2")
 		snapshot  = flag.String("snapshot", "", "write an s1 analysis snapshot here ('-' for stdout) instead of reporting")
 	)
 	flag.Var(&ids, "id", "experiment to print (table3, figure7, ...); repeatable")
@@ -120,6 +124,35 @@ func main() {
 			log.Fatal(err)
 		}
 	default:
+		if *stream && *in != "-" && *format == "auto" {
+			// The facade picks the fastest path the file's format allows:
+			// b2 goes through the index-seek block-parallel analysis, v1
+			// and b1 through the sharded streaming path.
+			rep, err := filemig.AnalyzeTraceFile(*in, *workers,
+				time.Duration(*shardDays)*24*time.Hour)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p = &filemig.Pipeline{Report: rep}
+			streamed = true
+			break
+		}
+		if *stream {
+			if bf, bfile := openB2Indexed(*in, *format); bf != nil {
+				defer bfile.Close()
+				rep, err := core.AnalyzeB2(core.B2Options{StreamOptions: core.StreamOptions{
+					Options:       core.Options{DedupWindow: workload.DedupWindow},
+					Workers:       *workers,
+					ShardDuration: time.Duration(*shardDays) * 24 * time.Hour,
+				}}, bf)
+				if err != nil {
+					log.Fatal(err)
+				}
+				p = &filemig.Pipeline{Report: rep}
+				streamed = true
+				break
+			}
+		}
 		f := os.Stdin
 		if *in != "-" {
 			var err error
@@ -184,37 +217,92 @@ func renderExperiments(p *filemig.Pipeline, ids idList, all, noRecords bool) {
 	}
 }
 
-// writeSnapshot analyses the trace input with the journal enabled and
-// serializes the analysis as an s1 snapshot — the map step of a
-// distributed run.
-func writeSnapshot(in, format, out string, stream bool, workers, shardDays int) {
-	f := os.Stdin
-	if in != "-" {
-		var err error
-		f, err = os.Open(in)
+// openB2Indexed opens a named trace input through its b2 block index
+// when the format flag allows it. It returns nils — fall back to the
+// sequential stream path — for stdin, for a format forced to another
+// codec, and for auto-format inputs without a b2 header; a forced-b2
+// input that fails to open, or a b2-headed file whose index is broken,
+// is fatal rather than silently re-read sequentially.
+func openB2Indexed(in, format string) (*trace.B2File, *os.File) {
+	if in == "-" {
+		return nil, nil
+	}
+	if format != "auto" {
+		wf, err := trace.ParseFormat(format)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
+		if wf != trace.FormatB2 {
+			return nil, nil
+		}
 	}
-	src, err := trace.OpenStreamFlag(f, format)
+	f, err := os.Open(in)
 	if err != nil {
 		log.Fatal(err)
 	}
+	st, err := f.Stat()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bf, err := trace.OpenB2File(f, st.Size())
+	if err != nil {
+		f.Close()
+		if format == "auto" && errors.Is(err, trace.ErrNotB2) {
+			return nil, nil
+		}
+		log.Fatal(err)
+	}
+	return bf, f
+}
+
+// writeSnapshot analyses the trace input with the journal enabled and
+// serializes the analysis as an s1 snapshot — the map step of a
+// distributed run. A named b2 input under -stream takes the index-seek
+// parallel path; the snapshot bytes are identical either way.
+func writeSnapshot(in, format, out string, stream bool, workers, shardDays int) {
 	opts := core.Options{DedupWindow: workload.DedupWindow, Journal: true}
+	shardDur := time.Duration(shardDays) * 24 * time.Hour
 	var a *core.Analysis
+	var err error
+	var bf *trace.B2File
 	if stream {
-		a, err = core.AccumulateStream(core.StreamOptions{
-			Options:       opts,
-			Workers:       workers,
-			ShardDuration: time.Duration(shardDays) * 24 * time.Hour,
-		}, src)
-	} else {
-		var recs []trace.Record
-		recs, err = trace.Collect(src)
-		if err == nil {
-			a = core.New(opts)
-			a.AddAll(recs)
+		var bfile *os.File
+		if bf, bfile = openB2Indexed(in, format); bf != nil {
+			defer bfile.Close()
+			a, err = core.AccumulateB2(core.B2Options{StreamOptions: core.StreamOptions{
+				Options:       opts,
+				Workers:       workers,
+				ShardDuration: shardDur,
+			}}, bf)
+		}
+	}
+	if bf == nil {
+		f := os.Stdin
+		if in != "-" {
+			f, err = os.Open(in)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+		}
+		var src trace.Stream
+		src, err = trace.OpenStreamFlag(f, format)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if stream {
+			a, err = core.AccumulateStream(core.StreamOptions{
+				Options:       opts,
+				Workers:       workers,
+				ShardDuration: shardDur,
+			}, src)
+		} else {
+			var recs []trace.Record
+			recs, err = trace.Collect(src)
+			if err == nil {
+				a = core.New(opts)
+				a.AddAll(recs)
+			}
 		}
 	}
 	if err != nil {

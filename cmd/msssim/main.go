@@ -8,8 +8,8 @@
 //	msssim -i trace.b1 -format binary
 //	msssim -scale 0.01 -write-behind
 //
-// The input codec (ASCII v1 or binary b1) is auto-detected; -format
-// forces one.
+// The input codec (ASCII v1, binary b1, or columnar b2) is
+// auto-detected; -format forces one.
 package main
 
 import (
@@ -35,7 +35,7 @@ func main() {
 		wb     = flag.Bool("write-behind", false, "enable eager write-behind (§6)")
 		silo   = flag.Int("silo-drives", 0, "override silo drive count")
 		ops    = flag.Int("operators", 0, "override operator count")
-		format = flag.String("format", "auto", "input format: auto, ascii or binary")
+		format = flag.String("format", "auto", "input format: auto, ascii, binary or b2")
 	)
 	flag.Parse()
 	if *in == "" && *format != "auto" {

@@ -1,11 +1,12 @@
 // Command tracegen synthesizes an NCAR-like mass-storage trace in the
-// paper's compact ASCII format (§4.2) or the binary b1 format and writes
-// it to a file or stdout.
+// paper's compact ASCII format (§4.2), the binary b1 format, or the
+// columnar b2 block format and writes it to a file or stdout.
 //
 // Usage:
 //
 //	tracegen -scale 0.02 -seed 1 -o trace.txt
 //	tracegen -scale 0.05 -format binary -o trace.b1
+//	tracegen -scale 0.05 -format b2 -o trace.b2   # seekable block format
 //	tracegen -scale 0.01 -sim           # with simulated latencies
 //	tracegen -scale 0.001 -raw          # verbose system-log form (§4.1)
 //
@@ -35,7 +36,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "deterministic RNG seed")
 		days     = flag.Int("days", workload.PaperSpanDays, "trace length in days")
 		out      = flag.String("o", "-", "output file ('-' for stdout)")
-		format   = flag.String("format", "ascii", "trace wire format: ascii or binary")
+		format   = flag.String("format", "ascii", "trace wire format: ascii, binary or b2")
 		sim      = flag.Bool("sim", false, "replay through the MSS simulator to fill latencies")
 		raw      = flag.Bool("raw", false, "emit the verbose system-log format instead")
 		noBursts = flag.Bool("no-bursts", false, "disable session burst packing")
@@ -48,7 +49,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if *raw && wireFormat != trace.FormatASCII {
-		log.Fatal("-raw emits the verbose ASCII system-log form; -format binary does not apply")
+		log.Fatalf("-raw emits the verbose ASCII system-log form; -format %s does not apply", wireFormat)
 	}
 	cfg := workload.DefaultConfig(*scale, *seed)
 	cfg.Days = *days

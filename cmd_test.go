@@ -120,6 +120,91 @@ func TestCmdPipelines(t *testing.T) {
 	}
 }
 
+// TestMssanalyzeB2Golden is the CLI acceptance gate for the b2 block
+// format: the committed testdata/mini.b2 fixture (tracegen -scale
+// 0.002 -seed 3 -days 120 -format b2) must analyse through the
+// index-seek -stream path to exactly the committed golden report, and
+// the slice path, the forced -format b2 path, and the piped-stdin
+// sequential path must all render the same bytes. Regenerate with
+// UPDATE_B2_GOLDEN=1.
+func TestMssanalyzeB2Golden(t *testing.T) {
+	bin := buildTools(t)
+	run := func(name string, stdin []byte, args ...string) []byte {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		if stdin != nil {
+			cmd.Stdin = bytes.NewReader(stdin)
+		}
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%s %v: %v\nstderr: %s", name, args, err, stderr.String())
+		}
+		return stdout.Bytes()
+	}
+
+	fixture := filepath.Join("testdata", "mini.b2")
+	raw, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, []byte("#filemig-trace b2")) {
+		t.Fatalf("fixture missing b2 header: %.40q", raw)
+	}
+
+	ids := []string{"-id", "table3", "-id", "table4", "-id", "figure8"}
+	streamed := run("mssanalyze", nil,
+		append([]string{"-i", fixture, "-stream", "-workers", "4", "-shard-days", "7"}, ids...)...)
+
+	goldenPath := filepath.Join("testdata", "b2_golden.txt")
+	if os.Getenv("UPDATE_B2_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, streamed, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(streamed))
+	} else {
+		golden, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(streamed, golden) {
+			t.Errorf("b2 stream report does not match testdata/b2_golden.txt:\n--- got ---\n%s\n--- golden ---\n%s",
+				streamed, golden)
+		}
+	}
+
+	// Every other route to the same records renders identically: the
+	// slice path, the forced format on the index-seek path, and the
+	// sequential reader over a pipe (stdin is not seekable).
+	for _, tc := range []struct {
+		name  string
+		stdin []byte
+		args  []string
+	}{
+		{"slice", nil, []string{"-i", fixture}},
+		{"forced-b2", nil, []string{"-i", fixture, "-format", "b2", "-stream", "-workers", "2"}},
+		{"stdin-stream", raw, []string{"-i", "-", "-stream", "-workers", "2"}},
+	} {
+		got := run("mssanalyze", tc.stdin, append(tc.args, ids...)...)
+		if !bytes.Equal(got, streamed) {
+			t.Errorf("%s path differs from the index-seek stream path:\n--- got ---\n%s\n--- stream ---\n%s",
+				tc.name, got, streamed)
+		}
+	}
+
+	// tracegen regenerates the fixture byte-identically, and msssim reads
+	// b2 input.
+	regen := filepath.Join(t.TempDir(), "regen.b2")
+	run("tracegen", nil, "-scale", "0.002", "-seed", "3", "-days", "120", "-format", "b2", "-o", regen)
+	if b, err := os.ReadFile(regen); err != nil || !bytes.Equal(b, raw) {
+		t.Errorf("tracegen does not reproduce testdata/mini.b2 (err=%v, %d vs %d bytes)", err, len(b), len(raw))
+	}
+	if out := string(run("msssim", raw, "-i", "-")); !strings.Contains(out, "tape mounts") {
+		t.Errorf("msssim could not read b2 input:\n%s", out)
+	}
+}
+
 // TestMssanalyzeSnapshotMerge is the acceptance gate for the
 // distributed-analysis surface: the paper workload encoded as two trace
 // slice files, each analysed to an s1 snapshot by `mssanalyze

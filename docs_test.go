@@ -6,13 +6,17 @@ package filemig_test
 
 import (
 	"bytes"
+	"encoding/hex"
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"filemig"
+	"filemig/internal/device"
 	"filemig/internal/experiment"
 	"filemig/internal/trace"
+	"filemig/internal/units"
 )
 
 // docFence extracts the first fenced code block following the given
@@ -58,6 +62,49 @@ func TestDocsWorkedExample(t *testing.T) {
 	if got != want {
 		t.Errorf("docs/experiments.md worked example is stale.\n--- documented ---\n%s\n--- actual ---\n%s",
 			want, got)
+	}
+}
+
+// TestDocsB2Example re-encodes docs/trace-format.md's three worked
+// records with the documented epoch and compares the documented hex
+// dump byte for byte — the b2 wire layout in the docs is the layout
+// the codec emits.
+func TestDocsB2Example(t *testing.T) {
+	raw, err := os.ReadFile("docs/trace-format.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := time.Unix(654739200, 0).UTC()
+	recs := []trace.Record{
+		{Start: epoch.Add(10 * time.Second), Op: trace.Read, Device: device.ClassDisk,
+			Startup: 4 * time.Second, Transfer: 1500 * time.Millisecond,
+			Size: 3145728, UserID: 101, MSSPath: "/mss/u1/a", LocalPath: "/tmp/a"},
+		{Start: epoch.Add(15 * time.Second), Op: trace.Write, Device: device.ClassSiloTape,
+			Startup: 85 * time.Second, Transfer: 40000 * time.Millisecond,
+			Size: units.Bytes(83886080), UserID: 101, MSSPath: "/mss/u1/b", LocalPath: "/tmp/b"},
+		{Start: epoch.Add(400 * time.Second), Op: trace.Read, Device: device.ClassManualTape,
+			Err: trace.ErrNoFile, UserID: 202, MSSPath: "/mss/u2/gone", LocalPath: "/tmp/gone"},
+	}
+	var enc bytes.Buffer
+	w := trace.NewB2WriterEpoch(&enc, epoch)
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimRight(hex.Dump(enc.Bytes()), "\n")
+	want := strings.TrimRight(docFence(t, string(raw), "<!-- test:b2-dump -->"), "\n")
+	if got != want {
+		t.Errorf("docs/trace-format.md b2 worked example is stale.\n--- documented ---\n%s\n--- actual ---\n%s",
+			want, got)
+	}
+	// The documented total ("185-byte file") rides along in prose; keep
+	// it honest too.
+	if enc.Len() != 185 {
+		t.Errorf("worked example encodes to %d bytes, docs say 185", enc.Len())
 	}
 }
 

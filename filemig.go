@@ -24,8 +24,10 @@
 package filemig
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -173,8 +175,51 @@ func RunStream(cfg StreamConfig) (*core.Report, error) {
 	}, sr.Stream)
 }
 
-// SaveSnapshot analyses one encoded trace (ASCII v1 or binary b1,
-// auto-detected) and writes the analysis state to dst as an s1 snapshot
+// AnalyzeTraceFile analyses one encoded trace file on the fastest path
+// its format allows. A b2 file is opened through its trailing block
+// index and analysed with core.AnalyzeB2: shard cutting is pure index
+// arithmetic and blocks decode on the worker pool, each exactly once.
+// Any other format falls back to the sharded streaming analysis over a
+// sequential read. The report is byte-identical either way, and to
+// analysing the same records in one slice. workers <= 0 means one per
+// CPU and shard <= 0 the default four-week width, as in RunStream.
+func AnalyzeTraceFile(path string, workers int, shard time.Duration) (*core.Report, error) {
+	if workers <= 0 {
+		workers = host.DefaultWorkers()
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	opts := core.StreamOptions{
+		Options:       core.Options{DedupWindow: workload.DedupWindow},
+		ShardDuration: shard,
+		Workers:       workers,
+	}
+	bf, err := trace.OpenB2File(f, st.Size())
+	if err == nil {
+		return core.AnalyzeB2(core.B2Options{StreamOptions: opts}, bf)
+	}
+	if !errors.Is(err, trace.ErrNotB2) {
+		return nil, err
+	}
+	// Not a b2 file; OpenB2File read via ReadAt, so the offset is still
+	// zero and the sniffing sequential path starts clean.
+	s, err := trace.OpenStream(f)
+	if err != nil {
+		return nil, err
+	}
+	return core.AnalyzeStream(opts, s)
+}
+
+// SaveSnapshot analyses one encoded trace (ASCII v1, binary b1, or
+// columnar b2, auto-detected) and writes the analysis state to dst as
+// an s1 snapshot
 // — the map step of a distributed analysis. Snapshots of trace slices
 // made anywhere, by any worker, merge through MergeSnapshots into a
 // report byte-identical to analysing the concatenated trace in one

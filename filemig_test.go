@@ -1,12 +1,15 @@
 package filemig
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
 
 	"filemig/internal/core"
 	"filemig/internal/migration"
+	"filemig/internal/trace"
 )
 
 var pipeOnce struct {
@@ -80,6 +83,49 @@ func TestRunStreamMatchesSkipSimulation(t *testing.T) {
 	}
 	if rep.Table3.GrandTotal == 0 {
 		t.Fatal("RunStream produced an empty report")
+	}
+}
+
+// TestAnalyzeTraceFileFormats checks the facade picks a working path
+// for every on-disk format: the same workload written as ascii, b1,
+// and b2 files must analyse to identical reports, with the b2 file
+// going through the index-seek path.
+func TestAnalyzeTraceFileFormats(t *testing.T) {
+	res, err := Run(Config{Scale: 0.003, Seed: 11, Days: 90, SkipSimulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var reports []string
+	for _, f := range []trace.Format{trace.FormatASCII, trace.FormatBinary, trace.FormatB2} {
+		path := filepath.Join(dir, "trace."+f.String())
+		w, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteAllFormat(w, res.Records, f); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := AnalyzeTraceFile(path, 3, 0)
+		if err != nil {
+			t.Fatalf("%v: AnalyzeTraceFile: %v", f, err)
+		}
+		if rep.Table3.GrandTotal != int64(len(res.Records)) {
+			t.Fatalf("%v: analysed %d records, want %d", f, rep.Table3.GrandTotal, len(res.Records))
+		}
+		reports = append(reports, core.RenderTable3(rep.Table3)+core.RenderTable4(rep.Table4)+
+			core.RenderFigure8(rep.Figure8))
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i] != reports[0] {
+			t.Fatalf("report %d differs from report 0:\n%s\n---\n%s", i, reports[i], reports[0])
+		}
+	}
+	if _, err := AnalyzeTraceFile(filepath.Join(dir, "missing"), 1, 0); err == nil {
+		t.Fatal("missing file accepted")
 	}
 }
 

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"filemig/internal/trace"
+)
+
+// The index-seek analysis path for b2 traces. Where AnalyzeStream must
+// decode every record just to find its shard, a b2 file's trailing
+// index already says how many records each block holds and what time
+// range they cover — so shard cutting here is pure planning over index
+// metadata: blocks are grouped into contiguous shard-width runs, blocks
+// outside the analysis window are skipped without ever being read, and
+// only the workers decode, each block exactly once. The merge machinery
+// is shared with AnalyzeStream, and it is exact for ANY contiguous
+// partition of the record sequence, so cutting at block granularity
+// (rather than exact shard-boundary records) still renders
+// byte-identically to the slice and stream paths; TestB2Equivalence
+// pins that down, and the DecodeCount assertions prove the skipping.
+
+// B2Options configures AnalyzeB2.
+type B2Options struct {
+	StreamOptions
+
+	// From and To bound the analyzed records to [From, To); a zero time
+	// leaves that side unbounded. Blocks whose index time range lies
+	// entirely outside the window are never decoded. When From is set
+	// and Start is not, resolving the calendar origin needs the first
+	// in-window record, which costs one extra decode of the first
+	// overlapping block; set Start explicitly to avoid it.
+	From, To time.Time
+}
+
+// blockGroup is one shard's worth of whole blocks: a contiguous block
+// range and its total index record count, for presizing.
+type blockGroup struct {
+	lo, hi int // block index range [lo, hi)
+	count  int64
+}
+
+// AnalyzeB2 computes the paper's full Report from an opened b2 trace
+// by fanning block groups over a bounded worker pool, decoding blocks
+// in parallel. The result is byte-identical to AnalyzeStream over the
+// same records at any worker count.
+func AnalyzeB2(opts B2Options, f *trace.B2File) (*Report, error) {
+	a, err := AccumulateB2(opts, f)
+	if err != nil {
+		return nil, err
+	}
+	return a.Report(), nil
+}
+
+// AccumulateB2 is AnalyzeB2 stopped one step short of the Report,
+// returning the merged accumulator itself — state-identical to the
+// slice path over the same records, like AccumulateStream.
+func AccumulateB2(opts B2Options, f *trace.B2File) (*Analysis, error) {
+	if opts.ShardDuration <= 0 {
+		opts.ShardDuration = DefaultShardDuration
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+
+	lo, hi := b2Window(opts, f)
+	if lo >= hi {
+		return New(opts.Options), nil
+	}
+	windowed := !opts.From.IsZero() || !opts.To.IsZero()
+
+	// Resolve the calendar origin exactly as AccumulateStream would. The
+	// index gives the first record's start directly (a block's base IS
+	// its first record's start); only a windowed run with no explicit
+	// Start must decode the first overlapping block to find the first
+	// record inside the window.
+	origin := opts.Start
+	if origin.IsZero() {
+		first := f.Meta(lo).Base
+		if windowed {
+			var err error
+			if first, err = b2FirstInWindow(opts, f, lo); err != nil {
+				return nil, err
+			}
+			if first.IsZero() {
+				// The first overlapping block straddled the window without
+				// any record inside it. Later blocks start at or after this
+				// block's end (>= From) and before To, so the next block's
+				// base — if any — is the first in-window record.
+				lo++
+				if lo >= hi {
+					return New(opts.Options), nil
+				}
+				first = f.Meta(lo).Base
+			}
+		}
+		origin = first.Truncate(24 * time.Hour)
+	}
+	opts.Start = origin
+	master := New(opts.Options)
+	master.start = origin
+
+	groups := b2Groups(opts, f, lo, hi)
+	if workers == 1 {
+		d := f.NewBlockDecoder()
+		for _, g := range groups {
+			sh, err := accumulateB2Group(opts, f, d, g)
+			if err != nil {
+				return nil, err
+			}
+			master.merge(sh)
+		}
+		return master, nil
+	}
+	return accumulateB2Parallel(opts, f, master, groups, workers)
+}
+
+// b2Window returns the range of blocks overlapping [From, To) from the
+// index alone.
+func b2Window(opts B2Options, f *trace.B2File) (lo, hi int) {
+	n := f.NumBlocks()
+	lo, hi = 0, n
+	if !opts.From.IsZero() {
+		for lo < n && f.Meta(lo).End.Before(opts.From) {
+			lo++
+		}
+	}
+	if !opts.To.IsZero() {
+		for hi > lo && !f.Meta(hi-1).Base.Before(opts.To) {
+			hi--
+		}
+	}
+	return lo, hi
+}
+
+// inB2Window reports whether a record time falls inside [From, To).
+func inB2Window(opts *B2Options, at time.Time) bool {
+	if !opts.From.IsZero() && at.Before(opts.From) {
+		return false
+	}
+	if !opts.To.IsZero() && !at.Before(opts.To) {
+		return false
+	}
+	return true
+}
+
+// b2FirstInWindow decodes block lo and returns the start of its first
+// in-window record, or the zero time if the window skips the whole
+// block.
+func b2FirstInWindow(opts B2Options, f *trace.B2File, lo int) (time.Time, error) {
+	recs, err := f.NewBlockDecoder().Decode(lo)
+	if err != nil {
+		return time.Time{}, err
+	}
+	for i := range recs {
+		if inB2Window(&opts, recs[i].Start) {
+			return recs[i].Start, nil
+		}
+	}
+	return time.Time{}, nil
+}
+
+// b2Groups cuts blocks [lo, hi) into contiguous shard groups: a new
+// group starts whenever a block's base time crosses into a new shard.
+// Pure index arithmetic — nothing is decoded.
+func b2Groups(opts B2Options, f *trace.B2File, lo, hi int) []blockGroup {
+	var groups []blockGroup
+	curShard := int64(0)
+	for i := lo; i < hi; i++ {
+		m := f.Meta(i)
+		s := shardIndex(opts.Start, opts.ShardDuration, m.Base)
+		if len(groups) == 0 || s != curShard {
+			groups = append(groups, blockGroup{lo: i, hi: i + 1, count: m.Count})
+			curShard = s
+			continue
+		}
+		g := &groups[len(groups)-1]
+		g.hi = i + 1
+		g.count += m.Count
+	}
+	return groups
+}
+
+// accumulateB2Group decodes one group's blocks into a single presized
+// record slice, applies the window filter, and accumulates the shard.
+func accumulateB2Group(opts B2Options, f *trace.B2File, d *trace.B2BlockDecoder, g blockGroup) (*shardAccum, error) {
+	recs := make([]trace.Record, g.count)
+	at := int64(0)
+	for i := g.lo; i < g.hi; i++ {
+		n := f.Meta(i).Count
+		if err := d.DecodeInto(i, recs[at:at+n]); err != nil {
+			return nil, err
+		}
+		at += n
+	}
+	if !opts.From.IsZero() || !opts.To.IsZero() {
+		kept := recs[:0]
+		for i := range recs {
+			if inB2Window(&opts, recs[i].Start) {
+				kept = append(kept, recs[i])
+			}
+		}
+		recs = kept
+	}
+	return accumulateShard(opts.Options, recs), nil
+}
+
+// accumulateB2Parallel fans block groups over a worker pool, each
+// worker decoding its groups' blocks with a private block decoder, and
+// merges shard results in group order — the same bounded pending-map
+// shape as analyzeParallel, with in-flight groups capped by the pool.
+func accumulateB2Parallel(opts B2Options, f *trace.B2File, master *Analysis, groups []blockGroup, workers int) (*Analysis, error) {
+	type result struct {
+		idx int
+		sh  *shardAccum
+		err error
+	}
+	jobs := make(chan int)
+	results := make(chan result)
+	sem := make(chan struct{}, workers+1)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			d := f.NewBlockDecoder()
+			for idx := range jobs {
+				sh, err := accumulateB2Group(opts, f, d, groups[idx])
+				results <- result{idx: idx, sh: sh, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var firstErr error
+	errAt := len(groups)
+	mergeDone := make(chan struct{})
+	go func() {
+		defer close(mergeDone)
+		pending := map[int]*shardAccum{}
+		next := 0
+		for res := range results {
+			if res.err != nil {
+				// Keep the earliest failing group's error, deterministic
+				// at any worker count, and stop merging past it.
+				if res.idx < errAt {
+					errAt, firstErr = res.idx, res.err
+				}
+				pending[res.idx] = nil
+			} else {
+				pending[res.idx] = res.sh
+			}
+			for sh, ok := pending[next]; ok; sh, ok = pending[next] {
+				delete(pending, next)
+				if next < errAt {
+					master.merge(sh)
+				}
+				next++
+				<-sem
+			}
+		}
+	}()
+
+	for idx := range groups {
+		sem <- struct{}{}
+		jobs <- idx
+	}
+	close(jobs)
+	<-mergeDone
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return master, nil
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"filemig/internal/trace"
+	"filemig/internal/workload"
+)
+
+// encodeB2Blocks encodes records as a b2 trace cut into blocks of the
+// given size, so index-seek tests get many blocks from a modest
+// fixture. The epoch is the first record's start, as WriteAllFormat
+// uses.
+func encodeB2Blocks(t *testing.T, recs []trace.Record, perBlock int) []byte {
+	t.Helper()
+	if len(recs) == 0 {
+		t.Fatal("encodeB2Blocks needs records")
+	}
+	var buf bytes.Buffer
+	w := trace.NewB2WriterEpochBlock(&buf, recs[0].Start, perBlock)
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// openB2 opens an encoded b2 trace seekably, with a fresh decode
+// counter.
+func openB2(t *testing.T, enc []byte) *trace.B2File {
+	t.Helper()
+	f, err := trace.OpenB2File(bytes.NewReader(enc), int64(len(enc)))
+	if err != nil {
+		t.Fatalf("OpenB2File: %v", err)
+	}
+	return f
+}
+
+// TestB2Equivalence is the acceptance test for the b2 analysis paths:
+// every format (ascii, b1, b2), through both the slice and the stream
+// analysis, and the b2 index-seek path at every worker count and shard
+// width, must render byte-identical tables and figures — and the
+// index-seek path must decode each block exactly once, with zero
+// decodes spent on planning.
+func TestB2Equivalence(t *testing.T) {
+	res := streamFixture(t)
+
+	// Each codec quantizes times onto its wire grid, so every comparison
+	// is against the slice path over the records as decoded from that
+	// same encoding.
+	sliceWant := func(enc []byte) string {
+		recs, err := trace.ReadAll(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slice := New(Options{})
+		slice.AddAll(recs)
+		return renderAll(slice.Report())
+	}
+
+	// Sequential stream analysis over each encoded format.
+	for _, f := range []trace.Format{trace.FormatASCII, trace.FormatBinary, trace.FormatB2} {
+		var encf bytes.Buffer
+		if err := trace.WriteAllFormat(&encf, res.Records, f); err != nil {
+			t.Fatal(err)
+		}
+		want := sliceWant(encf.Bytes())
+		src, err := trace.OpenStream(bytes.NewReader(encf.Bytes()))
+		if err != nil {
+			t.Fatalf("%v: OpenStream: %v", f, err)
+		}
+		rep, err := AnalyzeStream(StreamOptions{Workers: 2, ShardDuration: 9 * 24 * time.Hour}, src)
+		if err != nil {
+			t.Fatalf("%v: AnalyzeStream: %v", f, err)
+		}
+		if got := renderAll(rep); got != want {
+			t.Fatalf("%v: stream analysis diverged from slice path:\n%s", f, firstDiff(want, got))
+		}
+	}
+
+	// The index-seek path over a many-block encoding.
+	enc := encodeB2Blocks(t, res.Records, 64)
+	want := sliceWant(enc)
+	for _, workers := range []int{1, 2, 8} {
+		for _, shard := range []time.Duration{DefaultShardDuration, 24 * time.Hour, 3 * time.Hour} {
+			t.Run(fmt.Sprintf("indexseek/workers=%d/shard=%v", workers, shard), func(t *testing.T) {
+				f := openB2(t, enc)
+				rep, err := AnalyzeB2(B2Options{StreamOptions: StreamOptions{
+					Workers:       workers,
+					ShardDuration: shard,
+				}}, f)
+				if err != nil {
+					t.Fatalf("AnalyzeB2: %v", err)
+				}
+				if got := renderAll(rep); got != want {
+					t.Fatalf("index-seek analysis diverged from slice path:\n%s", firstDiff(want, got))
+				}
+				if got, blocks := f.DecodeCount(), int64(f.NumBlocks()); got != blocks {
+					t.Fatalf("decoded %d blocks, want each of %d exactly once", got, blocks)
+				}
+			})
+		}
+	}
+
+	// The parallel block stream feeding the ordinary stream analysis.
+	f := openB2(t, enc)
+	rep, err := AnalyzeStream(StreamOptions{Workers: 4, ShardDuration: 13 * 24 * time.Hour}, f.Stream(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderAll(rep); got != want {
+		t.Fatalf("parallel block stream diverged from slice path:\n%s", firstDiff(want, got))
+	}
+}
+
+// TestB2IndexSeekSkipsBlocks proves the shard cutter plans from the
+// index alone: opening decodes nothing, and a windowed analysis never
+// decodes a block outside the window — the decode counter is exactly
+// the overlapping block count when the origin is given, at most one
+// more when it must be derived.
+func TestB2IndexSeekSkipsBlocks(t *testing.T) {
+	res := streamFixture(t)
+	enc := encodeB2Blocks(t, res.Records, 50)
+	// The window filter sees wire-quantized times, so the expectation is
+	// built from the records as decoded.
+	recs, err := trace.ReadAll(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	from := recs[len(recs)/3].Start
+	to := recs[2*len(recs)/3].Start
+	var sub []trace.Record
+	for _, r := range recs {
+		if !r.Start.Before(from) && r.Start.Before(to) {
+			sub = append(sub, r)
+		}
+	}
+	if len(sub) < 500 {
+		t.Fatalf("window keeps only %d records", len(sub))
+	}
+	slice := New(Options{})
+	slice.AddAll(sub)
+	want := renderAll(slice.Report())
+	origin := sub[0].Start.Truncate(24 * time.Hour)
+
+	probe := openB2(t, enc)
+	if got := probe.DecodeCount(); got != 0 {
+		t.Fatalf("opening the file decoded %d blocks", got)
+	}
+	overlap := 0
+	for i := 0; i < probe.NumBlocks(); i++ {
+		m := probe.Meta(i)
+		if !m.End.Before(from) && m.Base.Before(to) {
+			overlap++
+		}
+	}
+	if skipped := probe.NumBlocks() - overlap; skipped < 10 {
+		t.Fatalf("fixture leaves only %d skippable blocks of %d", skipped, probe.NumBlocks())
+	}
+
+	for _, workers := range []int{1, 8} {
+		// Derived origin: one extra decode of the first overlapping block.
+		f := openB2(t, enc)
+		rep, err := AnalyzeB2(B2Options{
+			StreamOptions: StreamOptions{Workers: workers, ShardDuration: 5 * 24 * time.Hour},
+			From:          from, To: to,
+		}, f)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := renderAll(rep); got != want {
+			t.Fatalf("workers=%d: windowed analysis diverged from the filtered slice:\n%s",
+				workers, firstDiff(want, got))
+		}
+		if got := f.DecodeCount(); got > int64(overlap)+1 {
+			t.Fatalf("workers=%d: decoded %d blocks for %d overlapping the window", workers, got, overlap)
+		}
+
+		// Explicit origin: exactly the overlapping blocks, nothing else.
+		f = openB2(t, enc)
+		rep, err = AnalyzeB2(B2Options{
+			StreamOptions: StreamOptions{
+				Options: Options{Start: origin},
+				Workers: workers, ShardDuration: 5 * 24 * time.Hour,
+			},
+			From: from, To: to,
+		}, f)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := renderAll(rep); got != want {
+			t.Fatalf("workers=%d: explicit-origin windowed analysis diverged:\n%s",
+				workers, firstDiff(want, got))
+		}
+		if got := f.DecodeCount(); got != int64(overlap) {
+			t.Fatalf("workers=%d: decoded %d blocks, want exactly the %d overlapping the window",
+				workers, got, overlap)
+		}
+	}
+
+	// An empty window decodes nothing at all.
+	f := openB2(t, enc)
+	rep, err := AnalyzeB2(B2Options{
+		StreamOptions: StreamOptions{Workers: 4},
+		From:          recs[len(recs)-1].Start.Add(time.Hour),
+	}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Table3.GrandTotal != 0 {
+		t.Fatalf("empty window produced %d records", rep.Table3.GrandTotal)
+	}
+	if got := f.DecodeCount(); got != 0 {
+		t.Fatalf("empty window decoded %d blocks", got)
+	}
+}
+
+// TestB2SnapshotEquivalence pins the distributed-run contract: the
+// index-seek path with the journal enabled serializes the exact same s1
+// snapshot bytes as the sequential streaming path.
+func TestB2SnapshotEquivalence(t *testing.T) {
+	res := streamFixture(t)
+	opts := Options{DedupWindow: workload.DedupWindow, Journal: true}
+	enc := encodeB2Blocks(t, res.Records, 64)
+	recs, err := trace.ReadAll(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a1, err := AccumulateStream(StreamOptions{Options: opts, Workers: 3},
+		trace.SliceStream(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s1 bytes.Buffer
+	if err := a1.WriteSnapshot(&s1); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		f := openB2(t, enc)
+		a2, err := AccumulateB2(B2Options{StreamOptions: StreamOptions{
+			Options: opts, Workers: workers,
+		}}, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s2 bytes.Buffer
+		if err := a2.WriteSnapshot(&s2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(s1.Bytes(), s2.Bytes()) {
+			t.Fatalf("workers=%d: index-seek snapshot differs from the streamed snapshot", workers)
+		}
+	}
+}
+
+// TestB2AnalyzeErrorsDeterministic corrupts one block and checks every
+// worker count reports the same earliest failing block.
+func TestB2AnalyzeErrorsDeterministic(t *testing.T) {
+	res := streamFixture(t)
+	enc := encodeB2Blocks(t, res.Records, 50)
+	probe := openB2(t, enc)
+	if probe.NumBlocks() < 8 {
+		t.Fatalf("fixture has only %d blocks", probe.NumBlocks())
+	}
+
+	// Flip a byte inside block 5's body; the frame CRC catches it.
+	mut := append([]byte(nil), enc...)
+	mut[b2BlockBodyOffset(t, enc, 5)] ^= 0x40
+
+	var msgs []string
+	for _, workers := range []int{1, 2, 8} {
+		f := openB2(t, mut)
+		_, err := AnalyzeB2(B2Options{StreamOptions: StreamOptions{Workers: workers}}, f)
+		if err == nil {
+			t.Fatalf("workers=%d: corrupt block accepted", workers)
+		}
+		if !strings.Contains(err.Error(), "block 5") {
+			t.Fatalf("workers=%d: error does not name the failing block: %v", workers, err)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	for _, m := range msgs[1:] {
+		if m != msgs[0] {
+			t.Fatalf("error differs across worker counts:\n%q\n%q", msgs[0], m)
+		}
+	}
+}
+
+// b2BlockBodyOffset walks the documented frame layout — a one-line
+// header, then framed sections of tag byte, uvarint body length, body,
+// and 4-byte CRC (docs/trace-format.md) — and returns an offset in the
+// middle of block i's body.
+func b2BlockBodyOffset(t *testing.T, enc []byte, i int) int {
+	t.Helper()
+	off := bytes.IndexByte(enc, '\n') + 1
+	for b := 0; ; b++ {
+		if off >= len(enc) || enc[off] != 0x01 {
+			t.Fatalf("no block frame at offset %d (looking for block %d)", off, i)
+		}
+		n, k := binary.Uvarint(enc[off+1:])
+		if k <= 0 {
+			t.Fatalf("bad frame length at offset %d", off)
+		}
+		if b == i {
+			return off + 1 + k + int(n)/2
+		}
+		off += 1 + k + int(n) + 4
+	}
+}

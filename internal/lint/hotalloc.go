@@ -40,6 +40,7 @@ var requiredHotpath = map[string][]string{
 		"(*BinaryReader).decodeBody",
 		"(*Interner).Intern",
 		"(*Interner).InternBytes",
+		"decodeB2Columns",
 	},
 	ModulePath + "/internal/core": {
 		"(*Analysis).addFileAccessID",

@@ -1,0 +1,458 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"filemig/internal/device"
+	"filemig/internal/units"
+)
+
+// encodeB2 encodes recs with the given records-per-block target,
+// deltaing from the first record's start like WriteAllFormat.
+func encodeB2(t *testing.T, recs []Record, perBlock int) []byte {
+	t.Helper()
+	epoch := Epoch
+	if len(recs) > 0 {
+		epoch = recs[0].Start
+	}
+	var buf bytes.Buffer
+	w := NewB2WriterEpochBlock(&buf, epoch, perBlock)
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatalf("encode record %d: %v", i, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// b2Fixture is a deterministic multi-block trace: enough records over
+// few paths and several same-second runs to exercise every column
+// encoding, split into many small blocks.
+func b2Fixture(t *testing.T, n, perBlock int) ([]Record, []byte) {
+	t.Helper()
+	r := rand.New(rand.NewSource(42))
+	devs := []device.Class{device.ClassDisk, device.ClassSiloTape, device.ClassManualTape, device.ClassOptical}
+	recs := make([]Record, n)
+	cur := Epoch
+	for i := range recs {
+		cur = cur.Add(time.Duration(r.Intn(3)) * 40 * time.Second) // ~1/3 share a second
+		recs[i] = Record{
+			Start:      cur,
+			Op:         Op(r.Intn(2)),
+			Device:     devs[r.Intn(len(devs))],
+			Err:        ErrCode(r.Intn(4)),
+			Compressed: r.Intn(2) == 0,
+			Startup:    time.Duration(r.Intn(300)) * time.Second,
+			Transfer:   time.Duration(r.Intn(90000)) * time.Millisecond,
+			Size:       units.Bytes(r.Int63n(64 * units.MB)),
+			MSSPath:    "/mss/u" + itoa(r.Intn(7)) + "/f" + itoa(r.Intn(23)),
+			LocalPath:  "/tmp/j" + itoa(r.Intn(11)),
+			UserID:     uint32(100 + r.Intn(9)),
+		}
+	}
+	return recs, encodeB2(t, recs, perBlock)
+}
+
+// requireSameRecords fails on the first field-level difference.
+func requireSameRecords(t *testing.T, got, want []Record, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d records, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		a, b := got[i], want[i]
+		if !a.Start.Equal(b.Start) || a.Op != b.Op || a.Device != b.Device ||
+			a.Err != b.Err || a.Compressed != b.Compressed ||
+			a.Startup != b.Startup || a.Transfer != b.Transfer ||
+			a.Size != b.Size || a.UserID != b.UserID ||
+			a.MSSPath != b.MSSPath || a.LocalPath != b.LocalPath {
+			t.Fatalf("%s: record %d = %+v, want %+v", label, i, a, b)
+		}
+	}
+}
+
+func TestB2RoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	enc := encodeB2(t, recs, DefaultB2BlockRecords)
+	got, err := Collect(NewB2Reader(bytes.NewReader(enc)))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	requireSameRecords(t, got, recs, "b2 round trip")
+
+	// b2 carries the same quantisation as b1: transcoding b2 → b1 must
+	// equal encoding the originals as b1 directly.
+	var viaB2, direct bytes.Buffer
+	if err := WriteAllFormat(&viaB2, got, FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAllFormat(&direct, recs, FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaB2.Bytes(), direct.Bytes()) {
+		t.Fatal("b2-decoded records do not b1-encode identically to the originals")
+	}
+}
+
+func TestB2MultiBlock(t *testing.T) {
+	recs, enc := b2Fixture(t, 100, 7)
+	got, err := Collect(NewB2Reader(bytes.NewReader(enc)))
+	if err != nil {
+		t.Fatalf("sequential decode: %v", err)
+	}
+	requireSameRecords(t, got, recs, "sequential")
+
+	f, err := OpenB2File(bytes.NewReader(enc), int64(len(enc)))
+	if err != nil {
+		t.Fatalf("OpenB2File: %v", err)
+	}
+	if f.NumBlocks() != 15 { // ceil(100/7)
+		t.Fatalf("NumBlocks = %d, want 15", f.NumBlocks())
+	}
+	if f.NumRecords() != 100 {
+		t.Fatalf("NumRecords = %d, want 100", f.NumRecords())
+	}
+	if f.DecodeCount() != 0 {
+		t.Fatalf("opening the file decoded %d blocks; planning must decode none", f.DecodeCount())
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := Collect(f.Stream(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		requireSameRecords(t, got, recs, "parallel")
+	}
+	if f.DecodeCount() != 3*15 {
+		t.Fatalf("DecodeCount = %d after three full reads of 15 blocks", f.DecodeCount())
+	}
+
+	// Block metadata matches the records without decoding.
+	var total int64
+	prevEnd := time.Time{}
+	for i := 0; i < f.NumBlocks(); i++ {
+		m := f.Meta(i)
+		total += m.Count
+		if m.End.Before(m.Base) || m.Base.Before(prevEnd) {
+			t.Fatalf("block %d range [%v,%v] disordered (prev end %v)", i, m.Base, m.End, prevEnd)
+		}
+		prevEnd = m.End
+	}
+	if total != 100 {
+		t.Fatalf("index counts sum to %d", total)
+	}
+}
+
+func TestB2SingleBlockDecode(t *testing.T) {
+	recs, enc := b2Fixture(t, 60, 10)
+	f, err := OpenB2File(bytes.NewReader(enc), int64(len(enc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := f.NewBlockDecoder()
+	// Decode only block 3; exactly its records come back and exactly one
+	// decode happens.
+	got, err := d.Decode(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRecords(t, got, recs[30:40], "block 3")
+	if f.DecodeCount() != 1 {
+		t.Fatalf("DecodeCount = %d, want 1", f.DecodeCount())
+	}
+	if err := d.DecodeInto(2, make([]Record, 3)); err == nil {
+		t.Fatal("wrong-sized dst must be rejected")
+	}
+}
+
+func TestB2EmptyTrace(t *testing.T) {
+	enc := encodeB2(t, nil, DefaultB2BlockRecords)
+	if len(enc) != 0 {
+		t.Fatalf("empty trace encodes to %d bytes, want 0", len(enc))
+	}
+	if _, err := NewB2Reader(bytes.NewReader(nil)).Next(); err != io.EOF {
+		t.Fatalf("empty stream: %v, want EOF", err)
+	}
+	if _, err := OpenB2File(bytes.NewReader(nil), 0); err == nil {
+		t.Fatal("OpenB2File on empty input must report ErrNotB2")
+	}
+}
+
+func TestB2WriterRejects(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	w := NewB2Writer(&buf)
+	if err := w.Write(&recs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(&recs[0]); err == nil {
+		t.Error("out-of-order record must be rejected")
+	}
+	bad := recs[0]
+	bad.MSSPath = "has space"
+	if err := w.Write(&bad); err == nil {
+		t.Error("invalid path must be rejected")
+	}
+	bad = recs[0]
+	bad.Start = Epoch.Add(-time.Hour)
+	if err := NewB2Writer(&bytes.Buffer{}).Write(&bad); err == nil {
+		t.Error("pre-epoch record must be rejected")
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(&recs[2]); err == nil {
+		t.Error("Write after Flush must be rejected")
+	}
+	if err := w.Flush(); err != nil {
+		t.Errorf("second Flush: %v", err)
+	}
+
+	// Ordering is enforced across a block boundary too.
+	w2 := NewB2WriterEpochBlock(&bytes.Buffer{}, Epoch, 1)
+	if err := w2.Write(&recs[1]); err != nil {
+		t.Fatal(err)
+	}
+	early := recs[1]
+	early.Start = recs[1].Start.Add(-10 * time.Second)
+	if err := w2.Write(&early); err == nil {
+		t.Error("cross-block out-of-order record must be rejected")
+	}
+}
+
+// decodeB2All runs both decode paths over data and reports whether
+// either succeeded — the torture suites require both to error.
+func decodeB2All(data []byte) error {
+	_, seqErr := Collect(NewB2Reader(bytes.NewReader(data)))
+	if seqErr == nil {
+		return nil
+	}
+	f, err := OpenB2File(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return seqErr
+	}
+	if _, err := Collect(f.Stream(2)); err == nil {
+		return nil
+	}
+	return seqErr
+}
+
+func TestB2TruncationTorture(t *testing.T) {
+	_, enc := b2Fixture(t, 24, 5)
+	for cut := 1; cut < len(enc); cut++ {
+		if err := decodeB2All(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded cleanly", cut, len(enc))
+		}
+	}
+}
+
+func TestB2BitFlipTorture(t *testing.T) {
+	_, enc := b2Fixture(t, 24, 5)
+	mut := make([]byte, len(enc))
+	for i := range enc {
+		for bit := 0; bit < 8; bit++ {
+			copy(mut, enc)
+			mut[i] ^= 1 << bit
+			if err := decodeB2All(mut); err == nil {
+				t.Fatalf("flipping bit %d of byte %d decoded cleanly", bit, i)
+			}
+		}
+	}
+}
+
+// reindexB2 rebuilds data's trailing index from mutated entries,
+// recomputing the frame CRC and footer, so index-validation tests reach
+// the index parser instead of tripping the checksum.
+func reindexB2(t *testing.T, data []byte, mutate func([]b2IndexEntry) []b2IndexEntry) []byte {
+	t.Helper()
+	if len(data) < b2FooterLen {
+		t.Fatal("fixture too short")
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(data[len(data)-b2FooterLen:]))
+	body, err := openB2Frame(data[indexOff:len(data)-b2FooterLen], b2IndexTag)
+	if err != nil {
+		t.Fatalf("fixture index frame: %v", err)
+	}
+	c := byteCursor{b: body}
+	epochSec, err := c.svarint("epoch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.uvarint("count", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]b2IndexEntry, n)
+	for i := range entries {
+		e := &entries[i]
+		for _, dst := range []*int64{&e.offset, &e.frameLen, &e.count, &e.base, &e.span} {
+			v, err := c.uvarint("field", 1<<62)
+			if err != nil {
+				t.Fatal(err)
+			}
+			*dst = int64(v)
+		}
+		for col := range e.colSizes {
+			v, err := c.uvarint("col", 1<<62)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.colSizes[col] = int64(v)
+		}
+	}
+	newBody := appendB2IndexBody(nil, epochSec, mutate(entries))
+	out := append([]byte(nil), data[:indexOff]...)
+	out = append(out, b2IndexTag)
+	out = binary.AppendUvarint(out, uint64(len(newBody)))
+	out = append(out, newBody...)
+	out = binary.LittleEndian.AppendUint32(out, b2CRC(newBody))
+	var foot [b2FooterLen]byte
+	binary.LittleEndian.PutUint64(foot[:8], uint64(indexOff))
+	copy(foot[8:], b2Magic)
+	return append(out, foot[:]...)
+}
+
+func TestB2MalformedIndexTorture(t *testing.T) {
+	_, enc := b2Fixture(t, 24, 5)
+	cases := map[string]func([]b2IndexEntry) []b2IndexEntry{
+		"record count off by one": func(es []b2IndexEntry) []b2IndexEntry {
+			es[1].count++
+			es[1].colSizes[b2ColFlags]++ // keep the flags-column invariant so the count check itself fires
+			return es
+		},
+		"flags column size mismatch": func(es []b2IndexEntry) []b2IndexEntry {
+			es[1].colSizes[b2ColFlags]++
+			return es
+		},
+		"other column size mismatch": func(es []b2IndexEntry) []b2IndexEntry {
+			es[2].colSizes[b2ColSize]++
+			return es
+		},
+		"overlapping blocks": func(es []b2IndexEntry) []b2IndexEntry {
+			es[2].offset -= 3
+			return es
+		},
+		"gap between blocks": func(es []b2IndexEntry) []b2IndexEntry {
+			es[1].frameLen -= 2
+			return es
+		},
+		"out-of-order time ranges": func(es []b2IndexEntry) []b2IndexEntry {
+			es[1].base, es[2].base = es[2].base, es[1].base
+			es[1].span, es[2].span = es[2].span, es[1].span
+			return es
+		},
+		"block span shrunk": func(es []b2IndexEntry) []b2IndexEntry {
+			if es[0].span == 0 {
+				panic("fixture block 0 must span time")
+			}
+			es[0].span--
+			es[1].base-- // keep ordering valid so the span mismatch itself fires
+			return es
+		},
+		"missing last block": func(es []b2IndexEntry) []b2IndexEntry {
+			return es[:len(es)-1]
+		},
+		"no blocks": func(es []b2IndexEntry) []b2IndexEntry {
+			return es[:0]
+		},
+		"zero-count block": func(es []b2IndexEntry) []b2IndexEntry {
+			es[3].count = 0
+			es[3].colSizes[b2ColFlags] = 0
+			return es
+		},
+	}
+	for name, mutate := range cases {
+		if err := decodeB2All(reindexB2(t, enc, mutate)); err == nil {
+			t.Errorf("%s: decoded cleanly", name)
+		}
+	}
+	// The rebuild helper itself must reproduce a valid file unmutated.
+	if err := decodeB2All(reindexB2(t, enc, func(es []b2IndexEntry) []b2IndexEntry { return es })); err != nil {
+		t.Fatalf("identity reindex broke the fixture: %v", err)
+	}
+}
+
+func TestB2MalformedInput(t *testing.T) {
+	cases := map[string]string{
+		"truncated header":  "#filemig-trace b2 epo",
+		"non-numeric epoch": "#filemig-trace b2 epoch=zzz\n",
+		"bare header":       "#filemig-trace b2 epoch=0\n", // a started file must close with an index
+		"wrong format tag":  "#filemig-trace b9 epoch=0\n",
+	}
+	for name, in := range cases {
+		if _, err := Collect(NewB2Reader(bytes.NewReader([]byte(in)))); err == nil {
+			t.Errorf("%s: decoded cleanly", name)
+		}
+	}
+}
+
+func TestB2ParallelErrorIsDeterministic(t *testing.T) {
+	// Corrupt an early block's body; whatever worker order, the stream
+	// must report that block's CRC failure (after the records of the
+	// blocks before it), at every worker count.
+	_, enc := b2Fixture(t, 40, 4)
+	f0, err := OpenB2File(bytes.NewReader(enc), int64(len(enc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in block 2's body: entry offsets are private, so find
+	// it by decoding geometry from the clean file.
+	d := f0.NewBlockDecoder()
+	if _, err := d.Decode(2); err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), enc...)
+	mut[f0.entries[2].offset+5] ^= 0x10
+	for _, workers := range []int{1, 2, 8} {
+		f, err := OpenB2File(bytes.NewReader(mut), int64(len(mut)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := f.Stream(workers)
+		n := 0
+		var gotErr error
+		for {
+			_, err := s.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				gotErr = err
+				break
+			}
+			n++
+		}
+		if gotErr == nil {
+			t.Fatalf("workers=%d: corrupt block decoded cleanly", workers)
+		}
+		if n != 8 { // blocks 0 and 1 hold 4 records each
+			t.Fatalf("workers=%d: %d records before the error, want 8", workers, n)
+		}
+	}
+}
+
+func TestB2OpenStreamSniff(t *testing.T) {
+	recs, enc := b2Fixture(t, 12, 4)
+	s, err := OpenStream(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRecords(t, got, recs, "sniffed")
+	if _, err := ParseFormat("b2"); err != nil {
+		t.Fatal(err)
+	}
+	if FormatB2.String() != "b2" {
+		t.Fatalf("FormatB2.String() = %q", FormatB2.String())
+	}
+}

@@ -1,0 +1,362 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"time"
+
+	"filemig/internal/units"
+)
+
+// The shared b2 decode layer: both b2 readers — the sequential stream
+// reader in b2reader.go and the seekable parallel reader in b2file.go —
+// materialize one whole section body into memory (the frames are small
+// and CRC-framed, so there is nothing to gain from streaming inside
+// one), verify its checksum, and hand the bytes here. This file decodes
+// a block body into records and an index body into validated
+// b2IndexEntry rows, returning an error for every malformed input —
+// truncation, bit flips the CRC somehow missed, impossible counts,
+// out-of-order timestamps — and never panicking or silently skewing.
+
+// byteCursor decodes varint fields from a fully materialized section
+// body. Unlike WireReader there is no refilling: the body's end is the
+// hard end of every field, so truncation inside a field is always an
+// explicit error.
+type byteCursor struct {
+	b   []byte
+	pos int
+}
+
+// uvarint decodes one varint field, rejecting truncation, 64-bit
+// overflow, and values above max.
+func (c *byteCursor) uvarint(field string, max uint64) (uint64, error) {
+	v, k := binary.Uvarint(c.b[c.pos:])
+	if k <= 0 {
+		if k == 0 {
+			return 0, fmt.Errorf("%s: truncated varint", field)
+		}
+		return 0, fmt.Errorf("%s: varint overflows 64 bits", field)
+	}
+	c.pos += k
+	if v > max {
+		return 0, fmt.Errorf("%s %d out of range (max %d)", field, v, max)
+	}
+	return v, nil
+}
+
+// svarint decodes one zigzag-encoded signed varint field.
+func (c *byteCursor) svarint(field string) (int64, error) {
+	u, err := c.uvarint(field, math.MaxUint64)
+	if err != nil {
+		return 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), nil
+}
+
+// take returns the next n bytes as a view into the body.
+func (c *byteCursor) take(field string, n int) ([]byte, error) {
+	if n < 0 || n > len(c.b)-c.pos {
+		return nil, fmt.Errorf("%s: %d bytes wanted, %d left", field, n, len(c.b)-c.pos)
+	}
+	b := c.b[c.pos : c.pos+n]
+	c.pos += n
+	return b, nil
+}
+
+// rest reports the unconsumed byte count.
+func (c *byteCursor) rest() int { return len(c.b) - c.pos }
+
+// b2CRC is the checksum over one section body; it trails every frame.
+func b2CRC(body []byte) uint32 { return crc32.Checksum(body, b2CRCTable) }
+
+// b2Block is one decoded block body: its header fields, per-block path
+// dictionaries already canonicalised to strings, and the raw column
+// byte runs (views into the body buffer).
+type b2Block struct {
+	count      int
+	base, span int64 // first record's start and last-minus-first, seconds since epoch
+	mssDict    []string
+	localDict  []string
+	cols       [b2NumCols][]byte
+}
+
+// internFunc canonicalises one path's bytes into a string; the readers
+// pass Interner.Canonical for MSS paths and pathCache.canonical for
+// local paths so dictionary entries intern once per block, not once per
+// record.
+type internFunc func([]byte) string
+
+// parseB2Block decodes a verified block body into blk. Dictionary
+// entries are validated as wire-legal paths here, so any record
+// assembled from the block re-encodes cleanly. blk's dictionary slices
+// are reused across calls; the column slices are views into body and
+// share its lifetime.
+func parseB2Block(body []byte, mss, local internFunc, blk *b2Block) error {
+	c := byteCursor{b: body}
+	count, err := c.uvarint("block record count", maxB2BlockRecords)
+	if err != nil {
+		return err
+	}
+	if count == 0 {
+		return fmt.Errorf("block record count must be positive")
+	}
+	base, err := c.uvarint("block base time", maxWireSeconds)
+	if err != nil {
+		return err
+	}
+	span, err := c.uvarint("block time span", maxWireSeconds-base)
+	if err != nil {
+		return err
+	}
+	blk.count = int(count)
+	blk.base, blk.span = int64(base), int64(span)
+	if blk.mssDict, err = parseB2Dict(&c, "mss", count, mss, blk.mssDict[:0]); err != nil {
+		return err
+	}
+	if blk.localDict, err = parseB2Dict(&c, "local", count, local, blk.localDict[:0]); err != nil {
+		return err
+	}
+	// Every record carries two path references, so a non-empty block
+	// cannot have an empty dictionary (and the reference columns below
+	// bound their values by the dictionary sizes).
+	if len(blk.mssDict) == 0 || len(blk.localDict) == 0 {
+		return fmt.Errorf("empty path dictionary in a block of %d records", blk.count)
+	}
+	for col := 0; col < b2NumCols; col++ {
+		n, err := c.uvarint("column length", uint64(c.rest()))
+		if err != nil {
+			return fmt.Errorf("column %d: %v", col, err)
+		}
+		if blk.cols[col], err = c.take("column bytes", int(n)); err != nil {
+			return fmt.Errorf("column %d: %v", col, err)
+		}
+	}
+	if c.rest() != 0 {
+		return fmt.Errorf("%d trailing bytes after the last column", c.rest())
+	}
+	if len(blk.cols[b2ColFlags]) != blk.count {
+		return fmt.Errorf("flags column holds %d bytes for %d records",
+			len(blk.cols[b2ColFlags]), blk.count)
+	}
+	return nil
+}
+
+// parseB2Dict decodes one per-block path dictionary: an entry count and
+// that many length-prefixed paths in first-appearance order. Every
+// entry backs at least one record, so the count is bounded by the
+// block's record count.
+func parseB2Dict(c *byteCursor, which string, maxEntries uint64, canon internFunc, dst []string) ([]string, error) {
+	n, err := c.uvarint("dictionary size", maxEntries)
+	if err != nil {
+		return dst, fmt.Errorf("%s dictionary: %v", which, err)
+	}
+	for i := uint64(0); i < n; i++ {
+		l, err := c.uvarint("path length", maxBinaryPathLen)
+		if err != nil {
+			return dst, fmt.Errorf("%s dictionary entry %d: %v", which, i, err)
+		}
+		b, err := c.take("path", int(l))
+		if err != nil {
+			return dst, fmt.Errorf("%s dictionary entry %d: %v", which, i, err)
+		}
+		s := canon(b)
+		if !validPath(s) {
+			return dst, fmt.Errorf("%s dictionary entry %d: bad path %q", which, i, s)
+		}
+		dst = append(dst, s)
+	}
+	return dst, nil
+}
+
+// decodeB2Columns assembles blk's columns into dst, which must hold
+// exactly blk.count records. This is the bulk-decode hot loop: one pass
+// of inline varint decoding per column with no per-record dispatch, no
+// map traffic (dictionary references index the pre-canonicalised
+// slices), and no allocation — the callers own dst and reuse it. Every
+// malformed run errors: a first delta that is not zero, deltas
+// overshooting the block span, reserved flag bits, references outside
+// the dictionary, or a column with leftover or missing bytes.
+//
+//filemig:hotpath
+func decodeB2Columns(blk *b2Block, epoch time.Time, dst []Record) error {
+	flags := blk.cols[b2ColFlags]
+	dt := byteCursor{b: blk.cols[b2ColDT]}
+	startup := byteCursor{b: blk.cols[b2ColStartup]}
+	transfer := byteCursor{b: blk.cols[b2ColTransfer]}
+	size := byteCursor{b: blk.cols[b2ColSize]}
+	uid := byteCursor{b: blk.cols[b2ColUID]}
+	mssRef := byteCursor{b: blk.cols[b2ColMSSRef]}
+	localRef := byteCursor{b: blk.cols[b2ColLocalRef]}
+
+	sec := blk.base
+	prevUID := int64(0)
+	for i := range dst {
+		r := &dst[i]
+		f := flags[i]
+		if f&(binFlagSameUser|binFlagReserved) != 0 {
+			return fmt.Errorf("record %d: reserved flag bit set (0x%02x)", i, f)
+		}
+		r.Op = Read
+		if f&binFlagWrite != 0 {
+			r.Op = Write
+		}
+		r.Compressed = f&binFlagCompressed != 0
+		r.Err = ErrCode(f >> binErrShift & 3)
+		r.Device = wireToDev[f>>binDevShift&3]
+
+		d, err := dt.uvarint("start delta", uint64(blk.span-(sec-blk.base)))
+		if err != nil {
+			return fmt.Errorf("record %d: %v", i, err)
+		}
+		if i == 0 && d != 0 {
+			return fmt.Errorf("record 0: first start delta must be zero, got %d", d)
+		}
+		sec += int64(d)
+		r.Start = epoch.Add(time.Duration(sec) * time.Second)
+
+		v, err := startup.uvarint("startup", maxWireSeconds)
+		if err != nil {
+			return fmt.Errorf("record %d: %v", i, err)
+		}
+		r.Startup = time.Duration(v) * time.Second
+		if v, err = transfer.uvarint("transfer", maxWireMillis); err != nil {
+			return fmt.Errorf("record %d: %v", i, err)
+		}
+		r.Transfer = time.Duration(v) * time.Millisecond
+		if v, err = size.uvarint("size", math.MaxInt64); err != nil {
+			return fmt.Errorf("record %d: %v", i, err)
+		}
+		r.Size = units.Bytes(v)
+
+		du, err := uid.svarint("uid delta")
+		if err != nil {
+			return fmt.Errorf("record %d: %v", i, err)
+		}
+		u := prevUID + du
+		if u < 0 || u > math.MaxUint32 {
+			return fmt.Errorf("record %d: uid %d out of range", i, u)
+		}
+		prevUID = u
+		r.UserID = uint32(u)
+
+		if v, err = mssRef.uvarint("mss path ref", uint64(len(blk.mssDict))-1); err != nil {
+			return fmt.Errorf("record %d: %v", i, err)
+		}
+		r.MSSPath = blk.mssDict[v]
+		if v, err = localRef.uvarint("local path ref", uint64(len(blk.localDict))-1); err != nil {
+			return fmt.Errorf("record %d: %v", i, err)
+		}
+		r.LocalPath = blk.localDict[v]
+	}
+	if sec != blk.base+blk.span {
+		return fmt.Errorf("start deltas end %d seconds short of the block span", blk.base+blk.span-sec)
+	}
+	for col, c := range [...]*byteCursor{&dt, &startup, &transfer, &size, &uid, &mssRef, &localRef} {
+		if c.rest() != 0 {
+			return fmt.Errorf("column %d: %d trailing bytes after the last record", col+1, c.rest())
+		}
+	}
+	return nil
+}
+
+// parseB2IndexBody decodes and validates an index body against the file
+// geometry: headerLen is where the first block must start and indexOff
+// is where the index frame was found, so the entries must tile the
+// bytes between them exactly — contiguous, in order, and with
+// non-decreasing block time ranges. wantEpochSec cross-checks the
+// CRC-protected index against the plain-ASCII header, catching header
+// corruption the frame checksums cannot see.
+func parseB2IndexBody(body []byte, wantEpochSec, headerLen, indexOff int64) ([]b2IndexEntry, error) {
+	c := byteCursor{b: body}
+	epochSec, err := c.svarint("index epoch")
+	if err != nil {
+		return nil, err
+	}
+	if epochSec != wantEpochSec {
+		return nil, fmt.Errorf("index epoch %d disagrees with header epoch %d", epochSec, wantEpochSec)
+	}
+	n, err := c.uvarint("index block count", uint64(len(body)))
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("index holds no blocks")
+	}
+	entries := make([]b2IndexEntry, n)
+	nextOff := headerLen
+	nextBase := int64(0)
+	for i := range entries {
+		e := &entries[i]
+		if e.offset, err = c.svarintU("block offset", math.MaxInt64); err != nil {
+			return nil, fmt.Errorf("index entry %d: %v", i, err)
+		}
+		if e.frameLen, err = c.svarintU("block frame length", maxB2BlockBytes); err != nil {
+			return nil, fmt.Errorf("index entry %d: %v", i, err)
+		}
+		if e.count, err = c.svarintU("block record count", maxB2BlockRecords); err != nil {
+			return nil, fmt.Errorf("index entry %d: %v", i, err)
+		}
+		if e.base, err = c.svarintU("block base time", int64(maxWireSeconds)); err != nil {
+			return nil, fmt.Errorf("index entry %d: %v", i, err)
+		}
+		if e.span, err = c.svarintU("block time span", int64(maxWireSeconds)-e.base); err != nil {
+			return nil, fmt.Errorf("index entry %d: %v", i, err)
+		}
+		for col := range e.colSizes {
+			if e.colSizes[col], err = c.svarintU("column size", maxB2BlockBytes); err != nil {
+				return nil, fmt.Errorf("index entry %d column %d: %v", i, col, err)
+			}
+		}
+		switch {
+		case e.count == 0:
+			return nil, fmt.Errorf("index entry %d: block record count must be positive", i)
+		case e.offset != nextOff:
+			return nil, fmt.Errorf("index entry %d: block at offset %d, want %d (blocks must tile the file)",
+				i, e.offset, nextOff)
+		case e.base < nextBase:
+			return nil, fmt.Errorf("index entry %d: block base %d before the previous block's end %d",
+				i, e.base, nextBase)
+		case e.colSizes[b2ColFlags] != e.count:
+			return nil, fmt.Errorf("index entry %d: flags column %d bytes for %d records",
+				i, e.colSizes[b2ColFlags], e.count)
+		}
+		nextOff = e.offset + e.frameLen
+		nextBase = e.base + e.span
+	}
+	if nextOff != indexOff {
+		return nil, fmt.Errorf("last block ends at %d but the index starts at %d", nextOff, indexOff)
+	}
+	if c.rest() != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after the last index entry", c.rest())
+	}
+	return entries, nil
+}
+
+// svarintU reads a non-negative int64 field stored as a uvarint.
+func (c *byteCursor) svarintU(field string, max int64) (int64, error) {
+	v, err := c.uvarint(field, uint64(max))
+	if err != nil {
+		return 0, err
+	}
+	return int64(v), nil
+}
+
+// checkB2Block cross-checks a decoded block against its index row; the
+// sequential reader uses it to prove the index describes the blocks it
+// actually read, and the seek reader to prove a block matches the row
+// that located it.
+func checkB2Block(i int, blk *b2Block, e *b2IndexEntry) error {
+	if int64(blk.count) != e.count || blk.base != e.base || blk.span != e.span {
+		return fmt.Errorf("block %d is %d records over [%d,%d] but the index says %d over [%d,%d]",
+			i, blk.count, blk.base, blk.base+blk.span, e.count, e.base, e.base+e.span)
+	}
+	for col := range blk.cols {
+		if int64(len(blk.cols[col])) != e.colSizes[col] {
+			return fmt.Errorf("block %d column %d is %d bytes but the index says %d",
+				i, col, len(blk.cols[col]), e.colSizes[col])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,344 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// B2File is the seekable view of a b2 trace: it reads the footer and
+// the trailing block index from an io.ReaderAt up front, after which
+// every block's byte range, record count, and time range are known
+// without decoding anything. Callers plan from that metadata — the
+// index-aware shard cutter in internal/core groups whole blocks into
+// shards from it — and then decode only the blocks they need, in any
+// order, from any number of goroutines. DecodeCount exposes how many
+// block decodes actually happened, so tests can prove planning decoded
+// nothing and analysis decoded each block exactly once.
+type B2File struct {
+	r       io.ReaderAt
+	epoch   time.Time
+	header  int64
+	entries []b2IndexEntry
+	records int64
+	decodes atomic.Int64
+
+	// One interner serves every decoder so canonical path strings are
+	// shared across blocks regardless of which goroutine decodes them.
+	// It is locked per dictionary entry batch (per block), not per
+	// record, so contention and allocation stay independent of worker
+	// scheduling.
+	mu    sync.Mutex
+	in    *Interner
+	local pathCache
+}
+
+// ErrNotB2 reports that the input does not begin with a b2 header; a
+// zero-byte input (the empty trace, legal in every format) also reports
+// it, so callers fall back to the sequential sniffing path.
+var ErrNotB2 = errors.New("trace: not a b2 file")
+
+// BlockMeta describes one block from the index alone: how many records
+// it holds and the start times of its first and last records.
+type BlockMeta struct {
+	Count int64
+	Base  time.Time // first record's start
+	End   time.Time // last record's start
+}
+
+// OpenB2File reads and validates the header, footer, and block index of
+// a b2 file of the given size. It decodes no blocks. Inputs that do not
+// start with a b2 header return an error wrapping ErrNotB2; inputs that
+// do but are malformed past the header return a corruption error.
+func OpenB2File(r io.ReaderAt, size int64) (*B2File, error) {
+	f := &B2File{r: r, in: NewInterner()}
+	if err := f.readHeader(size); err != nil {
+		return nil, err
+	}
+	if err := f.readIndex(size); err != nil {
+		return nil, fmt.Errorf("trace: b2: %w", err)
+	}
+	for i := range f.entries {
+		f.records += f.entries[i].count
+	}
+	return f, nil
+}
+
+// readHeader reads the leading ASCII header line.
+func (f *B2File) readHeader(size int64) error {
+	buf := make([]byte, 64)
+	if size < int64(len(buf)) {
+		buf = buf[:size]
+	}
+	if _, err := io.ReadFull(io.NewSectionReader(f.r, 0, int64(len(buf))), buf); err != nil {
+		return fmt.Errorf("%w (cannot read a header: %v)", ErrNotB2, err)
+	}
+	if len(buf) < len(b2HeaderPrefix) || string(buf[:len(b2HeaderPrefix)]) != b2HeaderPrefix {
+		return fmt.Errorf("%w (header is %q)", ErrNotB2, truncForErr(buf))
+	}
+	rest := buf[len(b2HeaderPrefix):]
+	var sec int64
+	i := 0
+	for ; i < len(rest) && rest[i] >= '0' && rest[i] <= '9'; i++ {
+		d := int64(rest[i] - '0')
+		if sec > (1<<62)/10 {
+			return fmt.Errorf("trace: b2: header epoch out of range")
+		}
+		sec = sec*10 + d
+	}
+	if i == 0 || i >= len(rest) || rest[i] != '\n' {
+		return fmt.Errorf("trace: b2: malformed header line %q", truncForErr(buf))
+	}
+	f.epoch = time.Unix(sec, 0).UTC()
+	f.header = int64(len(b2HeaderPrefix) + i + 1)
+	return nil
+}
+
+// truncForErr bounds header bytes quoted in errors.
+func truncForErr(b []byte) []byte {
+	if len(b) > 32 {
+		b = b[:32]
+	}
+	return b
+}
+
+// readIndex locates the index via the footer, verifies the index
+// frame's checksum, and parses and validates the entries against the
+// file geometry.
+func (f *B2File) readIndex(size int64) error {
+	var foot [b2FooterLen]byte
+	if _, err := f.r.ReadAt(foot[:], size-b2FooterLen); err != nil {
+		return fmt.Errorf("footer: %v", err)
+	}
+	if string(foot[8:]) != b2Magic {
+		return fmt.Errorf("bad footer magic %q", foot[8:])
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(foot[:8]))
+	frameEnd := size - b2FooterLen
+	if indexOff < f.header || frameEnd-indexOff < 6 || frameEnd-indexOff > maxB2IndexBytes+16 {
+		return fmt.Errorf("footer points at %d, outside the file's [%d,%d) section range",
+			indexOff, f.header, frameEnd)
+	}
+	frame := make([]byte, frameEnd-indexOff)
+	if _, err := f.r.ReadAt(frame, indexOff); err != nil {
+		return fmt.Errorf("index frame: %v", err)
+	}
+	body, err := openB2Frame(frame, b2IndexTag)
+	if err != nil {
+		return fmt.Errorf("index frame: %v", err)
+	}
+	f.entries, err = parseB2IndexBody(body, f.epoch.Unix(), f.header, indexOff)
+	if err != nil {
+		return fmt.Errorf("index: %v", err)
+	}
+	return nil
+}
+
+// openB2Frame verifies one fully materialized section frame — tag,
+// length prefix, body, CRC, nothing more — and returns the body view.
+func openB2Frame(frame []byte, wantTag byte) ([]byte, error) {
+	if len(frame) == 0 {
+		return nil, fmt.Errorf("empty frame")
+	}
+	if frame[0] != wantTag {
+		return nil, fmt.Errorf("section tag 0x%02x, want 0x%02x", frame[0], wantTag)
+	}
+	c := byteCursor{b: frame, pos: 1}
+	n, err := c.uvarint("section length", uint64(len(frame)))
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.take("section body", int(n))
+	if err != nil {
+		return nil, err
+	}
+	crc, err := c.take("section checksum", 4)
+	if err != nil {
+		return nil, err
+	}
+	if got, want := b2CRC(body), binary.LittleEndian.Uint32(crc); got != want {
+		return nil, fmt.Errorf("checksum mismatch: body sums to %08x, frame says %08x", got, want)
+	}
+	if c.rest() != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after the frame", c.rest())
+	}
+	return body, nil
+}
+
+// Epoch returns the header epoch.
+func (f *B2File) Epoch() time.Time { return f.epoch }
+
+// NumBlocks reports how many blocks the index describes.
+func (f *B2File) NumBlocks() int { return len(f.entries) }
+
+// NumRecords reports the total record count across all blocks, from the
+// index alone.
+func (f *B2File) NumRecords() int64 { return f.records }
+
+// Meta returns block i's index metadata.
+func (f *B2File) Meta(i int) BlockMeta {
+	e := &f.entries[i]
+	return BlockMeta{
+		Count: e.count,
+		Base:  f.epoch.Add(time.Duration(e.base) * time.Second),
+		End:   f.epoch.Add(time.Duration(e.base+e.span) * time.Second),
+	}
+}
+
+// DecodeCount reports how many block decodes have happened over the
+// file's lifetime — the observable the shard-skipping tests assert on.
+func (f *B2File) DecodeCount() int64 { return f.decodes.Load() }
+
+// B2BlockDecoder decodes individual blocks of one B2File. It owns the
+// frame and dictionary scratch a decode needs, so each concurrent
+// goroutine uses its own decoder while the canonical path table stays
+// shared through the file. Not safe for concurrent use itself.
+type B2BlockDecoder struct {
+	f    *B2File
+	body []byte
+	blk  b2Block
+}
+
+// NewBlockDecoder returns a decoder for f's blocks.
+func (f *B2File) NewBlockDecoder() *B2BlockDecoder {
+	return &B2BlockDecoder{f: f}
+}
+
+// Decode decodes block i into a freshly allocated record slice.
+func (d *B2BlockDecoder) Decode(i int) ([]Record, error) {
+	recs := make([]Record, d.f.entries[i].count)
+	if err := d.DecodeInto(i, recs); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// DecodeInto decodes block i into dst, which must hold exactly the
+// block's index record count (Meta(i).Count). The block's frame is
+// read, checksum-verified, cross-checked against its index row, and
+// column-decoded; any mismatch or malformation errors without touching
+// a shared decode state.
+func (d *B2BlockDecoder) DecodeInto(i int, dst []Record) error {
+	e := &d.f.entries[i]
+	if int64(len(dst)) != e.count {
+		return fmt.Errorf("trace: b2: block %d holds %d records, dst holds %d", i, e.count, len(dst))
+	}
+	if cap(d.body) < int(e.frameLen) {
+		d.body = make([]byte, e.frameLen)
+	}
+	frame := d.body[:e.frameLen]
+	if _, err := d.f.r.ReadAt(frame, e.offset); err != nil {
+		return fmt.Errorf("trace: b2: block %d: %v", i, err)
+	}
+	body, err := openB2Frame(frame, b2BlockTag)
+	if err != nil {
+		return fmt.Errorf("trace: b2: block %d: %v", i, err)
+	}
+	d.f.mu.Lock()
+	err = parseB2Block(body, d.f.in.Canonical, d.f.local.canonical, &d.blk)
+	d.f.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("trace: b2: block %d: %v", i, err)
+	}
+	if err := checkB2Block(i, &d.blk, e); err != nil {
+		return fmt.Errorf("trace: b2: %v", err)
+	}
+	if err := decodeB2Columns(&d.blk, d.f.epoch, dst); err != nil {
+		return fmt.Errorf("trace: b2: block %d: %v", i, err)
+	}
+	d.f.decodes.Add(1)
+	return nil
+}
+
+// b2Result carries one decoded block from a worker to the stream
+// consumer.
+type b2Result struct {
+	recs []Record
+	err  error
+}
+
+// Stream returns a Stream over the whole file that decodes blocks with
+// the given number of worker goroutines but yields records in exact
+// file order — byte-for-byte the same sequence at any worker count.
+// At most workers+cap blocks are in flight, so memory stays bounded on
+// arbitrarily large files. The stream must be drained to io.EOF or its
+// first error; both tear the workers down.
+func (f *B2File) Stream(workers int) Stream {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(f.entries) && len(f.entries) > 0 {
+		workers = len(f.entries)
+	}
+	type job struct {
+		i  int
+		ch chan b2Result
+	}
+	jobs := make(chan job)
+	// The results channel carries per-block result slots in block order;
+	// its capacity is the dispatch window — once the consumer falls that
+	// many blocks behind, the dispatcher stops handing out work.
+	results := make(chan chan b2Result, workers)
+	go func() {
+		defer close(jobs)
+		defer close(results)
+		for i := range f.entries {
+			ch := make(chan b2Result, 1)
+			results <- ch
+			jobs <- job{i, ch}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		go func() {
+			d := f.NewBlockDecoder()
+			for j := range jobs {
+				recs, err := d.Decode(j.i)
+				j.ch <- b2Result{recs: recs, err: err}
+			}
+		}()
+	}
+	return &b2ParallelStream{results: results}
+}
+
+// b2ParallelStream yields records from parallel block decodes in block
+// order. Errors are deterministic too: the error reported is the
+// earliest failing block's, regardless of which worker failed first.
+type b2ParallelStream struct {
+	results chan chan b2Result
+	cur     []Record
+	next    int
+	err     error
+}
+
+// Next returns the next record in file order.
+func (s *b2ParallelStream) Next() (Record, error) {
+	for s.next >= len(s.cur) {
+		if s.err != nil {
+			return Record{}, s.err
+		}
+		ch, ok := <-s.results
+		if !ok {
+			return Record{}, io.EOF
+		}
+		res := <-ch
+		if res.err != nil {
+			s.err = res.err
+			// Drain the remaining blocks synchronously — bounded by the
+			// file — so that when the error returns, the dispatcher and
+			// every worker have finished and nothing still touches the
+			// underlying reader.
+			for ch := range s.results {
+				<-ch
+			}
+			return Record{}, s.err
+		}
+		s.cur, s.next = res.recs, 0
+	}
+	rec := s.cur[s.next]
+	s.next++
+	return rec, nil
+}

@@ -15,11 +15,13 @@ import (
 // Format identifies a trace wire format.
 type Format int
 
-// The two wire formats: the human-readable ASCII v1 codec and the compact
-// binary b1 codec. They are loss-free transcodings of each other.
+// The three wire formats: the human-readable ASCII v1 codec, the
+// compact record-at-a-time binary b1 codec, and the columnar block b2
+// codec. All are loss-free transcodings of each other.
 const (
 	FormatASCII Format = iota
 	FormatBinary
+	FormatB2
 )
 
 // String names the format the way the -format flags spell it.
@@ -29,20 +31,24 @@ func (f Format) String() string {
 		return "ascii"
 	case FormatBinary:
 		return "binary"
+	case FormatB2:
+		return "b2"
 	}
 	return fmt.Sprintf("format(%d)", int(f))
 }
 
-// ParseFormat parses a -format flag value: "ascii"/"v1" or
-// "binary"/"b1".
+// ParseFormat parses a -format flag value: "ascii"/"v1",
+// "binary"/"b1", or "b2"/"block".
 func ParseFormat(s string) (Format, error) {
 	switch s {
 	case "ascii", "v1", "text":
 		return FormatASCII, nil
 	case "binary", "b1", "bin":
 		return FormatBinary, nil
+	case "b2", "block", "columnar":
+		return FormatB2, nil
 	}
-	return 0, fmt.Errorf("trace: unknown format %q (want ascii or binary)", s)
+	return 0, fmt.Errorf("trace: unknown format %q (want ascii, binary, or b2)", s)
 }
 
 // NewFormatWriter returns the codec writer for the given format, using
@@ -54,8 +60,11 @@ func NewFormatWriter(w io.Writer, f Format) FlushSink {
 // NewFormatWriterEpoch returns the codec writer for the given format with
 // an explicit epoch.
 func NewFormatWriterEpoch(w io.Writer, f Format, epoch time.Time) FlushSink {
-	if f == FormatBinary {
+	switch f {
+	case FormatBinary:
 		return NewBinaryWriterEpoch(w, epoch)
+	case FormatB2:
+		return NewB2WriterEpoch(w, epoch)
 	}
 	return NewWriterEpoch(w, epoch)
 }
@@ -94,8 +103,11 @@ func OpenStream(r io.Reader) (Stream, error) {
 	if ferr != nil {
 		return nil, ferr
 	}
-	if f == FormatBinary {
+	switch f {
+	case FormatBinary:
 		return NewBinaryReader(br), nil
+	case FormatB2:
+		return NewB2Reader(br), nil
 	}
 	return NewReader(br), nil
 }
@@ -114,6 +126,8 @@ func sniffFormat(head []byte) (Format, error) {
 		return FormatASCII, nil
 	case "b1":
 		return FormatBinary, nil
+	case "b2":
+		return FormatB2, nil
 	}
 	return 0, fmt.Errorf("trace: unrecognised trace version in header %q", head)
 }
@@ -121,8 +135,11 @@ func sniffFormat(head []byte) (Format, error) {
 // NewFormatReader returns the codec reader for a known format as a
 // Stream, without sniffing the header.
 func NewFormatReader(r io.Reader, f Format) Stream {
-	if f == FormatBinary {
+	switch f {
+	case FormatBinary:
 		return NewBinaryReader(r)
+	case FormatB2:
+		return NewB2Reader(r)
 	}
 	return NewReader(r)
 }

@@ -228,6 +228,31 @@ func (r *WireReader) Bytes(field, lenField string, max uint64) ([]byte, error) {
 	return buf, nil
 }
 
+// AppendN reads exactly n bytes from the stream, appending them to dst
+// and returning the extended slice. Unlike Bytes it has no size ceiling
+// beyond what the caller imposes on n, and the destination grows only as
+// data actually arrives, so a corrupt length field cannot provoke a huge
+// up-front allocation. A mid-field end of input is io.ErrUnexpectedEOF.
+func (r *WireReader) AppendN(field string, dst []byte, n int) ([]byte, error) {
+	for n > 0 {
+		if r.pos >= r.end && !r.fill() {
+			err := r.srcErr
+			if err == nil || err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return dst, fmt.Errorf("%s: %w", field, err)
+		}
+		take := r.end - r.pos
+		if take > n {
+			take = n
+		}
+		dst = append(dst, r.buf[r.pos:r.pos+take]...)
+		r.pos += take
+		n -= take
+	}
+	return dst, nil
+}
+
 // ExpectEOF verifies the stream has ended cleanly; trailing bytes after
 // the last field of a format are reported as corruption.
 func (r *WireReader) ExpectEOF() error {
