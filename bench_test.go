@@ -9,13 +9,19 @@ package filemig
 
 import (
 	"bytes"
+	"context"
 	"fmt"
+	"net"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
 
 	"filemig/internal/core"
 	"filemig/internal/device"
+	"filemig/internal/dist"
+	"filemig/internal/experiment"
 	"filemig/internal/migration"
 	"filemig/internal/mss"
 	"filemig/internal/stats"
@@ -173,7 +179,7 @@ func BenchmarkStreamAnalyze(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				rep, err := core.AnalyzeStream(core.StreamOptions{
+				rep, err := core.AnalyzeStream(context.Background(), core.StreamOptions{
 					Options: opts, Workers: w, ShardDuration: shardDur}, src)
 				if err != nil {
 					b.Fatal(err)
@@ -195,7 +201,7 @@ func BenchmarkStreamAnalyze(b *testing.B) {
 	b.Run("inmem-stream", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			rep, err := core.AnalyzeStream(core.StreamOptions{
+			rep, err := core.AnalyzeStream(context.Background(), core.StreamOptions{
 				Options: opts, Workers: workers, ShardDuration: shardDur},
 				trace.SliceStream(p.Records))
 			if err != nil {
@@ -279,7 +285,7 @@ func BenchmarkStreamAnalyzeB2(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			rep, err := core.AnalyzeStream(core.StreamOptions{
+			rep, err := core.AnalyzeStream(context.Background(), core.StreamOptions{
 				Options: opts, Workers: workers, ShardDuration: shardDur}, src)
 			if err != nil {
 				b.Fatal(err)
@@ -294,7 +300,7 @@ func BenchmarkStreamAnalyzeB2(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			rep, err := core.AnalyzeB2(core.B2Options{StreamOptions: core.StreamOptions{
+			rep, err := core.AnalyzeB2(context.Background(), core.B2Options{StreamOptions: core.StreamOptions{
 				Options: opts, Workers: workers, ShardDuration: shardDur}}, f)
 			if err != nil {
 				b.Fatal(err)
@@ -906,4 +912,78 @@ func BenchmarkMSSReplay(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDistributedGrid prices the coordinator/worker fan-out
+// against the in-process grid runner on the same 18-cell quickgrid
+// plan: "inprocess" is experiment.RunPlan with a local pool,
+// "distributed-workers=2" serves every cell over loopback HTTP to two
+// in-process workers — leases, framing, journal-less claim/result
+// round-trips and the ordered merge included. Both assemble the
+// identical manifest; the delta is the fan-out tax documented in
+// docs/distributed.md.
+func BenchmarkDistributedGrid(b *testing.B) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "quickgrid.json"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := experiment.Parse(bytes.NewReader(raw))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("inprocess", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan, err := experiment.BuildPlan(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := experiment.RunPlan(context.Background(), plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("distributed-workers=2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			plan, err := experiment.BuildPlan(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := dist.NewGridCoordinator(plan, dist.Options{
+				Lease: 30 * time.Second, Now: time.Now, Seed: int64(i),
+				Linger: 100 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			base := "http://" + ln.Addr().String()
+			ctx := context.Background()
+			served := make(chan error, 1)
+			go func() { served <- g.Serve(ctx, ln) }()
+			workers := make(chan error, 2)
+			for w := 0; w < 2; w++ {
+				go func(seed int64) {
+					workers <- dist.RunWorker(ctx, base, dist.WorkerOptions{
+						Seed: seed, Poll: 5 * time.Millisecond,
+					})
+				}(int64(i*2 + w + 1))
+			}
+			if err := <-served; err != nil {
+				b.Fatal(err)
+			}
+			for w := 0; w < 2; w++ {
+				if err := <-workers; err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := g.Manifest(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -2,25 +2,41 @@
 // names workload scenarios (or a trace file), a policy set, a capacity
 // sweep and optional STP exponents, and migexp executes the full grid
 // and emits a deterministic manifest. The spec format is documented in
-// docs/experiments.md.
+// docs/experiments.md, the distributed mode in docs/distributed.md.
 //
 // Usage:
 //
 //	migexp run spec.json                 # execute; tables to stdout
 //	migexp run spec.json -o manifest.json -workers 4
 //	migexp run spec.json -json           # manifest JSON to stdout
+//	migexp run spec.json -distributed -listen :9631 -journal ckpt/
+//	migexp worker -connect http://host:9631
 //	migexp validate spec.json            # parse, validate, show the plan
 //	migexp scenarios                     # list the scenario library
 //	migexp policies                      # list the policy grammar
+//
+// With -distributed, run serves the grid's cells to migexp worker
+// processes instead of replaying locally: workers claim cells under
+// expiring leases, dead workers' cells are re-queued, stragglers are
+// speculatively re-dispatched, and the assembled manifest is
+// byte-identical to a local run of the same spec. -journal makes the
+// run resumable: Ctrl-C drains gracefully, and re-running with the same
+// journal directory finishes the remaining cells.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
+	"filemig/internal/dist"
 	"filemig/internal/experiment"
 	"filemig/internal/host"
 	"filemig/internal/workload"
@@ -35,6 +51,8 @@ func main() {
 	switch os.Args[1] {
 	case "run":
 		runCmd(os.Args[2:])
+	case "worker":
+		workerCmd(os.Args[2:])
 	case "validate":
 		validateCmd(os.Args[2:])
 	case "scenarios":
@@ -44,7 +62,7 @@ func main() {
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
-		log.Fatalf("unknown subcommand %q (want run, validate, scenarios, policies)", os.Args[1])
+		log.Fatalf("unknown subcommand %q (want run, worker, validate, scenarios, policies)", os.Args[1])
 	}
 }
 
@@ -52,10 +70,18 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   migexp run spec.json [-workers N] [-o manifest.json] [-json]
+  migexp run spec.json -distributed [-listen addr] [-journal dir] [-lease d] [-o manifest.json] [-json]
+  migexp worker -connect http://host:port [-seed N]
   migexp validate spec.json
   migexp scenarios
   migexp policies`)
 	os.Exit(2)
+}
+
+// interruptContext returns a context cancelled by the first SIGINT; the
+// second interrupt kills the process the usual way.
+func interruptContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt)
 }
 
 // specArg extracts the spec path from a subcommand's arguments. The
@@ -87,6 +113,10 @@ func runCmd(args []string) {
 	workers := fs.Int("workers", -1, "worker pool override (0 = one per CPU, 1 = serial; default: spec's)")
 	out := fs.String("o", "", "write the JSON manifest to this file")
 	jsonOut := fs.Bool("json", false, "print the JSON manifest to stdout instead of tables")
+	distributed := fs.Bool("distributed", false, "serve the grid to migexp worker processes instead of replaying locally")
+	listen := fs.String("listen", "127.0.0.1:0", "coordinator listen address (with -distributed)")
+	journal := fs.String("journal", "", "journal directory for resumable runs (with -distributed)")
+	lease := fs.Duration("lease", 0, "task lease before a worker is presumed dead (with -distributed; 0 = 15s)")
 	path := specArg(fs, args)
 
 	spec, err := experiment.ParseFile(path)
@@ -105,10 +135,21 @@ func runCmd(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m, err := experiment.RunPlan(plan)
-	if err != nil {
-		log.Fatal(err)
+
+	ctx, stop := interruptContext()
+	defer stop()
+	var m *experiment.Manifest
+	if *distributed {
+		m = runDistributed(ctx, plan, *listen, *journal, *lease)
+	} else {
+		if *journal != "" || *lease != 0 {
+			log.Fatal("-journal and -lease only apply with -distributed")
+		}
+		if m, err = experiment.RunPlan(ctx, plan); err != nil {
+			log.Fatal(err)
+		}
 	}
+
 	b, err := m.EncodeJSON()
 	if err != nil {
 		log.Fatal(err)
@@ -125,6 +166,63 @@ func runCmd(args []string) {
 	fmt.Print(experiment.RenderManifest(m))
 	if *out != "" {
 		fmt.Printf("\nmanifest: %s (%d bytes)\n", *out, len(b))
+	}
+}
+
+// runDistributed serves the plan's cells to workers and assembles the
+// manifest. An interrupt drains gracefully; with a journal the run is
+// resumable.
+func runDistributed(ctx context.Context, plan *experiment.Plan, listen, journal string, lease time.Duration) *experiment.Manifest {
+	g, err := dist.NewGridCoordinator(plan, dist.Options{
+		Lease:      lease,
+		JournalDir: journal,
+		Now:        host.Now,
+		Seed:       host.Seed(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "migexp: coordinator listening on http://%s (%d cells", ln.Addr(), plan.Cells())
+	if g.Resumed() > 0 {
+		fmt.Fprintf(os.Stderr, ", %d already complete in journal", g.Resumed())
+	}
+	fmt.Fprintf(os.Stderr, "); start workers with: migexp worker -connect http://%s\n", ln.Addr())
+	if err := g.Serve(ctx, ln); err != nil {
+		if errors.Is(err, context.Canceled) && journal != "" {
+			log.Fatalf("interrupted; completed cells are journaled in %s — re-run with the same -journal to resume", journal)
+		}
+		log.Fatal(err)
+	}
+	m, err := g.Manifest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+// workerCmd joins a coordinator and executes tasks until the run
+// completes.
+func workerCmd(args []string) {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	connect := fs.String("connect", "", "coordinator base URL (http://host:port)")
+	seed := fs.Int64("seed", 0, "jitter seed (0 = process-unique)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *connect == "" || fs.NArg() != 0 {
+		log.Fatal("worker needs -connect http://host:port and no positional arguments")
+	}
+	if *seed == 0 {
+		*seed = host.Seed()
+	}
+	ctx, stop := interruptContext()
+	defer stop()
+	if err := dist.RunWorker(ctx, *connect, dist.WorkerOptions{Seed: *seed}); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -31,20 +31,35 @@
 // merge mode, whose report is byte-identical to analysing the
 // concatenated trace in one process (docs/snapshots.md). Slices need
 // not align with the eight-hour dedup window, but must be merged in
-// trace time order.
+// trace time order. Merge arguments may be .s1 files, directories
+// (their *.s1 files, sorted by name), or globs.
+//
+// With -distributed, a b2 input's block-index shards are served to
+// mssanalyze worker processes under expiring leases and the returned
+// snapshots merged into a report byte-identical to a local run — see
+// docs/distributed.md:
+//
+//	mssanalyze -i trace.b2 -distributed -listen :9632 -all
+//	mssanalyze worker -connect http://host:9632
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
+	"net"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"filemig"
 	"filemig/internal/core"
+	"filemig/internal/dist"
 	"filemig/internal/host"
 	"filemig/internal/trace"
 	"filemig/internal/workload"
@@ -65,22 +80,33 @@ func main() {
 		runMerge(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		runWorker(os.Args[2:])
+		return
+	}
 	var ids idList
 	var (
-		in        = flag.String("i", "", "input trace file ('-' for stdin); empty = generate")
-		scale     = flag.Float64("scale", 0.01, "scale when generating")
-		seed      = flag.Int64("seed", 1, "seed when generating")
-		all       = flag.Bool("all", false, "print every table and figure")
-		stream    = flag.Bool("stream", false, "sharded streaming analysis (bounded memory)")
-		workers   = flag.Int("workers", 0, "streaming analysis worker pool size (0 = one per CPU)")
-		shardDays = flag.Int("shard-days", 0, "streaming shard width in days (0 = 28)")
-		format    = flag.String("format", "auto", "input format: auto, ascii, binary or b2")
-		snapshot  = flag.String("snapshot", "", "write an s1 analysis snapshot here ('-' for stdout) instead of reporting")
+		in          = flag.String("i", "", "input trace file ('-' for stdin); empty = generate")
+		scale       = flag.Float64("scale", 0.01, "scale when generating")
+		seed        = flag.Int64("seed", 1, "seed when generating")
+		all         = flag.Bool("all", false, "print every table and figure")
+		stream      = flag.Bool("stream", false, "sharded streaming analysis (bounded memory)")
+		workers     = flag.Int("workers", 0, "streaming analysis worker pool size (0 = one per CPU)")
+		shardDays   = flag.Int("shard-days", 0, "streaming shard width in days (0 = 28)")
+		format      = flag.String("format", "auto", "input format: auto, ascii, binary or b2")
+		snapshot    = flag.String("snapshot", "", "write an s1 analysis snapshot here ('-' for stdout) instead of reporting")
+		distributed = flag.Bool("distributed", false, "serve a b2 input's shards to mssanalyze worker processes")
+		listen      = flag.String("listen", "127.0.0.1:0", "coordinator listen address (with -distributed)")
+		journal     = flag.String("journal", "", "journal directory for resumable runs (with -distributed)")
+		lease       = flag.Duration("lease", 0, "task lease before a worker is presumed dead (with -distributed; 0 = 15s)")
 	)
 	flag.Var(&ids, "id", "experiment to print (table3, figure7, ...); repeatable")
 	flag.Parse()
-	if !*stream && (*workers != 0 || *shardDays != 0) {
-		log.Fatal("-workers and -shard-days only apply with -stream")
+	if !*stream && !*distributed && (*workers != 0 || *shardDays != 0) {
+		log.Fatal("-workers and -shard-days only apply with -stream or -distributed")
+	}
+	if !*distributed && (*listen != "127.0.0.1:0" || *journal != "" || *lease != 0) {
+		log.Fatal("-listen, -journal and -lease only apply with -distributed")
 	}
 	// The deterministic analysis packages take only explicit worker
 	// counts; the per-CPU default is resolved here at the boundary.
@@ -90,6 +116,21 @@ func main() {
 	if *in == "" && *format != "auto" {
 		log.Fatal("-format only applies when reading a trace with -i")
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *distributed {
+		a := runDistributed(ctx, *in, *format, *listen, *journal, *lease,
+			time.Duration(*shardDays)*24*time.Hour)
+		if *snapshot != "" {
+			if *all || len(ids) > 0 {
+				log.Fatal("-snapshot replaces the report; drop -all/-id")
+			}
+			emitSnapshot(a, *snapshot)
+			return
+		}
+		renderExperiments(&filemig.Pipeline{Report: a.Report()}, ids, *all, true)
+		return
+	}
 	if *snapshot != "" {
 		if *in == "" {
 			log.Fatal("-snapshot needs a trace input (-i); snapshots of generated workloads carry no namespace tree")
@@ -97,7 +138,7 @@ func main() {
 		if *all || len(ids) > 0 {
 			log.Fatal("-snapshot replaces the report; drop -all/-id")
 		}
-		writeSnapshot(*in, *format, *snapshot, *stream, *workers, *shardDays)
+		writeSnapshot(ctx, *in, *format, *snapshot, *stream, *workers, *shardDays)
 		return
 	}
 
@@ -107,7 +148,7 @@ func main() {
 	case *in == "" && *stream:
 		fmt.Fprintln(os.Stderr,
 			"mssanalyze: note: -stream generates without the MSS simulator; latency columns (Table 3, Figure 3) will be empty")
-		rep, err := filemig.RunStream(filemig.StreamConfig{
+		rep, err := filemig.RunStreamContext(ctx, filemig.StreamConfig{
 			Config:        filemig.Config{Scale: *scale, Seed: *seed},
 			Workers:       *workers,
 			ShardDuration: time.Duration(*shardDays) * 24 * time.Hour,
@@ -128,7 +169,7 @@ func main() {
 			// The facade picks the fastest path the file's format allows:
 			// b2 goes through the index-seek block-parallel analysis, v1
 			// and b1 through the sharded streaming path.
-			rep, err := filemig.AnalyzeTraceFile(*in, *workers,
+			rep, err := filemig.AnalyzeTraceFileContext(ctx, *in, *workers,
 				time.Duration(*shardDays)*24*time.Hour)
 			if err != nil {
 				log.Fatal(err)
@@ -140,7 +181,7 @@ func main() {
 		if *stream {
 			if bf, bfile := openB2Indexed(*in, *format); bf != nil {
 				defer bfile.Close()
-				rep, err := core.AnalyzeB2(core.B2Options{StreamOptions: core.StreamOptions{
+				rep, err := core.AnalyzeB2(ctx, core.B2Options{StreamOptions: core.StreamOptions{
 					Options:       core.Options{DedupWindow: workload.DedupWindow},
 					Workers:       *workers,
 					ShardDuration: time.Duration(*shardDays) * 24 * time.Hour,
@@ -167,7 +208,7 @@ func main() {
 			log.Fatal(err)
 		}
 		if *stream {
-			rep, err := core.AnalyzeStream(core.StreamOptions{
+			rep, err := core.AnalyzeStream(ctx, core.StreamOptions{
 				Options:       core.Options{DedupWindow: workload.DedupWindow},
 				Workers:       *workers,
 				ShardDuration: time.Duration(*shardDays) * 24 * time.Hour,
@@ -259,7 +300,7 @@ func openB2Indexed(in, format string) (*trace.B2File, *os.File) {
 // serializes the analysis as an s1 snapshot — the map step of a
 // distributed run. A named b2 input under -stream takes the index-seek
 // parallel path; the snapshot bytes are identical either way.
-func writeSnapshot(in, format, out string, stream bool, workers, shardDays int) {
+func writeSnapshot(ctx context.Context, in, format, out string, stream bool, workers, shardDays int) {
 	opts := core.Options{DedupWindow: workload.DedupWindow, Journal: true}
 	shardDur := time.Duration(shardDays) * 24 * time.Hour
 	var a *core.Analysis
@@ -269,7 +310,7 @@ func writeSnapshot(in, format, out string, stream bool, workers, shardDays int) 
 		var bfile *os.File
 		if bf, bfile = openB2Indexed(in, format); bf != nil {
 			defer bfile.Close()
-			a, err = core.AccumulateB2(core.B2Options{StreamOptions: core.StreamOptions{
+			a, err = core.AccumulateB2(ctx, core.B2Options{StreamOptions: core.StreamOptions{
 				Options:       opts,
 				Workers:       workers,
 				ShardDuration: shardDur,
@@ -291,7 +332,7 @@ func writeSnapshot(in, format, out string, stream bool, workers, shardDays int) 
 			log.Fatal(err)
 		}
 		if stream {
-			a, err = core.AccumulateStream(core.StreamOptions{
+			a, err = core.AccumulateStream(ctx, core.StreamOptions{
 				Options:       opts,
 				Workers:       workers,
 				ShardDuration: shardDur,
@@ -308,8 +349,15 @@ func writeSnapshot(in, format, out string, stream bool, workers, shardDays int) 
 	if err != nil {
 		log.Fatal(err)
 	}
+	emitSnapshot(a, out)
+}
+
+// emitSnapshot serializes an analysis as an s1 snapshot to the named
+// file ('-' for stdout).
+func emitSnapshot(a *core.Analysis, out string) {
 	w := os.Stdout
 	if out != "-" {
+		var err error
 		w, err = os.Create(out)
 		if err != nil {
 			log.Fatal(err)
@@ -325,34 +373,150 @@ func writeSnapshot(in, format, out string, stream bool, workers, shardDays int) 
 	}
 }
 
+// runDistributed serves a b2 input's block-index shards to mssanalyze
+// worker processes and returns the merged analysis. An interrupt drains
+// gracefully; with a journal the run is resumable.
+func runDistributed(ctx context.Context, in, format, listen, journal string, lease, shard time.Duration) *core.Analysis {
+	if in == "" || in == "-" {
+		log.Fatal("-distributed needs a named trace file (-i); workers open the same path")
+	}
+	bf, bfile := openB2Indexed(in, format)
+	if bf == nil {
+		log.Fatalf("%s is not a b2 trace; -distributed shards along the b2 block index", in)
+	}
+	defer bfile.Close()
+	st, err := bfile.Stat()
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := dist.NewB2ShardCoordinator(dist.B2ShardConfig{
+		Path:          in,
+		File:          bf,
+		Size:          st.Size(),
+		DedupWindow:   workload.DedupWindow,
+		ShardDuration: shard,
+	}, dist.Options{
+		Lease:      lease,
+		JournalDir: journal,
+		Now:        host.Now,
+		Seed:       host.Seed(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "mssanalyze: coordinator listening on http://%s", ln.Addr())
+	if b.Resumed() > 0 {
+		fmt.Fprintf(os.Stderr, " (%d shards already complete in journal)", b.Resumed())
+	}
+	fmt.Fprintf(os.Stderr, "; start workers with: mssanalyze worker -connect http://%s\n", ln.Addr())
+	if err := b.Serve(ctx, ln); err != nil {
+		if errors.Is(err, context.Canceled) && journal != "" {
+			log.Fatalf("interrupted; completed shards are journaled in %s — re-run with the same -journal to resume", journal)
+		}
+		log.Fatal(err)
+	}
+	a, err := b.Analysis()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return a
+}
+
+// runWorker joins a coordinator and executes shard tasks until the run
+// completes.
+func runWorker(args []string) {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mssanalyze worker -connect http://host:port [-seed N]")
+		fs.PrintDefaults()
+	}
+	connect := fs.String("connect", "", "coordinator base URL (http://host:port)")
+	seed := fs.Int64("seed", 0, "jitter seed (0 = process-unique)")
+	fs.Parse(args)
+	if *connect == "" || fs.NArg() != 0 {
+		log.Fatal("worker needs -connect http://host:port and no positional arguments")
+	}
+	if *seed == 0 {
+		*seed = host.Seed()
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := dist.RunWorker(ctx, *connect, dist.WorkerOptions{Seed: *seed}); err != nil {
+		log.Fatal(err)
+	}
+}
+
 // runMerge implements the merge mode: load s1 snapshots in trace order,
-// merge them, and report. Flags come before the snapshot files.
+// merge them, and report. Arguments may be .s1 files, directories
+// (their *.s1 entries, sorted by name) or globs; flags come before
+// them. A corrupt snapshot is reported with the offending filename.
 func runMerge(args []string) {
 	fs := flag.NewFlagSet("merge", flag.ExitOnError)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mssanalyze merge [-all] [-id table3 ...] a.s1 b.s1 ...")
+		fmt.Fprintln(os.Stderr, "usage: mssanalyze merge [-all] [-id table3 ...] a.s1 dir/ 'shard*.s1' ...")
 		fs.PrintDefaults()
 	}
 	var ids idList
 	all := fs.Bool("all", false, "print every table and figure")
 	fs.Var(&ids, "id", "experiment to print (table3, figure7, ...); repeatable")
 	fs.Parse(args)
-	files := fs.Args()
-	if len(files) == 0 {
-		log.Fatal("merge needs at least one .s1 snapshot file")
+	if fs.NArg() == 0 {
+		log.Fatal("merge needs at least one .s1 snapshot file, directory or glob")
 	}
-	rs := make([]io.Reader, len(files))
-	for i, name := range files {
+	files := expandSnapshotArgs(fs.Args())
+	if len(files) == 0 {
+		log.Fatalf("no .s1 snapshots match %s", strings.Join(fs.Args(), " "))
+	}
+	m := core.NewSnapshotMerger()
+	for _, name := range files {
 		f, err := os.Open(name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		rs[i] = f
+		err = m.Add(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
 	}
-	a, err := core.MergeSnapshots(rs...)
+	a, err := m.Analysis()
 	if err != nil {
 		log.Fatal(err)
 	}
 	renderExperiments(&filemig.Pipeline{Report: a.Report()}, ids, *all, true)
+}
+
+// expandSnapshotArgs turns merge's arguments into a snapshot file list:
+// a directory contributes its *.s1 entries sorted by name, an argument
+// with glob metacharacters its sorted matches, and anything else is
+// taken as a literal filename. Snapshots merge in trace time order, so
+// expansion preserves argument order and sorts only within each
+// argument.
+func expandSnapshotArgs(args []string) []string {
+	var files []string
+	for _, arg := range args {
+		switch st, err := os.Stat(arg); {
+		case err == nil && st.IsDir():
+			matches, err := filepath.Glob(filepath.Join(arg, "*.s1"))
+			if err != nil {
+				log.Fatal(err)
+			}
+			sort.Strings(matches)
+			files = append(files, matches...)
+		case strings.ContainsAny(arg, "*?["):
+			matches, err := filepath.Glob(arg)
+			if err != nil {
+				log.Fatalf("%s: %v", arg, err)
+			}
+			sort.Strings(matches)
+			files = append(files, matches...)
+		default:
+			files = append(files, arg)
+		}
+	}
+	return files
 }

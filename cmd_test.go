@@ -5,7 +5,9 @@ package filemig
 // piping, output shape). Skipped under -short.
 
 import (
+	"bufio"
 	"bytes"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -348,5 +350,176 @@ func TestMigexpGoldenManifest(t *testing.T) {
 	// -json emits exactly the manifest bytes.
 	if jsonOut := run("run", spec, "-workers", "2", "-json"); !bytes.Equal(jsonOut, manifests[0]) {
 		t.Error("-json stdout differs from -o manifest file")
+	}
+}
+
+// TestMssanalyzeMergeHardening covers the merge subcommand's input
+// surface: directories and globs expand to their .s1 files, zero inputs
+// is a hard error rather than an empty report, and a corrupt snapshot
+// is rejected with the offending filename in the error.
+func TestMssanalyzeMergeHardening(t *testing.T) {
+	bin := buildTools(t)
+	mss := filepath.Join(bin, "mssanalyze")
+	run := func(args ...string) []byte {
+		t.Helper()
+		cmd := exec.Command(mss, args...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("mssanalyze %v: %v\nstderr: %s", args, err, stderr.String())
+		}
+		return stdout.Bytes()
+	}
+	// mustFail runs mssanalyze expecting a non-zero exit and returns
+	// stderr for message assertions.
+	mustFail := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command(mss, args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		err := cmd.Run()
+		var exit *exec.ExitError
+		if err == nil || !errors.As(err, &exit) || exit.ExitCode() == 0 {
+			t.Fatalf("mssanalyze %v: expected non-zero exit, got %v\nstderr: %s",
+				args, err, stderr.String())
+		}
+		return stderr.String()
+	}
+
+	// Two snapshots of a split paper workload, in their own directory.
+	p, err := Run(Config{Scale: 0.001, Seed: 3, Days: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	snapDir := filepath.Join(dir, "snaps")
+	if err := os.Mkdir(snapDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cut := len(p.Records) / 2
+	snaps := []string{filepath.Join(snapDir, "s0.s1"), filepath.Join(snapDir, "s1.s1")}
+	for i, recs := range [][]trace.Record{p.Records[:cut], p.Records[cut:]} {
+		slice := filepath.Join(dir, "slice.b1")
+		f, err := os.Create(slice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteAllFormat(f, recs, trace.FormatBinary); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		run("-i", slice, "-snapshot", snaps[i])
+	}
+
+	// Explicit files, the containing directory, and a glob all name the
+	// same inputs and must render the same report.
+	want := run("merge", "-id", "table3", snaps[0], snaps[1])
+	if got := run("merge", "-id", "table3", snapDir); !bytes.Equal(got, want) {
+		t.Errorf("merge <dir> differs from explicit file list:\n--- dir ---\n%s\n--- files ---\n%s",
+			got, want)
+	}
+	if got := run("merge", "-id", "table3", filepath.Join(snapDir, "*.s1")); !bytes.Equal(got, want) {
+		t.Errorf("merge <glob> differs from explicit file list:\n--- glob ---\n%s\n--- files ---\n%s",
+			got, want)
+	}
+
+	// Zero inputs — no args, an empty directory, a matchless glob — must
+	// exit non-zero, not succeed with an empty report.
+	if msg := mustFail("merge"); !strings.Contains(msg, "at least one") {
+		t.Errorf("bare merge error unhelpful: %s", msg)
+	}
+	empty := filepath.Join(dir, "empty")
+	if err := os.Mkdir(empty, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if msg := mustFail("merge", empty); !strings.Contains(msg, "no .s1 snapshots match") {
+		t.Errorf("empty-dir merge error unhelpful: %s", msg)
+	}
+	if msg := mustFail("merge", filepath.Join(dir, "nope*.s1")); !strings.Contains(msg, "no .s1 snapshots match") {
+		t.Errorf("matchless-glob merge error unhelpful: %s", msg)
+	}
+
+	// A corrupt snapshot fails the merge and the error names the file.
+	corrupt := filepath.Join(dir, "bad.s1")
+	raw, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(corrupt, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if msg := mustFail("merge", snaps[1], corrupt); !strings.Contains(msg, "bad.s1") {
+		t.Errorf("corrupt-snapshot error does not name the file: %s", msg)
+	}
+}
+
+// TestMigexpDistributedProcesses runs the real multi-process topology:
+// one coordinator process and two worker processes over loopback. The
+// coordinator's -json manifest must be byte-identical to a local run,
+// and every process must exit cleanly.
+func TestMigexpDistributedProcesses(t *testing.T) {
+	bin := buildTools(t)
+	migexp := filepath.Join(bin, "migexp")
+	spec := filepath.Join("testdata", "quickgrid.json")
+
+	local, err := exec.Command(migexp, "run", spec, "-json").Output()
+	if err != nil {
+		t.Fatalf("local run: %v", err)
+	}
+
+	coord := exec.Command(migexp, "run", spec, "-distributed", "-listen", "127.0.0.1:0", "-json")
+	var stdout bytes.Buffer
+	coord.Stdout = &stdout
+	stderr, err := coord.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Process.Kill()
+
+	// The coordinator announces its address on stderr before serving.
+	var base string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if _, rest, ok := strings.Cut(line, "listening on "); ok {
+			base = strings.Fields(rest)[0]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("coordinator never announced its address (scan err %v)", sc.Err())
+	}
+	go func() { // keep draining so the coordinator never blocks on stderr
+		for sc.Scan() {
+		}
+	}()
+
+	workers := make([]*exec.Cmd, 2)
+	for i := range workers {
+		workers[i] = exec.Command(migexp, "worker", "-connect", base)
+		var werr bytes.Buffer
+		workers[i].Stderr = &werr
+		if err := workers[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator exited with %v", err)
+	}
+	for i, w := range workers {
+		if err := w.Wait(); err != nil {
+			t.Errorf("worker %d exited with %v\nstderr: %s", i, err, w.Stderr)
+		}
+	}
+	if !bytes.Equal(stdout.Bytes(), local) {
+		t.Errorf("distributed -json manifest differs from local run (%d vs %d bytes)",
+			stdout.Len(), len(local))
 	}
 }

@@ -6,7 +6,9 @@ package filemig_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/hex"
+	"net"
 	"os"
 	"strings"
 	"testing"
@@ -14,6 +16,7 @@ import (
 
 	"filemig"
 	"filemig/internal/device"
+	"filemig/internal/dist"
 	"filemig/internal/experiment"
 	"filemig/internal/trace"
 	"filemig/internal/units"
@@ -146,6 +149,70 @@ func TestDocsSnapshotExample(t *testing.T) {
 	want := strings.TrimRight(docFence(t, doc, "<!-- test:snapshot-output -->"), "\n")
 	if got != want {
 		t.Errorf("docs/snapshots.md worked example is stale.\n--- documented ---\n%s\n--- actual ---\n%s",
+			want, got)
+	}
+}
+
+// TestDocsDistributedExample runs docs/distributed.md's quickgrid spec
+// through the real coordinator/worker path — two in-process workers
+// over loopback — and compares the documented render byte for byte.
+// The same spec's manifest is also the chaos golden in internal/dist.
+func TestDocsDistributedExample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full distributed grid")
+	}
+	raw, err := os.ReadFile("docs/distributed.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+
+	spec, err := experiment.Parse(strings.NewReader(docFence(t, doc, "<!-- test:dist-spec -->")))
+	if err != nil {
+		t.Fatalf("worked example spec does not parse: %v", err)
+	}
+	plan, err := experiment.BuildPlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dist.NewGridCoordinator(plan, dist.Options{
+		Lease: 30 * time.Second, Now: time.Now, Seed: 1, Linger: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	served := make(chan error, 1)
+	go func() { served <- g.Serve(ctx, ln) }()
+	workers := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(seed int64) {
+			workers <- dist.RunWorker(ctx, base, dist.WorkerOptions{Seed: seed, Poll: 20 * time.Millisecond})
+		}(int64(i + 1))
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-workers; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+	m, err := g.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimRight(experiment.RenderManifest(m), "\n")
+	want := strings.TrimRight(docFence(t, doc, "<!-- test:dist-output -->"), "\n")
+	if got != want {
+		t.Errorf("docs/distributed.md worked example is stale.\n--- documented ---\n%s\n--- actual ---\n%s",
 			want, got)
 	}
 }

@@ -24,6 +24,7 @@
 package filemig
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -156,6 +157,13 @@ type StreamConfig struct {
 // trace. The Report is byte-identical to the one Run produces for the
 // same workload with SkipSimulation set.
 func RunStream(cfg StreamConfig) (*core.Report, error) {
+	return RunStreamContext(context.Background(), cfg)
+}
+
+// RunStreamContext is RunStream with cancellation: a cancelled ctx
+// aborts the pipeline between analysis shards and surfaces ctx's error.
+// Cancellation never changes results.
+func RunStreamContext(ctx context.Context, cfg StreamConfig) (*core.Report, error) {
 	wcfg, err := cfg.workloadConfig()
 	if err != nil {
 		return nil, err
@@ -168,7 +176,7 @@ func RunStream(cfg StreamConfig) (*core.Report, error) {
 	if workers <= 0 {
 		workers = host.DefaultWorkers()
 	}
-	return core.AnalyzeStream(core.StreamOptions{
+	return core.AnalyzeStream(ctx, core.StreamOptions{
 		Options:       core.Options{Start: wcfg.Start, Days: wcfg.Days, Tree: sr.Tree},
 		ShardDuration: cfg.ShardDuration,
 		Workers:       workers,
@@ -184,6 +192,12 @@ func RunStream(cfg StreamConfig) (*core.Report, error) {
 // analysing the same records in one slice. workers <= 0 means one per
 // CPU and shard <= 0 the default four-week width, as in RunStream.
 func AnalyzeTraceFile(path string, workers int, shard time.Duration) (*core.Report, error) {
+	return AnalyzeTraceFileContext(context.Background(), path, workers, shard)
+}
+
+// AnalyzeTraceFileContext is AnalyzeTraceFile with cancellation,
+// aborting between shards (or b2 block groups) with ctx's error.
+func AnalyzeTraceFileContext(ctx context.Context, path string, workers int, shard time.Duration) (*core.Report, error) {
 	if workers <= 0 {
 		workers = host.DefaultWorkers()
 	}
@@ -203,7 +217,7 @@ func AnalyzeTraceFile(path string, workers int, shard time.Duration) (*core.Repo
 	}
 	bf, err := trace.OpenB2File(f, st.Size())
 	if err == nil {
-		return core.AnalyzeB2(core.B2Options{StreamOptions: opts}, bf)
+		return core.AnalyzeB2(ctx, core.B2Options{StreamOptions: opts}, bf)
 	}
 	if !errors.Is(err, trace.ErrNotB2) {
 		return nil, err
@@ -214,7 +228,7 @@ func AnalyzeTraceFile(path string, workers int, shard time.Duration) (*core.Repo
 	if err != nil {
 		return nil, err
 	}
-	return core.AnalyzeStream(opts, s)
+	return core.AnalyzeStream(ctx, opts, s)
 }
 
 // SaveSnapshot analyses one encoded trace (ASCII v1, binary b1, or
@@ -232,7 +246,7 @@ func SaveSnapshot(dst io.Writer, src io.Reader) error {
 	if err != nil {
 		return err
 	}
-	a, err := core.AccumulateStream(core.StreamOptions{
+	a, err := core.AccumulateStream(context.Background(), core.StreamOptions{
 		Options: core.Options{DedupWindow: workload.DedupWindow, Journal: true},
 	}, s)
 	if err != nil {

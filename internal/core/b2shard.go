@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -43,9 +46,10 @@ type blockGroup struct {
 // AnalyzeB2 computes the paper's full Report from an opened b2 trace
 // by fanning block groups over a bounded worker pool, decoding blocks
 // in parallel. The result is byte-identical to AnalyzeStream over the
-// same records at any worker count.
-func AnalyzeB2(opts B2Options, f *trace.B2File) (*Report, error) {
-	a, err := AccumulateB2(opts, f)
+// same records at any worker count. Cancelling ctx aborts between
+// block groups with ctx's error; it never changes results.
+func AnalyzeB2(ctx context.Context, opts B2Options, f *trace.B2File) (*Report, error) {
+	a, err := AccumulateB2(ctx, opts, f)
 	if err != nil {
 		return nil, err
 	}
@@ -55,13 +59,9 @@ func AnalyzeB2(opts B2Options, f *trace.B2File) (*Report, error) {
 // AccumulateB2 is AnalyzeB2 stopped one step short of the Report,
 // returning the merged accumulator itself — state-identical to the
 // slice path over the same records, like AccumulateStream.
-func AccumulateB2(opts B2Options, f *trace.B2File) (*Analysis, error) {
+func AccumulateB2(ctx context.Context, opts B2Options, f *trace.B2File) (*Analysis, error) {
 	if opts.ShardDuration <= 0 {
 		opts.ShardDuration = DefaultShardDuration
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = 1
 	}
 
 	lo, hi := b2Window(opts, f)
@@ -98,13 +98,76 @@ func AccumulateB2(opts B2Options, f *trace.B2File) (*Analysis, error) {
 		origin = first.Truncate(24 * time.Hour)
 	}
 	opts.Start = origin
+	return accumulateB2Range(ctx, opts, f, lo, hi)
+}
+
+// AccumulateB2Blocks analyses exactly blocks [lo, hi) of f — the
+// distributed shard path. Block ranges are an exact partition of the
+// record sequence (unlike time windows, which cannot split two records
+// sharing a timestamp across blocks), so analysing each range of a
+// contiguous partition with Options.Journal set and merging the
+// snapshots in range order reproduces the single-process analysis
+// byte-for-byte. The From/To window does not apply here and must be
+// zero.
+func AccumulateB2Blocks(ctx context.Context, opts B2Options, f *trace.B2File, lo, hi int) (*Analysis, error) {
+	if !opts.From.IsZero() || !opts.To.IsZero() {
+		return nil, errors.New("core: AccumulateB2Blocks takes a block range, not a From/To window")
+	}
+	if lo < 0 || hi > f.NumBlocks() || lo > hi {
+		return nil, fmt.Errorf("core: block range [%d, %d) outside [0, %d)", lo, hi, f.NumBlocks())
+	}
+	if opts.ShardDuration <= 0 {
+		opts.ShardDuration = DefaultShardDuration
+	}
+	if lo >= hi {
+		return New(opts.Options), nil
+	}
+	if opts.Start.IsZero() {
+		opts.Start = f.Meta(lo).Base.Truncate(24 * time.Hour)
+	}
+	return accumulateB2Range(ctx, opts, f, lo, hi)
+}
+
+// B2TaskRanges cuts a b2 file's blocks into contiguous shard-width
+// ranges [lo, hi) for distribution — the same calendar-aligned grouping
+// AccumulateB2 fans over its local pool, computed from index metadata
+// alone. Concatenated, the ranges cover every block exactly once.
+func B2TaskRanges(f *trace.B2File, shard time.Duration) [][2]int {
+	if shard <= 0 {
+		shard = DefaultShardDuration
+	}
+	n := f.NumBlocks()
+	if n == 0 {
+		return nil
+	}
+	var opts B2Options
+	opts.ShardDuration = shard
+	opts.Start = f.Meta(0).Base.Truncate(24 * time.Hour)
+	groups := b2Groups(opts, f, 0, n)
+	out := make([][2]int, len(groups))
+	for i, g := range groups {
+		out[i] = [2]int{g.lo, g.hi}
+	}
+	return out
+}
+
+// accumulateB2Range runs blocks [lo, hi) (origin already resolved into
+// opts.Start) through the serial or parallel group pipeline.
+func accumulateB2Range(ctx context.Context, opts B2Options, f *trace.B2File, lo, hi int) (*Analysis, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
 	master := New(opts.Options)
-	master.start = origin
+	master.start = opts.Start
 
 	groups := b2Groups(opts, f, lo, hi)
 	if workers == 1 {
 		d := f.NewBlockDecoder()
 		for _, g := range groups {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			sh, err := accumulateB2Group(opts, f, d, g)
 			if err != nil {
 				return nil, err
@@ -113,7 +176,7 @@ func AccumulateB2(opts B2Options, f *trace.B2File) (*Analysis, error) {
 		}
 		return master, nil
 	}
-	return accumulateB2Parallel(opts, f, master, groups, workers)
+	return accumulateB2Parallel(ctx, opts, f, master, groups, workers)
 }
 
 // b2Window returns the range of blocks overlapping [From, To) from the
@@ -210,7 +273,9 @@ func accumulateB2Group(opts B2Options, f *trace.B2File, d *trace.B2BlockDecoder,
 // worker decoding its groups' blocks with a private block decoder, and
 // merges shard results in group order — the same bounded pending-map
 // shape as analyzeParallel, with in-flight groups capped by the pool.
-func accumulateB2Parallel(opts B2Options, f *trace.B2File, master *Analysis, groups []blockGroup, workers int) (*Analysis, error) {
+// Cancellation is checked between dispatches: in-flight groups finish
+// and merge, no new group starts, and ctx's error is returned.
+func accumulateB2Parallel(ctx context.Context, opts B2Options, f *trace.B2File, master *Analysis, groups []blockGroup, workers int) (*Analysis, error) {
 	type result struct {
 		idx int
 		sh  *shardAccum
@@ -266,7 +331,11 @@ func accumulateB2Parallel(opts B2Options, f *trace.B2File, master *Analysis, gro
 		}
 	}()
 
+	var ctxErr error
 	for idx := range groups {
+		if ctxErr = ctx.Err(); ctxErr != nil {
+			break
+		}
 		sem <- struct{}{}
 		jobs <- idx
 	}
@@ -274,6 +343,9 @@ func accumulateB2Parallel(opts B2Options, f *trace.B2File, master *Analysis, gro
 	<-mergeDone
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 	return master, nil
 }

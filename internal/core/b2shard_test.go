@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"strings"
@@ -78,7 +79,7 @@ func TestB2Equivalence(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: OpenStream: %v", f, err)
 		}
-		rep, err := AnalyzeStream(StreamOptions{Workers: 2, ShardDuration: 9 * 24 * time.Hour}, src)
+		rep, err := AnalyzeStream(context.Background(), StreamOptions{Workers: 2, ShardDuration: 9 * 24 * time.Hour}, src)
 		if err != nil {
 			t.Fatalf("%v: AnalyzeStream: %v", f, err)
 		}
@@ -94,7 +95,7 @@ func TestB2Equivalence(t *testing.T) {
 		for _, shard := range []time.Duration{DefaultShardDuration, 24 * time.Hour, 3 * time.Hour} {
 			t.Run(fmt.Sprintf("indexseek/workers=%d/shard=%v", workers, shard), func(t *testing.T) {
 				f := openB2(t, enc)
-				rep, err := AnalyzeB2(B2Options{StreamOptions: StreamOptions{
+				rep, err := AnalyzeB2(context.Background(), B2Options{StreamOptions: StreamOptions{
 					Workers:       workers,
 					ShardDuration: shard,
 				}}, f)
@@ -113,7 +114,7 @@ func TestB2Equivalence(t *testing.T) {
 
 	// The parallel block stream feeding the ordinary stream analysis.
 	f := openB2(t, enc)
-	rep, err := AnalyzeStream(StreamOptions{Workers: 4, ShardDuration: 13 * 24 * time.Hour}, f.Stream(3))
+	rep, err := AnalyzeStream(context.Background(), StreamOptions{Workers: 4, ShardDuration: 13 * 24 * time.Hour}, f.Stream(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestB2IndexSeekSkipsBlocks(t *testing.T) {
 	for _, workers := range []int{1, 8} {
 		// Derived origin: one extra decode of the first overlapping block.
 		f := openB2(t, enc)
-		rep, err := AnalyzeB2(B2Options{
+		rep, err := AnalyzeB2(context.Background(), B2Options{
 			StreamOptions: StreamOptions{Workers: workers, ShardDuration: 5 * 24 * time.Hour},
 			From:          from, To: to,
 		}, f)
@@ -188,7 +189,7 @@ func TestB2IndexSeekSkipsBlocks(t *testing.T) {
 
 		// Explicit origin: exactly the overlapping blocks, nothing else.
 		f = openB2(t, enc)
-		rep, err = AnalyzeB2(B2Options{
+		rep, err = AnalyzeB2(context.Background(), B2Options{
 			StreamOptions: StreamOptions{
 				Options: Options{Start: origin},
 				Workers: workers, ShardDuration: 5 * 24 * time.Hour,
@@ -210,7 +211,7 @@ func TestB2IndexSeekSkipsBlocks(t *testing.T) {
 
 	// An empty window decodes nothing at all.
 	f := openB2(t, enc)
-	rep, err := AnalyzeB2(B2Options{
+	rep, err := AnalyzeB2(context.Background(), B2Options{
 		StreamOptions: StreamOptions{Workers: 4},
 		From:          recs[len(recs)-1].Start.Add(time.Hour),
 	}, f)
@@ -237,7 +238,7 @@ func TestB2SnapshotEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	a1, err := AccumulateStream(StreamOptions{Options: opts, Workers: 3},
+	a1, err := AccumulateStream(context.Background(), StreamOptions{Options: opts, Workers: 3},
 		trace.SliceStream(recs))
 	if err != nil {
 		t.Fatal(err)
@@ -249,7 +250,7 @@ func TestB2SnapshotEquivalence(t *testing.T) {
 
 	for _, workers := range []int{1, 4} {
 		f := openB2(t, enc)
-		a2, err := AccumulateB2(B2Options{StreamOptions: StreamOptions{
+		a2, err := AccumulateB2(context.Background(), B2Options{StreamOptions: StreamOptions{
 			Options: opts, Workers: workers,
 		}}, f)
 		if err != nil {
@@ -282,7 +283,7 @@ func TestB2AnalyzeErrorsDeterministic(t *testing.T) {
 	var msgs []string
 	for _, workers := range []int{1, 2, 8} {
 		f := openB2(t, mut)
-		_, err := AnalyzeB2(B2Options{StreamOptions: StreamOptions{Workers: workers}}, f)
+		_, err := AnalyzeB2(context.Background(), B2Options{StreamOptions: StreamOptions{Workers: workers}}, f)
 		if err == nil {
 			t.Fatalf("workers=%d: corrupt block accepted", workers)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -181,8 +182,10 @@ func (a *Analysis) merge(sh *shardAccum) {
 // Report, but peak memory is proportional to a shard, not the trace, and
 // the shards accumulate concurrently. Records must arrive in
 // non-decreasing start order (the codec readers guarantee this).
-func AnalyzeStream(opts StreamOptions, src trace.Stream) (*Report, error) {
-	a, err := AccumulateStream(opts, src)
+// Cancelling ctx aborts between shards with ctx's error; it never
+// changes results.
+func AnalyzeStream(ctx context.Context, opts StreamOptions, src trace.Stream) (*Report, error) {
+	a, err := AccumulateStream(ctx, opts, src)
 	if err != nil {
 		return nil, err
 	}
@@ -194,7 +197,7 @@ func AnalyzeStream(opts StreamOptions, src trace.Stream) (*Report, error) {
 // slice-path New + AddAll over the same records. That is the handle
 // snapshot producers need — run with Options.Journal set and hand the
 // result to WriteSnapshot.
-func AccumulateStream(opts StreamOptions, src trace.Stream) (*Analysis, error) {
+func AccumulateStream(ctx context.Context, opts StreamOptions, src trace.Stream) (*Analysis, error) {
 	if opts.ShardDuration <= 0 {
 		opts.ShardDuration = DefaultShardDuration
 	}
@@ -221,9 +224,9 @@ func AccumulateStream(opts StreamOptions, src trace.Stream) (*Analysis, error) {
 	master.start = origin
 
 	if workers == 1 {
-		return analyzeSerial(opts, master, first, src)
+		return analyzeSerial(ctx, opts, master, first, src)
 	}
-	return analyzeParallel(opts, master, first, src, workers)
+	return analyzeParallel(ctx, opts, master, first, src, workers)
 }
 
 // shardIndex places a record in its time partition.
@@ -266,8 +269,11 @@ func nextShard(opts StreamOptions, first trace.Record, src trace.Stream) (
 
 // analyzeSerial is the workers == 1 path: accumulate and merge one shard
 // at a time on the calling goroutine.
-func analyzeSerial(opts StreamOptions, master *Analysis, first trace.Record, src trace.Stream) (*Analysis, error) {
+func analyzeSerial(ctx context.Context, opts StreamOptions, master *Analysis, first trace.Record, src trace.Stream) (*Analysis, error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		batch, next, done, err := nextShard(opts, first, src)
 		if err != nil {
 			return nil, err
@@ -283,7 +289,9 @@ func analyzeSerial(opts StreamOptions, master *Analysis, first trace.Record, src
 // analyzeParallel fans shards over a worker pool and merges results in
 // shard order. In-flight shards are bounded by the pool size: a semaphore
 // token is held from the moment a shard is cut until it has been merged.
-func analyzeParallel(opts StreamOptions, master *Analysis, first trace.Record, src trace.Stream, workers int) (*Analysis, error) {
+// Cancellation is checked between shard cuts: in-flight shards finish
+// and merge, no new shard is read, and ctx's error is returned.
+func analyzeParallel(ctx context.Context, opts StreamOptions, master *Analysis, first trace.Record, src trace.Stream, workers int) (*Analysis, error) {
 	type job struct {
 		idx   int
 		batch []trace.Record
@@ -332,6 +340,10 @@ func analyzeParallel(opts StreamOptions, master *Analysis, first trace.Record, s
 	var readErr error
 	idx := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			readErr = err
+			break
+		}
 		batch, next, done, err := nextShard(opts, first, src)
 		if err != nil {
 			readErr = err

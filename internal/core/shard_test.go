@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"reflect"
@@ -70,7 +71,7 @@ func TestStreamEquivalence(t *testing.T) {
 		{16, 13 * 24 * time.Hour},
 	} {
 		t.Run(fmt.Sprintf("workers=%d/shard=%v", tc.workers, tc.shard), func(t *testing.T) {
-			rep, err := AnalyzeStream(StreamOptions{
+			rep, err := AnalyzeStream(context.Background(), StreamOptions{
 				Options:       opts,
 				ShardDuration: tc.shard,
 				Workers:       tc.workers,
@@ -96,7 +97,7 @@ func TestStreamEquivalenceNoTreeNoStart(t *testing.T) {
 	slice.AddAll(res.Records)
 	want := renderAll(slice.Report())
 
-	rep, err := AnalyzeStream(StreamOptions{ShardDuration: 11 * 24 * time.Hour, Workers: 3},
+	rep, err := AnalyzeStream(context.Background(), StreamOptions{ShardDuration: 11 * 24 * time.Hour, Workers: 3},
 		trace.SliceStream(res.Records))
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +129,7 @@ func TestStreamEquivalenceThroughCodec(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rep, err := AnalyzeStream(StreamOptions{Workers: 4, ShardDuration: 9 * 24 * time.Hour}, src)
+		rep, err := AnalyzeStream(context.Background(), StreamOptions{Workers: 4, ShardDuration: 9 * 24 * time.Hour}, src)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -163,7 +164,7 @@ func (r *pipeReader) Read(b []byte) (int, error) {
 }
 
 func TestStreamEmptyAndErrors(t *testing.T) {
-	rep, err := AnalyzeStream(StreamOptions{}, trace.SliceStream(nil))
+	rep, err := AnalyzeStream(context.Background(), StreamOptions{}, trace.SliceStream(nil))
 	if err != nil {
 		t.Fatalf("empty stream: %v", err)
 	}
@@ -175,7 +176,7 @@ func TestStreamEmptyAndErrors(t *testing.T) {
 	recs := append([]trace.Record(nil), res.Records[:100]...)
 	recs[50], recs[10] = recs[10], recs[50] // break the sort order
 	for _, workers := range []int{1, 4} {
-		if _, err := AnalyzeStream(StreamOptions{Workers: workers, ShardDuration: time.Hour},
+		if _, err := AnalyzeStream(context.Background(), StreamOptions{Workers: workers, ShardDuration: time.Hour},
 			trace.SliceStream(recs)); err == nil {
 			t.Fatalf("workers=%d: out-of-order stream accepted", workers)
 		}
@@ -190,7 +191,7 @@ func TestStreamReportFieldsMatch(t *testing.T) {
 	slice.AddAll(res.Records)
 	want := slice.Report()
 
-	rep, err := AnalyzeStream(StreamOptions{
+	rep, err := AnalyzeStream(context.Background(), StreamOptions{
 		Options: Options{Start: res.Config.Start},
 		Workers: 4,
 	}, trace.SliceStream(res.Records))

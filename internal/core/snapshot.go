@@ -159,13 +159,59 @@ func MergeSnapshots(rs ...io.Reader) (*Analysis, error) {
 	if len(rs) == 0 {
 		return nil, errors.New("core: MergeSnapshots needs at least one snapshot")
 	}
-	m := New(Options{Journal: true})
-	for i, r := range rs {
-		if err := m.mergeSnapshot(r, i == 0); err != nil {
-			return nil, fmt.Errorf("core: snapshot %d: %w", i+1, err)
+	sm := NewSnapshotMerger()
+	for _, r := range rs {
+		if err := sm.Add(r); err != nil {
+			return nil, err
 		}
 	}
-	return m, nil
+	return sm.Analysis()
+}
+
+// SnapshotMerger is MergeSnapshots for callers that receive snapshots
+// one at a time — the distributed coordinator folds each arriving shard
+// snapshot immediately instead of buffering them all. Snapshots must be
+// Added in trace time order; the first snapshot's resolved origin
+// anchors the merge. After any Add error the merger is poisoned and
+// every later call fails the same way.
+type SnapshotMerger struct {
+	a    *Analysis
+	n    int
+	fail error
+}
+
+// NewSnapshotMerger returns an empty merger.
+func NewSnapshotMerger() *SnapshotMerger {
+	return &SnapshotMerger{a: New(Options{Journal: true})}
+}
+
+// Add folds the next snapshot in trace order.
+func (sm *SnapshotMerger) Add(r io.Reader) error {
+	if sm.fail != nil {
+		return sm.fail
+	}
+	if err := sm.a.mergeSnapshot(r, sm.n == 0); err != nil {
+		sm.fail = fmt.Errorf("core: snapshot %d: %w", sm.n+1, err)
+		return sm.fail
+	}
+	sm.n++
+	return nil
+}
+
+// Count reports how many snapshots have been merged so far.
+func (sm *SnapshotMerger) Count() int { return sm.n }
+
+// Analysis returns the merged analysis — state-identical to a single
+// process analysing the concatenated trace. It errors on an empty or
+// poisoned merger.
+func (sm *SnapshotMerger) Analysis() (*Analysis, error) {
+	if sm.fail != nil {
+		return nil, sm.fail
+	}
+	if sm.n == 0 {
+		return nil, errors.New("core: no snapshots merged")
+	}
+	return sm.a, nil
 }
 
 // mergeSnapshot decodes one snapshot from r and folds it into m,

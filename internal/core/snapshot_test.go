@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -117,7 +118,7 @@ func TestSnapshotStreamSaveIdentical(t *testing.T) {
 	res := streamFixture(t)
 	want := saveSlice(t, Options{}, res.Records)
 
-	a, err := AccumulateStream(StreamOptions{
+	a, err := AccumulateStream(context.Background(), StreamOptions{
 		Options:       Options{Journal: true},
 		Workers:       4,
 		ShardDuration: 3 * time.Hour,

@@ -1,0 +1,30 @@
+package dist
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoff returns the re-queue delay before attempt n (1-based: the
+// delay after the n-th failed attempt): base doubled per attempt,
+// capped, then jittered into [d/2, d) so synchronized failures spread
+// out instead of thundering back together. rng is a seeded generator
+// owned by the caller; jitter shapes wall-clock behavior only, never
+// results.
+func backoff(rng *rand.Rand, base, cap time.Duration, attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt && d < cap; i++ {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rng.Int63n(int64(half)))
+}

@@ -1,0 +1,39 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffShape checks the documented contract: the pre-jitter delay
+// doubles per attempt from base, caps at cap, and every sample lands in
+// [d/2, d).
+func TestBackoffShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base, cap := 100*time.Millisecond, 5*time.Second
+	for attempt := 1; attempt <= 12; attempt++ {
+		d := base << (attempt - 1)
+		if d > cap || d <= 0 {
+			d = cap
+		}
+		for i := 0; i < 50; i++ {
+			got := backoff(rng, base, cap, attempt)
+			if got < d/2 || got >= d {
+				t.Fatalf("attempt %d: sample %v outside [%v, %v)", attempt, got, d/2, d)
+			}
+		}
+	}
+}
+
+// TestBackoffDegenerateInputs must not panic or return nonsense for
+// attempt 0 and tiny bases.
+func TestBackoffDegenerateInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if got := backoff(rng, time.Nanosecond, time.Second, 0); got <= 0 {
+		t.Fatalf("attempt 0 with 1ns base: %v", got)
+	}
+	if got := backoff(rng, 50*time.Millisecond, time.Second, 1000); got >= time.Second {
+		t.Fatalf("huge attempt escaped the cap: %v", got)
+	}
+}

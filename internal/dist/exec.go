@@ -1,0 +1,17 @@
+package dist
+
+import "fmt"
+
+// DefaultExec resolves the bundled executor for a task kind — the
+// NewExec a worker uses unless WorkerOptions overrides it (tests swap
+// in instrumented executors here).
+func DefaultExec(kind string, plan []byte) (ExecFunc, error) {
+	switch kind {
+	case KindGrid:
+		return newGridExec(plan)
+	case KindB2Shard:
+		return newB2Exec(plan)
+	}
+	return nil, fmt.Errorf("dist: unknown task kind %q (this worker understands %s and %s)",
+		kind, KindGrid, KindB2Shard)
+}

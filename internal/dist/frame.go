@@ -1,0 +1,72 @@
+package dist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// The wire framing for everything that crosses the coordinator/worker
+// boundary as a body: claim responses, plan descriptions, and result
+// uploads. HTTP already delimits messages, but a fault-injecting (or
+// merely unreliable) transport can truncate or bit-flip a body without
+// breaking the HTTP framing around it — so every body carries its own
+// magic, length, and CRC-32C, and a receiver either gets exactly the
+// bytes the sender framed or a decode error that triggers a retry.
+// Journal spool files reuse the same frame, giving a restarted
+// coordinator the same protection against torn writes.
+
+// frameMagic opens every framed body. The trailing newline keeps a
+// frame from ever parsing as one of the repository's ASCII headers.
+const frameMagic = "#dist-frame f1\n"
+
+// maxFramePayload bounds the declared payload length (1 GiB) so a
+// corrupt length field cannot drive a huge allocation.
+const maxFramePayload = 1 << 30
+
+// crcTable is the Castagnoli table shared with the b2 block codec.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrFrame is wrapped by every frame decode failure.
+var ErrFrame = errors.New("dist: bad frame")
+
+// EncodeFrame wraps payload in the dist wire frame: magic, big-endian
+// u32 length, payload, big-endian CRC-32C of the payload.
+func EncodeFrame(payload []byte) []byte {
+	out := make([]byte, 0, len(frameMagic)+8+len(payload))
+	out = append(out, frameMagic...)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	out = binary.BigEndian.AppendUint32(out, crc32.Checksum(payload, crcTable))
+	return out
+}
+
+// DecodeFrame unwraps one frame, verifying magic, length, and
+// checksum. The returned slice aliases b. Trailing bytes after the
+// frame are an error: a frame is a whole body, not a stream element.
+func DecodeFrame(b []byte) ([]byte, error) {
+	if len(b) < len(frameMagic)+8 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than any frame", ErrFrame, len(b))
+	}
+	if string(b[:len(frameMagic)]) != frameMagic {
+		return nil, fmt.Errorf("%w: missing magic", ErrFrame)
+	}
+	rest := b[len(frameMagic):]
+	n := binary.BigEndian.Uint32(rest[:4])
+	if n > maxFramePayload {
+		return nil, fmt.Errorf("%w: declared payload %d exceeds %d", ErrFrame, n, maxFramePayload)
+	}
+	rest = rest[4:]
+	if uint32(len(rest)) < n+4 {
+		return nil, fmt.Errorf("%w: truncated (want %d payload+crc bytes, have %d)", ErrFrame, n+4, len(rest))
+	}
+	if uint32(len(rest)) > n+4 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after frame", ErrFrame, uint32(len(rest))-(n+4))
+	}
+	payload := rest[:n]
+	if got, want := crc32.Checksum(payload, crcTable), binary.BigEndian.Uint32(rest[n:]); got != want {
+		return nil, fmt.Errorf("%w: payload crc 0x%08x != stored 0x%08x", ErrFrame, got, want)
+	}
+	return payload, nil
+}

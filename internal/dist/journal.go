@@ -1,0 +1,118 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The coordinator's resumable journal: a directory holding one
+// plan-identity file plus one framed spool file per completed task.
+// Every result is spooled (write-to-temp, rename) before the task is
+// marked done, so at any kill point the directory is a consistent
+// prefix of the truth: a restarted coordinator re-loads exactly the
+// completed set and finishes the remainder without re-running done
+// tasks. A torn or tampered spool file fails its frame check and is
+// treated as not-done — re-executed, never merged corrupt.
+
+// journalPlanFile records the run identity a journal belongs to.
+const journalPlanFile = "plan.json"
+
+// journalMeta is the contents of plan.json.
+type journalMeta struct {
+	Version  string `json:"version"`
+	Kind     string `json:"kind"`
+	PlanHash string `json:"planHash"`
+	NumTasks int    `json:"numTasks"`
+}
+
+// journal persists completed results under dir.
+type journal struct {
+	dir string
+}
+
+// openJournal creates (or re-opens) a journal directory for the given
+// run identity. Re-opening verifies the identity: resuming a journal
+// written by a different plan is an error, not a silent mis-merge.
+func openJournal(dir, kind, planHash string, numTasks int) (*journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dist: journal: %w", err)
+	}
+	meta := journalMeta{Version: protocolVersion, Kind: kind, PlanHash: planHash, NumTasks: numTasks}
+	path := filepath.Join(dir, journalPlanFile)
+	raw, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		b, err := json.Marshal(meta)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeFileAtomic(path, b); err != nil {
+			return nil, fmt.Errorf("dist: journal: %w", err)
+		}
+	case err != nil:
+		return nil, fmt.Errorf("dist: journal: %w", err)
+	default:
+		var got journalMeta
+		if err := json.Unmarshal(raw, &got); err != nil {
+			return nil, fmt.Errorf("dist: journal: corrupt %s: %w", journalPlanFile, err)
+		}
+		if got != meta {
+			return nil, fmt.Errorf("dist: journal %s was written by a different run (have %+v, want %+v); "+
+				"point -journal at a fresh directory or re-run the original plan", dir, got, meta)
+		}
+	}
+	return &journal{dir: dir}, nil
+}
+
+// spoolName returns task id's spool file name; fixed width keeps
+// directory listings in task order.
+func spoolName(id int) string { return fmt.Sprintf("r%08d.frame", id) }
+
+// put spools one completed result durably (temp + rename).
+func (j *journal) put(id int, payload []byte) error {
+	if err := writeFileAtomic(filepath.Join(j.dir, spoolName(id)), EncodeFrame(payload)); err != nil {
+		return fmt.Errorf("dist: journal: %w", err)
+	}
+	return nil
+}
+
+// get loads one spooled result, reporting ok=false when the task has
+// no valid spool entry (missing or failing its frame check).
+func (j *journal) get(id int) (payload []byte, ok bool) {
+	b, err := os.ReadFile(filepath.Join(j.dir, spoolName(id)))
+	if err != nil {
+		return nil, false
+	}
+	payload, err = DecodeFrame(b)
+	if err != nil {
+		return nil, false
+	}
+	return payload, true
+}
+
+// writeFileAtomic writes b to path via a temp file and rename, so a
+// kill mid-write never leaves a half-written file under the final name.
+func writeFileAtomic(path string, b []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ExecFunc executes one task payload and returns the result bytes the
+// coordinator will merge. Executors must be deterministic: any two
+// executions of the same payload must return identical bytes, which is
+// what makes retries, speculation, and duplicate deliveries safe.
+type ExecFunc func(ctx context.Context, payload []byte) ([]byte, error)
+
+// WorkerOptions tunes a worker's claim loop.
+type WorkerOptions struct {
+	// Client performs the HTTP requests; wrap its Transport to inject
+	// faults in tests. Nil means a fresh client with sane timeouts.
+	Client *http.Client
+
+	// Poll is the idle re-claim delay base (jittered). Zero means the
+	// coordinator's wait hint.
+	Poll time.Duration
+
+	// Seed seeds the worker's jitter RNG.
+	Seed int64
+
+	// MaxNetFailures bounds consecutive failed exchanges (transport
+	// errors, bad frames, 5xx) before the worker gives up on the
+	// coordinator. Default 40 — with capped backoff that is roughly a
+	// minute of a coordinator being unreachable, long enough to ride
+	// out a coordinator restart. Any successful exchange resets the
+	// count.
+	MaxNetFailures int
+
+	// NewExec resolves the executor for the plan served by the
+	// coordinator. Nil means DefaultExec.
+	NewExec func(kind string, plan []byte) (ExecFunc, error)
+}
+
+// withDefaults resolves zero fields.
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 2 * time.Minute}
+	}
+	if o.MaxNetFailures <= 0 {
+		o.MaxNetFailures = 40
+	}
+	if o.NewExec == nil {
+		o.NewExec = DefaultExec
+	}
+	return o
+}
+
+// RunWorker joins the coordinator at baseURL, executes tasks until the
+// coordinator reports the run complete, and returns nil. It survives
+// transient transport faults (drops, delays, truncations, duplicate
+// deliveries, coordinator restarts) by retrying with jittered backoff;
+// it returns an error if the run fails, the coordinator stays
+// unreachable past MaxNetFailures consecutive attempts, or ctx is
+// cancelled.
+func RunWorker(ctx context.Context, baseURL string, opts WorkerOptions) error {
+	opts = opts.withDefaults()
+	w := &worker{
+		base:   strings.TrimRight(baseURL, "/"),
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		client: opts.Client,
+	}
+	return w.run(ctx)
+}
+
+// worker is one claim loop's state.
+type worker struct {
+	base     string
+	opts     WorkerOptions
+	rng      *rand.Rand
+	client   *http.Client
+	netFails int
+	exec     ExecFunc
+}
+
+// run drives the claim loop.
+func (w *worker) run(ctx context.Context) error {
+	if err := w.fetchPlan(ctx); err != nil {
+		return err
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		msg, err := w.claim(ctx)
+		if err != nil {
+			var fatal errFatal
+			if errors.As(err, &fatal) {
+				return err
+			}
+			if err := w.netFailure(ctx, err); err != nil {
+				return err
+			}
+			continue
+		}
+		w.netFails = 0
+		switch {
+		case msg.Done:
+			return nil
+		case msg.Fatal != "":
+			return errFatal{msg: msg.Fatal}
+		case !msg.Claimed:
+			w.idle(ctx, msg.WaitMillis)
+		default:
+			w.execute(ctx, msg)
+		}
+	}
+}
+
+// fetchPlan retrieves the run description (with retries) and builds the
+// executor.
+func (w *worker) fetchPlan(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		payload, err := w.exchange(ctx, http.MethodGet, pathPlan, nil)
+		if err != nil {
+			if err := w.netFailure(ctx, err); err != nil {
+				return err
+			}
+			continue
+		}
+		w.netFails = 0
+		var info planInfo
+		if err := json.Unmarshal(payload, &info); err != nil {
+			return fmt.Errorf("dist: bad plan description: %w", err)
+		}
+		exec, err := w.opts.NewExec(info.Kind, info.Plan)
+		if err != nil {
+			return err
+		}
+		w.exec = exec
+		return nil
+	}
+}
+
+// claim asks for one task.
+func (w *worker) claim(ctx context.Context) (claimMsg, error) {
+	payload, err := w.exchange(ctx, http.MethodPost, pathClaim, nil)
+	if err != nil {
+		return claimMsg{}, err
+	}
+	var msg claimMsg
+	if err := json.Unmarshal(payload, &msg); err != nil {
+		return claimMsg{}, fmt.Errorf("dist: bad claim response: %w", err)
+	}
+	return msg, nil
+}
+
+// execute runs one claimed task and reports the outcome. Execution
+// errors are reported to the coordinator (releasing the lease for
+// retry) but do not stop the worker: the coordinator owns retry
+// policy. Upload failures are retried here a few times; past that the
+// lease expiry path takes over.
+func (w *worker) execute(ctx context.Context, msg claimMsg) {
+	result, err := w.exec(ctx, msg.Payload)
+	if err != nil {
+		body, merr := json.Marshal(failMsg{ID: msg.ID, Lease: msg.Lease, Error: err.Error()})
+		if merr == nil {
+			w.exchange(ctx, http.MethodPost, pathFail, body) // best effort
+		}
+		return
+	}
+	path := pathResult + "?id=" + strconv.Itoa(msg.ID) + "&lease=" + strconv.FormatInt(msg.Lease, 10)
+	for attempt := 1; attempt <= 5; attempt++ {
+		if ctx.Err() != nil {
+			return
+		}
+		if _, err := w.exchangeRaw(ctx, http.MethodPost, path, EncodeFrame(result)); err == nil {
+			w.netFails = 0
+			return
+		}
+		w.sleep(ctx, backoff(w.rng, 20*time.Millisecond, 500*time.Millisecond, attempt))
+	}
+}
+
+// idle sleeps out a no-work-yet poll with jitter.
+func (w *worker) idle(ctx context.Context, hintMillis int64) {
+	d := w.opts.Poll
+	if d <= 0 {
+		d = time.Duration(hintMillis) * time.Millisecond
+	}
+	if d <= 0 {
+		d = waitHint * time.Millisecond
+	}
+	w.sleep(ctx, d/2+time.Duration(w.rng.Int63n(int64(d))))
+}
+
+// netFailure charges one failed exchange, sleeping with backoff; it
+// returns an error once MaxNetFailures consecutive exchanges failed.
+func (w *worker) netFailure(ctx context.Context, cause error) error {
+	w.netFails++
+	if w.netFails >= w.opts.MaxNetFailures {
+		return fmt.Errorf("dist: coordinator unreachable after %d consecutive attempts: %w", w.netFails, cause)
+	}
+	w.sleep(ctx, backoff(w.rng, 20*time.Millisecond, 2*time.Second, w.netFails))
+	return nil
+}
+
+// sleep waits for d or ctx, whichever ends first.
+func (w *worker) sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// exchange performs one framed exchange: the response body must decode
+// as a frame, whose payload is returned.
+func (w *worker) exchange(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	raw, err := w.exchangeRaw(ctx, method, path, body)
+	if err != nil {
+		return nil, err
+	}
+	if method == http.MethodPost && path == pathFail {
+		return raw, nil // fail acks are unframed
+	}
+	payload, err := DecodeFrame(raw)
+	if err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// exchangeRaw performs one HTTP exchange, returning the body on 2xx
+// and an error otherwise. A 409 Conflict carries a run-fatal message.
+func (w *worker) exchangeRaw(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, w.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Dist-Protocol", protocolVersion)
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxFramePayload+1024))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusConflict {
+		return nil, errFatal{msg: strings.TrimSpace(string(raw))}
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("dist: %s %s: %s: %s", method, path, resp.Status, strings.TrimSpace(string(raw)))
+	}
+	return raw, nil
+}

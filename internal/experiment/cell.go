@@ -1,0 +1,232 @@
+package experiment
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"filemig/internal/migration"
+)
+
+// The cell-level API behind distributed runs: a plan's grid flattened
+// into an ordered task list (CellRefs), a runner that executes single
+// cells against cached sources (CellRunner), and an assembler that
+// folds a complete outcome set back into the exact manifest RunPlan
+// would have produced (AssembleManifest). Every piece shares code with
+// the local runner — loadSource, cellFrom, the policy entries — so a
+// grid computed cell-by-cell on many machines is byte-identical to one
+// computed in-process.
+
+// CellRef names one grid cell by its axis indices into the plan's
+// Sources, Policies and Capacities.
+type CellRef struct {
+	// Source indexes Plan.Sources.
+	Source int `json:"source"`
+	// Policy indexes Plan.Policies.
+	Policy int `json:"policy"`
+	// Capacity indexes Plan.Capacities.
+	Capacity int `json:"capacity"`
+}
+
+// String renders the ref for error messages.
+func (r CellRef) String() string {
+	return fmt.Sprintf("cell(src=%d,pol=%d,cap=%d)", r.Source, r.Policy, r.Capacity)
+}
+
+// CellRefs flattens the grid into task order: source-major, then
+// policy, then capacity — the same nesting RunPlan executes, so
+// in-order results merge straight into a manifest.
+func (p *Plan) CellRefs() []CellRef {
+	out := make([]CellRef, 0, p.Cells())
+	for s := range p.Sources {
+		for pi := range p.Policies {
+			for ci := range p.Capacities {
+				out = append(out, CellRef{Source: s, Policy: pi, Capacity: ci})
+			}
+		}
+	}
+	return out
+}
+
+// CellID maps a ref to its task index in CellRefs order.
+func (p *Plan) CellID(r CellRef) int {
+	return (r.Source*len(p.Policies)+r.Policy)*len(p.Capacities) + r.Capacity
+}
+
+// validRef reports whether r is inside the grid.
+func (p *Plan) validRef(r CellRef) bool {
+	return r.Source >= 0 && r.Source < len(p.Sources) &&
+		r.Policy >= 0 && r.Policy < len(p.Policies) &&
+		r.Capacity >= 0 && r.Capacity < len(p.Capacities)
+}
+
+// Hash fingerprints the plan: the SHA-256 of its normalized spec's JSON
+// with the Workers execution knob zeroed, so the same experiment hashes
+// identically however it is run. Distributed runs use it to pair
+// coordinators, workers, and journals.
+func (p *Plan) Hash() (string, error) {
+	spec := p.Spec
+	spec.Workers = 0
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(b)), nil
+}
+
+// SourceInfo is one source's identity block: every cell computed from
+// the source carries a copy, and a merger refuses to combine cells that
+// disagree — two workers that somehow produced different reference
+// strings cannot silently mix.
+type SourceInfo struct {
+	// Name is the scenario name, or the trace file path.
+	Name string `json:"name"`
+	// TraceSHA256 hashes the source trace's canonical v1 encoding.
+	TraceSHA256 string `json:"traceSha256"`
+	// Records counts trace records, error requests included.
+	Records int `json:"records"`
+	// Accesses counts the replayed reference string (errors skipped).
+	Accesses int `json:"accesses"`
+	// ReferencedBytes sums the distinct referenced files' sizes.
+	ReferencedBytes int64 `json:"referencedBytes"`
+	// Days is the trace span used for per-day rates.
+	Days float64 `json:"days"`
+}
+
+// scenarioResult expands the identity block into a result header.
+func (si SourceInfo) scenarioResult() ScenarioResult {
+	return ScenarioResult{
+		Name:            si.Name,
+		TraceSHA256:     si.TraceSHA256,
+		Records:         si.Records,
+		Accesses:        si.Accesses,
+		ReferencedBytes: si.ReferencedBytes,
+		Days:            si.Days,
+	}
+}
+
+// CellOutcome is one executed cell: the ref it answers, the identity of
+// the source it replayed, and the resulting manifest cell.
+type CellOutcome struct {
+	// Ref names the cell.
+	Ref CellRef `json:"ref"`
+	// Source identifies the replayed source.
+	Source SourceInfo `json:"source"`
+	// Cell is the result.
+	Cell Cell `json:"cell"`
+}
+
+// CellRunner executes single grid cells, loading (and caching) each
+// source on first use so a worker serving many cells of one source
+// generates and hashes its trace exactly once.
+type CellRunner struct {
+	plan *Plan
+
+	mu   sync.Mutex
+	srcs map[int]*loadedSource
+}
+
+// NewCellRunner returns a runner over the plan.
+func NewCellRunner(plan *Plan) *CellRunner {
+	return &CellRunner{plan: plan, srcs: map[int]*loadedSource{}}
+}
+
+// source returns the cached loaded source, loading it on first use.
+func (cr *CellRunner) source(idx int) (*loadedSource, error) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	if ls, ok := cr.srcs[idx]; ok {
+		return ls, nil
+	}
+	ls, err := loadSource(cr.plan, idx)
+	if err != nil {
+		return nil, err
+	}
+	cr.srcs[idx] = ls
+	return ls, nil
+}
+
+// RunCell executes one cell and returns its outcome. The replay itself
+// is single-threaded; determinism is total, so re-running a ref always
+// reproduces the same outcome.
+func (cr *CellRunner) RunCell(ctx context.Context, ref CellRef) (CellOutcome, error) {
+	if !cr.plan.validRef(ref) {
+		return CellOutcome{}, fmt.Errorf("experiment: %v outside the %d×%d×%d grid",
+			ref, len(cr.plan.Sources), len(cr.plan.Policies), len(cr.plan.Capacities))
+	}
+	ls, err := cr.source(ref.Source)
+	if err != nil {
+		return CellOutcome{}, err
+	}
+	mks := []func() migration.Policy{cr.plan.entries[ref.Policy].build(ls.accs)}
+	sweeps, err := migration.MultiPolicySweepContext(ctx, ls.accs,
+		[]float64{cr.plan.Capacities[ref.Capacity]}, mks, 1)
+	if err != nil {
+		return CellOutcome{}, err
+	}
+	return CellOutcome{
+		Ref:    ref,
+		Source: ls.info,
+		Cell:   cellFrom(sweeps[0].Points[0], ls.info.Days),
+	}, nil
+}
+
+// AssembleManifest folds a complete outcome set — one outcome per grid
+// cell, in any order — into the manifest RunPlan would have produced.
+// It verifies completeness, rejects duplicates, and requires every
+// outcome of one source to carry an identical SourceInfo.
+func AssembleManifest(plan *Plan, outcomes []CellOutcome) (*Manifest, error) {
+	want := plan.Cells()
+	byID := make([]*CellOutcome, want)
+	for i := range outcomes {
+		o := &outcomes[i]
+		if !plan.validRef(o.Ref) {
+			return nil, fmt.Errorf("experiment: assemble: %v outside the grid", o.Ref)
+		}
+		id := plan.CellID(o.Ref)
+		if byID[id] != nil {
+			return nil, fmt.Errorf("experiment: assemble: duplicate outcome for %v", o.Ref)
+		}
+		byID[id] = o
+	}
+	for id, o := range byID {
+		if o == nil {
+			return nil, fmt.Errorf("experiment: assemble: missing outcome for task %d of %d", id, want)
+		}
+	}
+	m := &Manifest{
+		Spec: plan.Spec,
+		Grid: GridSummary{
+			Sources:    len(plan.Sources),
+			Policies:   len(plan.Policies),
+			Capacities: len(plan.Capacities),
+			Cells:      want,
+		},
+	}
+	m.Spec.Workers = 0
+	for s, name := range plan.Sources {
+		base := s * len(plan.Policies) * len(plan.Capacities)
+		info := byID[base].Source
+		if info.Name != name {
+			return nil, fmt.Errorf("experiment: assemble: source %d is %q in outcomes, %q in plan", s, info.Name, name)
+		}
+		sr := info.scenarioResult()
+		for pi, pname := range plan.Policies {
+			row := PolicyGrid{Policy: pname, Cells: make([]Cell, len(plan.Capacities))}
+			for ci := range plan.Capacities {
+				o := byID[base+pi*len(plan.Capacities)+ci]
+				if o.Source != info {
+					return nil, fmt.Errorf("experiment: assemble: %v disagrees on source %q identity "+
+						"(trace %s vs %s) — workers replayed different reference strings",
+						o.Ref, name, o.Source.TraceSHA256, info.TraceSHA256)
+				}
+				row.Cells[ci] = o.Cell
+			}
+			sr.Policies = append(sr.Policies, row)
+		}
+		m.Scenarios = append(m.Scenarios, sr)
+	}
+	return m, nil
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"io"
@@ -24,17 +25,18 @@ func scenarioConfig(name string, scale float64, seed int64) (workload.Config, er
 // shared access string record by record (the trace itself is never
 // materialized), and then every policy × capacity cell replays that
 // string on the bounded worker pool. Results land by grid index, so the
-// manifest is identical at any worker count.
-func Run(spec *Spec) (*Manifest, error) {
+// manifest is identical at any worker count. Cancelling ctx aborts
+// between cells and surfaces ctx's error; it never changes results.
+func Run(ctx context.Context, spec *Spec) (*Manifest, error) {
 	plan, err := BuildPlan(spec)
 	if err != nil {
 		return nil, err
 	}
-	return RunPlan(plan)
+	return RunPlan(ctx, plan)
 }
 
 // RunPlan executes an already-built plan (see BuildPlan).
-func RunPlan(plan *Plan) (*Manifest, error) {
+func RunPlan(ctx context.Context, plan *Plan) (*Manifest, error) {
 	m := &Manifest{
 		Spec: plan.Spec,
 		Grid: GridSummary{
@@ -47,15 +49,11 @@ func RunPlan(plan *Plan) (*Manifest, error) {
 	// Workers tunes wall-clock only; zero it so the echoed spec (and the
 	// whole manifest) is byte-identical across worker counts.
 	m.Spec.Workers = 0
-	for _, name := range plan.Spec.Scenarios {
-		sr, err := runScenarioSource(plan, name)
-		if err != nil {
+	for idx := range plan.Sources {
+		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		m.Scenarios = append(m.Scenarios, sr)
-	}
-	if plan.Spec.Trace != "" {
-		sr, err := runTraceSource(plan, plan.Spec.Trace)
+		sr, err := runSource(ctx, plan, idx)
 		if err != nil {
 			return nil, err
 		}
@@ -64,44 +62,81 @@ func RunPlan(plan *Plan) (*Manifest, error) {
 	return m, nil
 }
 
-// runScenarioSource streams one scenario's generated trace through the
-// grid at the spec's scale, seed and length.
-func runScenarioSource(plan *Plan, name string) (ScenarioResult, error) {
-	cfg, err := scenarioConfig(name, plan.Spec.Scale, plan.Spec.Seed)
+// runSource loads one plan source and replays its full policy ×
+// capacity slab on the worker pool.
+func runSource(ctx context.Context, plan *Plan, idx int) (ScenarioResult, error) {
+	ls, err := loadSource(plan, idx)
 	if err != nil {
 		return ScenarioResult{}, err
 	}
-	if plan.Spec.Days > 0 {
-		cfg.Days = plan.Spec.Days
+	mks := make([]func() migration.Policy, len(plan.entries))
+	for i, e := range plan.entries {
+		mks[i] = e.build(ls.accs)
 	}
-	gs, err := workload.GenerateStream(cfg)
+	sweeps, err := migration.MultiPolicySweepContext(ctx, ls.accs, plan.Capacities, mks, plan.Spec.Workers)
 	if err != nil {
-		return ScenarioResult{}, fmt.Errorf("experiment: scenario %s: %w", name, err)
+		return ScenarioResult{}, err
 	}
-	return runSource(plan, name, gs.Stream, float64(cfg.Days))
+	sr := ls.info.scenarioResult()
+	for si, sw := range sweeps {
+		// Row names come from the resolved entries, not Policy.Name():
+		// the entry name carries spec-level detail (a random seed) the
+		// policy's own name does not.
+		row := PolicyGrid{Policy: plan.entries[si].name, Cells: make([]Cell, len(sw.Points))}
+		for i, pt := range sw.Points {
+			row.Cells[i] = cellFrom(pt, ls.info.Days)
+		}
+		sr.Policies = append(sr.Policies, row)
+	}
+	return sr, nil
 }
 
-// runTraceSource streams a trace file (either encoding) through the
-// grid; the span in days is measured from the records.
-func runTraceSource(plan *Plan, path string) (ScenarioResult, error) {
-	f, err := os.Open(path)
+// loadedSource is one plan source in replay-ready form: its identity
+// block and the shared access string every cell replays.
+type loadedSource struct {
+	info SourceInfo
+	accs []migration.Access
+}
+
+// loadSource produces plan source idx: scenario sources are generated
+// at the spec's scale, seed and length; the trailing trace source (if
+// the spec names one) is streamed from disk.
+func loadSource(plan *Plan, idx int) (*loadedSource, error) {
+	if idx < 0 || idx >= len(plan.Sources) {
+		return nil, fmt.Errorf("experiment: source index %d out of range [0, %d)", idx, len(plan.Sources))
+	}
+	name := plan.Sources[idx]
+	if idx < len(plan.Spec.Scenarios) {
+		cfg, err := scenarioConfig(name, plan.Spec.Scale, plan.Spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if plan.Spec.Days > 0 {
+			cfg.Days = plan.Spec.Days
+		}
+		gs, err := workload.GenerateStream(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: scenario %s: %w", name, err)
+		}
+		return drainSource(name, gs.Stream, float64(cfg.Days))
+	}
+	f, err := os.Open(name)
 	if err != nil {
-		return ScenarioResult{}, fmt.Errorf("experiment: %w", err)
+		return nil, fmt.Errorf("experiment: %w", err)
 	}
 	defer f.Close()
 	s, err := trace.OpenStream(f)
 	if err != nil {
-		return ScenarioResult{}, fmt.Errorf("experiment: read %s: %w", path, err)
+		return nil, fmt.Errorf("experiment: read %s: %w", name, err)
 	}
-	return runSource(plan, path, s, 0)
+	return drainSource(name, s, 0)
 }
 
-// runSource drains one source's record stream — hashing the canonical
+// drainSource drains one source's record stream — hashing the canonical
 // encoding and building the shared access string on the fly, without
-// holding the records — then replays every policy × capacity cell
-// against it and assembles the result block. days <= 0 means "measure
-// the span from the records".
-func runSource(plan *Plan, name string, s trace.Stream, days float64) (ScenarioResult, error) {
+// holding the records. days <= 0 means "measure the span from the
+// records".
+func drainSource(name string, s trace.Stream, days float64) (*loadedSource, error) {
 	h := sha256.New()
 	var tw *trace.Writer
 	in := trace.NewInterner()
@@ -114,7 +149,7 @@ func runSource(plan *Plan, name string, s trace.Stream, days float64) (ScenarioR
 			break
 		}
 		if err != nil {
-			return ScenarioResult{}, fmt.Errorf("experiment: source %s: %w", name, err)
+			return nil, fmt.Errorf("experiment: source %s: %w", name, err)
 		}
 		if tw == nil {
 			// The canonical encoding anchors its wire epoch at the first
@@ -124,7 +159,7 @@ func runSource(plan *Plan, name string, s trace.Stream, days float64) (ScenarioR
 			first = rec.Start
 		}
 		if err := tw.Write(&rec); err != nil {
-			return ScenarioResult{}, err
+			return nil, err
 		}
 		last = rec.Start
 		records++
@@ -132,11 +167,11 @@ func runSource(plan *Plan, name string, s trace.Stream, days float64) (ScenarioR
 	}
 	if tw != nil {
 		if err := tw.Flush(); err != nil {
-			return ScenarioResult{}, err
+			return nil, err
 		}
 	}
 	if len(accs) == 0 {
-		return ScenarioResult{}, fmt.Errorf("experiment: source %s has no good accesses", name)
+		return nil, fmt.Errorf("experiment: source %s has no good accesses", name)
 	}
 	if days <= 0 {
 		days = 1 // floor for degenerate spans, so per-day rates stay finite
@@ -144,46 +179,37 @@ func runSource(plan *Plan, name string, s trace.Stream, days float64) (ScenarioR
 			days = last.Sub(first).Hours() / 24
 		}
 	}
-	mks := make([]func() migration.Policy, len(plan.entries))
-	for i, e := range plan.entries {
-		mks[i] = e.build(accs)
+	return &loadedSource{
+		info: SourceInfo{
+			Name:            name,
+			TraceSHA256:     fmt.Sprintf("%x", h.Sum(nil)),
+			Records:         records,
+			Accesses:        len(accs),
+			ReferencedBytes: int64(migration.TotalReferencedBytes(accs)),
+			Days:            days,
+		},
+		accs: accs,
+	}, nil
+}
+
+// cellFrom converts one sweep point into its manifest cell — the single
+// place the cell arithmetic lives, so a cell computed remotely (see
+// CellRunner) is field-identical to one computed by RunPlan.
+func cellFrom(pt migration.SweepPoint, days float64) Cell {
+	r := pt.Result
+	return Cell{
+		CapacityFraction:    pt.CapacityFraction,
+		CapacityBytes:       int64(r.Capacity),
+		Reads:               r.Reads,
+		ReadHits:            r.ReadHits,
+		ReadMisses:          r.ReadMisses,
+		WriteInserts:        r.WriteInserts,
+		Evictions:           r.Evictions,
+		StreamThroughs:      r.StreamThroughs,
+		BytesRead:           int64(r.BytesRead),
+		BytesMissed:         int64(r.BytesMissed),
+		MissRatio:           r.MissRatio(),
+		ByteMissRatio:       r.ByteMissRatio(),
+		PersonMinutesPerDay: r.PersonMinutesPerDay(days, ExtraTapeLatency),
 	}
-	sweeps, err := migration.MultiPolicySweep(accs, plan.Capacities, mks, plan.Spec.Workers)
-	if err != nil {
-		return ScenarioResult{}, err
-	}
-	sr := ScenarioResult{
-		Name:            name,
-		TraceSHA256:     fmt.Sprintf("%x", h.Sum(nil)),
-		Records:         records,
-		Accesses:        len(accs),
-		ReferencedBytes: int64(migration.TotalReferencedBytes(accs)),
-		Days:            days,
-	}
-	for si, sw := range sweeps {
-		// Row names come from the resolved entries, not Policy.Name():
-		// the entry name carries spec-level detail (a random seed) the
-		// policy's own name does not.
-		row := PolicyGrid{Policy: plan.entries[si].name, Cells: make([]Cell, len(sw.Points))}
-		for i, pt := range sw.Points {
-			r := pt.Result
-			row.Cells[i] = Cell{
-				CapacityFraction:    pt.CapacityFraction,
-				CapacityBytes:       int64(r.Capacity),
-				Reads:               r.Reads,
-				ReadHits:            r.ReadHits,
-				ReadMisses:          r.ReadMisses,
-				WriteInserts:        r.WriteInserts,
-				Evictions:           r.Evictions,
-				StreamThroughs:      r.StreamThroughs,
-				BytesRead:           int64(r.BytesRead),
-				BytesMissed:         int64(r.BytesMissed),
-				MissRatio:           r.MissRatio(),
-				ByteMissRatio:       r.ByteMissRatio(),
-				PersonMinutesPerDay: r.PersonMinutesPerDay(days, ExtraTapeLatency),
-			}
-		}
-		sr.Policies = append(sr.Policies, row)
-	}
-	return sr, nil
 }

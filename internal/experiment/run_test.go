@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,7 +33,7 @@ func TestManifestDeterminism(t *testing.T) {
 	for _, workers := range []int{1, 4, 16} {
 		spec := testSpec()
 		spec.Workers = workers
-		m, err := Run(spec)
+		m, err := Run(context.Background(), spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,7 +55,7 @@ func TestManifestDeterminism(t *testing.T) {
 }
 
 func TestManifestShape(t *testing.T) {
-	m, err := Run(testSpec())
+	m, err := Run(context.Background(), testSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestTraceFileSource(t *testing.T) {
 	spec := testSpec()
 	spec.Scenarios = []string{"archive-coldscan"}
 	spec.Trace = path
-	m, err := Run(spec)
+	m, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestTraceFileSource(t *testing.T) {
 
 func TestRunRejectsMissingTrace(t *testing.T) {
 	spec := &Spec{Name: "gone", Trace: filepath.Join(t.TempDir(), "nope.txt")}
-	if _, err := Run(spec); err == nil {
+	if _, err := Run(context.Background(), spec); err == nil {
 		t.Fatal("missing trace file accepted")
 	}
 }

@@ -8,9 +8,25 @@
 // policy rather than results.
 package host
 
-import "runtime"
+import (
+	"runtime"
+	"time"
+)
 
 // DefaultWorkers returns the default worker-pool size for sweep and
 // streaming-analysis fan-out: one worker per available CPU. Output
 // never depends on the worker count — only wall-clock time does.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Now is the boundary layers' wall-clock read. The deterministic
+// packages never call it; internal/dist takes a clock as an explicit
+// option, and cmd/* resolve that option here — so lease deadlines and
+// retry timers are host concerns, never result concerns.
+func Now() time.Time { return time.Now() }
+
+// Seed derives a process-unique RNG seed for execution-side jitter
+// (retry backoff, worker poll spreading). Jitter shapes wall-clock
+// behavior only, never results, so a wall-clock-derived seed is safe —
+// and it keeps a restarted coordinator from replaying the exact retry
+// schedule that just lost a race.
+func Seed() int64 { return time.Now().UnixNano() }

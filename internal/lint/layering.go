@@ -36,6 +36,8 @@ var allowedImports = map[string][]string{
 	"core":       {"device", "namespace", "stats", "trace", "units", "workload"},
 	"migration":  {"trace", "units"},
 	"experiment": {"migration", "trace", "units", "workload"},
+	"dist":       {"core", "experiment", "trace"},
+	"dist/chaos": {},
 	"host":       {},
 	"lint":       {},
 }

@@ -34,6 +34,7 @@ var deterministicPkgs = map[string]bool{
 	ModulePath + "/internal/workload":   true,
 	ModulePath + "/internal/stats":      true,
 	ModulePath + "/internal/mss":        true,
+	ModulePath + "/internal/dist":       true,
 }
 
 // IsDeterministic reports whether pkgPath is one of the packages the

@@ -1,6 +1,7 @@
 package migration
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -15,22 +16,30 @@ import (
 // and each job's replay stays single-threaded and deterministic.
 
 // forEachJob runs fn(0..jobs-1) on at most workers goroutines and
-// returns the first error by job order. workers <= 1 runs serially on
-// the calling goroutine; this package never reads the host CPU count,
-// so callers wanting one worker per CPU resolve the count explicitly
-// (cmd/* use internal/host).
-func forEachJob(jobs, workers int, fn func(i int) error) error {
+// returns the first error by job order among the jobs that ran. The
+// first failing job cancels the pool, so in-flight siblings finish but
+// no further jobs start; cancelling ctx stops dispatch the same way and
+// is reported as ctx's error. workers <= 1 runs serially on the calling
+// goroutine; this package never reads the host CPU count, so callers
+// wanting one worker per CPU resolve the count explicitly (cmd/* use
+// internal/host).
+func forEachJob(ctx context.Context, jobs, workers int, fn func(i int) error) error {
 	if workers > jobs {
 		workers = jobs
 	}
 	if workers <= 1 {
 		for i := 0; i < jobs; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
+	pool, cancel := context.WithCancel(ctx)
+	defer cancel()
 	errs := make([]error, jobs)
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -39,12 +48,22 @@ func forEachJob(jobs, workers int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				errs[i] = fn(i)
+				if pool.Err() != nil {
+					continue // drain: a sibling failed or the caller cancelled
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					cancel()
+				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < jobs; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-pool.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -53,7 +72,7 @@ func forEachJob(jobs, workers int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // CapacitySweepWorkers is CapacitySweep with an explicit worker count
@@ -69,7 +88,7 @@ func CapacitySweepWorkers(accs []Access, fractions []float64, mk func() Policy,
 		policies[i] = mk()
 	}
 	out := make([]SweepPoint, len(fractions))
-	err := forEachJob(len(fractions), workers, func(i int) error {
+	err := forEachJob(context.Background(), len(fractions), workers, func(i int) error {
 		frac := fractions[i]
 		cap := units.Bytes(float64(total) * frac)
 		if cap <= 0 {
@@ -95,7 +114,7 @@ func CapacitySweepWorkers(accs []Access, fractions []float64, mk func() Policy,
 func ComparePoliciesWorkers(accs []Access, capacity units.Bytes, policies []Policy,
 	workers int) ([]CacheResult, error) {
 	out := make([]CacheResult, len(policies))
-	err := forEachJob(len(policies), workers, func(i int) error {
+	err := forEachJob(context.Background(), len(policies), workers, func(i int) error {
 		c, err := NewCache(CacheConfig{Capacity: capacity, Policy: policies[i]})
 		if err != nil {
 			return err
@@ -122,6 +141,15 @@ type PolicySweep struct {
 // order — the capacity-planning experiment behind §2.3.
 func MultiPolicySweep(accs []Access, fractions []float64, mks []func() Policy,
 	workers int) ([]PolicySweep, error) {
+	return MultiPolicySweepContext(context.Background(), accs, fractions, mks, workers)
+}
+
+// MultiPolicySweepContext is MultiPolicySweep with cancellation: a
+// cancelled ctx stops dispatching cells (in-flight replays finish) and
+// the first failing cell cancels its siblings the same way. Results are
+// unchanged by ctx — cancellation only ever surfaces as an error.
+func MultiPolicySweepContext(ctx context.Context, accs []Access, fractions []float64,
+	mks []func() Policy, workers int) ([]PolicySweep, error) {
 	total := TotalReferencedBytes(accs)
 	out := make([]PolicySweep, len(mks))
 	// One serial builder pass per cell — builders need not be
@@ -138,7 +166,7 @@ func MultiPolicySweep(accs []Access, fractions []float64, mks []func() Policy,
 			policies[i][j] = mk()
 		}
 	}
-	err := forEachJob(len(mks)*len(fractions), workers, func(job int) error {
+	err := forEachJob(ctx, len(mks)*len(fractions), workers, func(job int) error {
 		pi, fi := job/len(fractions), job%len(fractions)
 		frac := fractions[fi]
 		cap := units.Bytes(float64(total) * frac)
@@ -180,7 +208,7 @@ func STPExponentSweepWorkers(accs []Access, capacity units.Bytes, ks []float64,
 		return nil, fmt.Errorf("migration: sweep capacity must be positive")
 	}
 	out := make([]ExponentPoint, len(ks))
-	err := forEachJob(len(ks), workers, func(i int) error {
+	err := forEachJob(context.Background(), len(ks), workers, func(i int) error {
 		c, err := NewCache(CacheConfig{Capacity: capacity, Policy: STP{K: ks[i]}})
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package migration
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -9,7 +10,7 @@ import (
 func TestForEachJobRunsEveryJobOncePerWorkerCount(t *testing.T) {
 	for _, workers := range []int{0, 1, 2, 7, 100} {
 		var ran [50]int32
-		err := forEachJob(len(ran), workers, func(i int) error {
+		err := forEachJob(context.Background(), len(ran), workers, func(i int) error {
 			atomic.AddInt32(&ran[i], 1)
 			return nil
 		})
@@ -27,7 +28,7 @@ func TestForEachJobRunsEveryJobOncePerWorkerCount(t *testing.T) {
 func TestForEachJobReportsFirstErrorByJobOrder(t *testing.T) {
 	errA, errB := errors.New("a"), errors.New("b")
 	for _, workers := range []int{1, 4} {
-		err := forEachJob(10, workers, func(i int) error {
+		err := forEachJob(context.Background(), 10, workers, func(i int) error {
 			switch i {
 			case 3:
 				return errA

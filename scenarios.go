@@ -1,6 +1,8 @@
 package filemig
 
 import (
+	"context"
+
 	"filemig/internal/experiment"
 	"filemig/internal/workload"
 )
@@ -47,7 +49,14 @@ func LoadExperiment(path string) (*ExperimentSpec, error) {
 // scenario × policy × capacity cell, fanned over the bounded worker
 // pool — and returns its deterministic manifest.
 func RunExperiment(spec *ExperimentSpec) (*ExperimentManifest, error) {
-	return experiment.Run(spec)
+	return RunExperimentContext(context.Background(), spec)
+}
+
+// RunExperimentContext is RunExperiment with cancellation: a cancelled
+// ctx aborts between grid cells and surfaces ctx's error; it never
+// changes the manifest.
+func RunExperimentContext(ctx context.Context, spec *ExperimentSpec) (*ExperimentManifest, error) {
+	return experiment.Run(ctx, spec)
 }
 
 // RenderExperiment renders a manifest as the human-readable per-scenario
