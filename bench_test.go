@@ -14,6 +14,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -24,6 +25,7 @@ import (
 	"filemig/internal/experiment"
 	"filemig/internal/migration"
 	"filemig/internal/mss"
+	"filemig/internal/serve"
 	"filemig/internal/stats"
 	"filemig/internal/trace"
 	"filemig/internal/units"
@@ -983,6 +985,88 @@ func BenchmarkDistributedGrid(b *testing.B) {
 			}
 			if _, err := g.Manifest(); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMigdIngest measures the live daemon's hot path: a client's
+// pre-framed b1 batches through frame decode + validation + segment
+// observe (the work POST /v1/ingest/batch does per request, minus HTTP),
+// and the journal-merge fold behind GET /v1/report over the resulting
+// segments. Sustained records/sec and allocations per record ride along
+// as b.ReportMetric metrics.
+func BenchmarkMigdIngest(b *testing.B) {
+	p, _ := fixture(b)
+	recs := p.Records
+	const batchLen = 1000
+	var frames [][]byte
+	for i := 0; i < len(recs); i += batchLen {
+		j := i + batchLen
+		if j > len(recs) {
+			j = len(recs)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteAllFormat(&buf, recs[i:j], trace.FormatBinary); err != nil {
+			b.Fatal(err)
+		}
+		frames = append(frames, dist.EncodeFrame(buf.Bytes()))
+	}
+	now := func() time.Time {
+		return p.Workload.Config.Start.AddDate(0, 0, p.Workload.Config.Days)
+	}
+	newServer := func() *serve.Server {
+		s, err := serve.NewServer(serve.Config{
+			Opts: core.Options{DedupWindow: workload.DedupWindow},
+			Now:  now,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	b.Run("ingest", func(b *testing.B) {
+		b.ReportAllocs()
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := newServer()
+			for _, f := range frames {
+				batch, err := serve.DecodeIngestFrame(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.Ingest(batch)
+			}
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&ms1)
+		total := float64(b.N) * float64(len(recs))
+		b.ReportMetric(total/b.Elapsed().Seconds(), "recs/s")
+		b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/total, "allocs/rec")
+	})
+	// The fold is the daemon's own contribution to GET /v1/report —
+	// rendering the folded state costs the same as offline (dominated by
+	// the Periodogram, measured by BenchmarkPeriodicityDetection).
+	b.Run("fold", func(b *testing.B) {
+		s := newServer()
+		for _, f := range frames {
+			batch, err := serve.DecodeIngestFrame(f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Ingest(batch)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := s.Accumulate()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m.Report().Table3.GrandTotal == 0 {
+				b.Fatal("empty report")
 			}
 		}
 	})

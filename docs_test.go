@@ -9,6 +9,8 @@ import (
 	"context"
 	"encoding/hex"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"strings"
 	"testing"
@@ -18,6 +20,7 @@ import (
 	"filemig/internal/device"
 	"filemig/internal/dist"
 	"filemig/internal/experiment"
+	"filemig/internal/serve"
 	"filemig/internal/trace"
 	"filemig/internal/units"
 )
@@ -214,5 +217,43 @@ func TestDocsDistributedExample(t *testing.T) {
 	if got != want {
 		t.Errorf("docs/distributed.md worked example is stale.\n--- documented ---\n%s\n--- actual ---\n%s",
 			want, got)
+	}
+}
+
+// TestDocsMigdExample runs docs/migd.md's worked example: the three-line
+// ASCII trace is posted to a live daemon and the documented /v1/file
+// answer is compared byte for byte.
+func TestDocsMigdExample(t *testing.T) {
+	raw, err := os.ReadFile("docs/migd.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+
+	s, err := serve.NewServer(serve.Config{
+		Now: func() time.Time { return time.Date(1990, 10, 10, 0, 0, 0, 0, time.UTC) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := docFence(t, doc, "<!-- test:migd-trace -->")
+	req := httptest.NewRequest(http.MethodPost, "/v1/ingest", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("documented trace did not ingest: status %d: %s", w.Code, w.Body)
+	}
+
+	req = httptest.NewRequest(http.MethodGet,
+		"/v1/file/mss/climate/run07/state.dat?now=1990-10-10T00:00:00Z", nil)
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("documented file query failed: status %d: %s", w.Code, w.Body)
+	}
+	got := strings.TrimRight(w.Body.String(), "\n")
+	want := strings.TrimRight(docFence(t, doc, "<!-- test:migd-file -->"), "\n")
+	if got != want {
+		t.Errorf("docs/migd.md worked example is stale.\n--- documented ---\n%s\n--- actual ---\n%s", want, got)
 	}
 }

@@ -1,0 +1,467 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"filemig/internal/device"
+	"filemig/internal/stats"
+	"filemig/internal/trace"
+	"filemig/internal/units"
+)
+
+// The one online accumulator behind every analysis path. The slice path
+// feeds an Accumulator directly (New + Add); the stream and b2 paths cut
+// the trace into contiguous segments, accumulate each into a Partial,
+// and Fold them into a master in time order; the s1 snapshot codec
+// serializes an Accumulator and decodes back into a Partial that
+// FoldReplay merges; and the migd daemon (internal/serve) keeps live
+// Partials per ingest segment and FoldPartials them on demand. The
+// three folds differ in how much they recompute and what they assume
+// about segment order:
+//
+//   - Fold requires master and segment to share a calendar origin
+//     (AccumulateStream and AccumulateB2 resolve Options.Start once for
+//     exactly this reason). Every derived series then folds by integer
+//     sums and sample-list concatenation, and only the per-file journal
+//     is replayed — the fast in-process merge.
+//   - FoldReplay makes no origin assumption: only the fields a journal
+//     replay cannot recompute — the op×class accumulators and the
+//     startup-latency CDFs, which need the device class the journal does
+//     not carry — fold by addition, and everything else is recomputed by
+//     replaying the segment's journal through the exact per-record
+//     transitions the slice path runs. Snapshots produced by different
+//     processes merge through this path, one at a time, in trace order.
+//   - FoldPartials drops the remaining assumption — that segments
+//     arrive contiguous and in order. It takes every segment at once,
+//     k-way merges their journals back into global record time, and
+//     replays the merged stream into a fresh master: segments whose
+//     time ranges interleave arbitrarily (a live daemon's out-of-order
+//     batch arrivals) still fold to the exact slice-path state.
+//
+// Every fold replays per-file state rather than merging it, because
+// §5.3 dedup survival does not compose from end states (see the package
+// comment in snapshot.go), and every fold preserves the master's
+// first-seen FileID assignment by interning segment paths in the order
+// the replayed records first touch them.
+
+// Accumulator is the unified online accumulator: Analysis under the name
+// the incremental paths use. The two names alias one type.
+type Accumulator = Analysis
+
+// NewAccumulator builds an empty online accumulator — New under its
+// accumulator name.
+func NewAccumulator(opts Options) *Accumulator { return New(opts) }
+
+// Partial is one contiguous trace segment's partial accumulation: a
+// segment-local Accumulator whose reference journal is always retained
+// (it is the replay log Fold and FoldReplay consume), plus the segment's
+// boundary instants for Figure 7's cross-segment intervals and for
+// ordering segments at fold time.
+type Partial struct {
+	acc *Accumulator
+
+	// first and last bound every observed record, errors included;
+	// firstOK and lastOK bound the good references only.
+	first, last     time.Time
+	firstOK, lastOK time.Time
+}
+
+// NewPartial opens an empty segment accumulator. The segment journals
+// unconditionally and never carries a namespace Tree, whatever opts
+// says: a Partial's journal is its serialized truth.
+func NewPartial(opts Options) *Partial {
+	opts.Journal = true
+	opts.Tree = nil
+	return &Partial{acc: New(opts)}
+}
+
+// Observe feeds one record into the segment. Records must arrive in
+// non-decreasing start order within the segment. Per-file dedup state is
+// not advanced here — it cannot be known without the earlier segments —
+// only captured in the journal for replay at fold time.
+func (p *Partial) Observe(r *trace.Record) {
+	if p.first.IsZero() {
+		p.first = r.Start
+	}
+	p.last = r.Start
+	if !p.acc.addShared(r) {
+		return
+	}
+	p.acc.addInterval(r.Start)
+	p.acc.appendJournal(p.acc.internFile(r.MSSPath), r.Op, r.Start, r.Size)
+	if p.firstOK.IsZero() {
+		p.firstOK = r.Start
+	}
+	p.lastOK = r.Start
+}
+
+// Records reports how many records the segment has observed, errors
+// included.
+func (p *Partial) Records() int64 { return p.acc.total }
+
+// Errors reports how many of the segment's records were error records.
+func (p *Partial) Errors() int64 { return p.acc.errors }
+
+// VisitRefs replays the segment's good references in record order,
+// calling fn with each reference's canonical path, op, start, and size —
+// the hook migd uses to rebuild its live per-file table after restoring
+// segments from a checkpoint.
+func (p *Partial) VisitRefs(fn func(path string, op trace.Op, start time.Time, size units.Bytes)) {
+	for k := range p.acc.journal {
+		e := &p.acc.journal[k]
+		op := trace.Read
+		if e.write {
+			op = trace.Write
+		}
+		fn(p.acc.interner.Path(e.id), op, time.Unix(0, e.start).UTC(), units.Bytes(e.size))
+	}
+}
+
+// Bounds reports the segment's first and last observed record times
+// (zero for an empty segment), errors included.
+func (p *Partial) Bounds() (first, last time.Time) { return p.first, p.last }
+
+// WriteSnapshot serializes the segment's accumulator in the s1 format —
+// the daemon's checkpoint unit. The segment stays live and can keep
+// observing records afterwards.
+func (p *Partial) WriteSnapshot(w io.Writer) error {
+	return p.acc.WriteSnapshot(w)
+}
+
+// PartialFromSnapshot rebuilds a segment from a decoded snapshot
+// accumulator plus its externally-recorded record-time bounds (the s1
+// format does not carry the bounds of error records; the daemon's
+// checkpoint frames do).
+func PartialFromSnapshot(acc *Accumulator, first, last time.Time) (*Partial, error) {
+	if !acc.opts.Journal {
+		return nil, errors.New("core: a segment accumulator must carry its journal")
+	}
+	p := &Partial{acc: acc, first: first, last: last}
+	if n := len(acc.journal); n > 0 {
+		p.firstOK = time.Unix(0, acc.journal[0].start).UTC()
+		p.lastOK = time.Unix(0, acc.journal[n-1].start).UTC()
+		if p.first.IsZero() {
+			p.first = p.firstOK
+		}
+		if p.last.IsZero() {
+			p.last = p.lastOK
+		}
+	}
+	return p, nil
+}
+
+// AccumulatePartial runs one contiguous segment of records through a
+// fresh Partial — the stream and b2 shard workers' unit of work.
+func AccumulatePartial(opts Options, recs []trace.Record) *Partial {
+	p := NewPartial(opts)
+	// Pre-size the periodicity series to the segment's last hour so the
+	// grow-by-append loop in addDerived allocates once per segment.
+	if len(recs) > 0 && !opts.Start.IsZero() {
+		if hi := int(recs[len(recs)-1].Start.Sub(opts.Start) / time.Hour); hi >= 0 {
+			p.acc.hourlyReqs = make([]float64, 0, hi+1)
+			p.acc.hourlyRead = make([]float64, 0, hi+1)
+		}
+	}
+	for i := range recs {
+		p.Observe(&recs[i])
+	}
+	return p
+}
+
+// Fold merges one segment into the master. Master and segment must share
+// a calendar origin — AccumulateStream and AccumulateB2 resolve
+// Options.Start once before cutting segments — so every derived series
+// folds by plain sums and sample concatenation; only the per-file
+// journal is replayed. Segments must fold in time order.
+func (a *Accumulator) Fold(p *Partial) {
+	sub := p.acc
+	a.total += sub.total
+	a.errors += sub.errors
+	if sub.days > a.days {
+		a.days = sub.days
+	}
+	for oi := 0; oi < 2; oi++ {
+		for ci := 0; ci < device.NClasses; ci++ {
+			a.refs[oi][ci] += sub.refs[oi][ci]
+			a.bytes[oi][ci] += sub.bytes[oi][ci]
+			a.latency[oi][ci].n += sub.latency[oi][ci].n
+			a.latency[oi][ci].micros += sub.latency[oi][ci].micros
+		}
+		a.dynFiles[oi].Merge(sub.dynFiles[oi])
+		a.dynBytes[oi].Merge(sub.dynBytes[oi])
+	}
+	a.foldLatCDF(sub)
+	for h := range a.hourBytes {
+		a.hourBytes[h][0] += sub.hourBytes[h][0]
+		a.hourBytes[h][1] += sub.hourBytes[h][1]
+		a.hourCount[h][0] += sub.hourCount[h][0]
+		a.hourCount[h][1] += sub.hourCount[h][1]
+	}
+	for d := range a.dayBytes {
+		a.dayBytes[d][0] += sub.dayBytes[d][0]
+		a.dayBytes[d][1] += sub.dayBytes[d][1]
+	}
+	weeks := make([]int, 0, len(sub.weekBytes))
+	for w := range sub.weekBytes {
+		weeks = append(weeks, w)
+	}
+	sort.Ints(weeks)
+	for _, w := range weeks {
+		b := sub.weekBytes[w]
+		wb := a.weekBytes[w]
+		wb[0] += b[0]
+		wb[1] += b[1]
+		a.weekBytes[w] = wb
+	}
+	for len(a.hourlyReqs) < len(sub.hourlyReqs) {
+		a.hourlyReqs = append(a.hourlyReqs, 0)
+		a.hourlyRead = append(a.hourlyRead, 0)
+	}
+	for i, v := range sub.hourlyReqs {
+		//lint:floatsum-ok index-aligned sums of integer-valued counts, merged in fixed segment order and exact below 2^53
+		a.hourlyReqs[i] += v
+		a.hourlyRead[i] += sub.hourlyRead[i] //lint:floatsum-ok same integer-valued hourly counter as the line above
+	}
+
+	// Figure 7: the boundary interval precedes the segment's internal
+	// intervals, matching global record order.
+	if !p.firstOK.IsZero() {
+		a.addInterval(p.firstOK)
+		a.interCDF.Merge(sub.interCDF)
+		a.lastStart = p.lastOK
+	}
+
+	remap := a.remapIDs(sub)
+	for k := range sub.journal {
+		e := &sub.journal[k]
+		op := trace.Read
+		if e.write {
+			op = trace.Write
+		}
+		a.addFileAccessID(remap[e.id], op, time.Unix(0, e.start).UTC(), units.Bytes(e.size))
+	}
+}
+
+// FoldReplay merges one segment into the master without a shared
+// calendar origin: the op×class accumulators and startup-latency CDFs —
+// which need the device class the journal does not carry — fold by
+// addition, and every derived series (calendar, periodicity, Figure 7
+// intervals, Figure 10, per-file state) is recomputed by replaying the
+// journal through the per-record transitions the slice path runs. This
+// is the split the s1 snapshot merge uses, and the fold the daemon's
+// report and checkpoint paths take. Segments must fold in time order;
+// an overlap with already-folded data is an error, as is a dedup-window
+// disagreement.
+func (a *Accumulator) FoldReplay(p *Partial) error {
+	sub := p.acc
+	if sub.opts.DedupWindow != a.opts.DedupWindow {
+		return fmt.Errorf("segment dedup window %v disagrees with the master's %v",
+			sub.opts.DedupWindow, a.opts.DedupWindow)
+	}
+	if len(sub.journal) > 0 {
+		t0 := time.Unix(0, sub.journal[0].start).UTC()
+		if !a.lastStart.IsZero() && t0.Before(a.lastStart) {
+			return fmt.Errorf("segment starts at %v, before already-merged data ending %v (segments must fold in trace order)",
+				t0, a.lastStart)
+		}
+	}
+	if a.start.IsZero() {
+		if !a.opts.Start.IsZero() {
+			a.start = a.opts.Start
+		} else {
+			a.start = sub.start
+		}
+	}
+	if len(sub.journal) > 0 && a.start.IsZero() {
+		return errors.New("journal entries present but no segment so far has a start time")
+	}
+
+	a.total += sub.total
+	a.errors += sub.errors
+	for oi := 0; oi < 2; oi++ {
+		for ci := 0; ci < device.NClasses; ci++ {
+			a.refs[oi][ci] += sub.refs[oi][ci]
+			a.bytes[oi][ci] += sub.bytes[oi][ci]
+			a.latency[oi][ci].n += sub.latency[oi][ci].n
+			a.latency[oi][ci].micros += sub.latency[oi][ci].micros
+		}
+	}
+	a.foldLatCDF(sub)
+
+	remap := a.remapIDs(sub)
+	for k := range sub.journal {
+		e := &sub.journal[k]
+		opIdx, op := 0, trace.Read
+		if e.write {
+			opIdx, op = 1, trace.Write
+		}
+		t := time.Unix(0, e.start).UTC()
+		a.addDerived(t, opIdx, e.size)
+		a.addInterval(t)
+		a.addFileAccessID(remap[e.id], op, t, units.Bytes(e.size))
+	}
+	return nil
+}
+
+// FoldPartials merges any number of segments into a fresh master: the
+// position-independent state — record and error counts, the op×class
+// accumulators, the startup-latency CDFs — folds by addition in any
+// order, and the segments' journals are then merged into one global
+// time order and replayed through the per-record transitions the slice
+// path runs. Unlike Fold and FoldReplay, the segments' record-time
+// ranges may interleave arbitrarily — a live daemon's batches arrive
+// from concurrent clients in no particular order, and a late single
+// event may split an already-extended segment's range — provided the
+// records themselves are distinct instants; ties across segments replay
+// in the given segment order. Master file IDs are assigned in replay
+// order, exactly as a single process reading the merged trace would.
+func (a *Accumulator) FoldPartials(ps []*Partial) error {
+	if a.total != 0 {
+		return errors.New("core: FoldPartials merges into a fresh accumulator")
+	}
+	entries := 0
+	for i, p := range ps {
+		sub := p.acc
+		if sub.opts.DedupWindow != a.opts.DedupWindow {
+			return fmt.Errorf("core: segment %d dedup window %v disagrees with the master's %v",
+				i, sub.opts.DedupWindow, a.opts.DedupWindow)
+		}
+		entries += len(sub.journal)
+	}
+
+	// Anchor the calendar origin the way the slice path does: from the
+	// explicit option, else from the earliest segment's own anchor —
+	// which that segment resolved from its first record, errors
+	// included.
+	if !a.opts.Start.IsZero() {
+		a.start = a.opts.Start
+	} else {
+		var first time.Time
+		for _, p := range ps {
+			if p.first.IsZero() {
+				continue
+			}
+			if first.IsZero() || p.first.Before(first) {
+				first = p.first
+				a.start = p.acc.start
+			}
+		}
+	}
+	if entries > 0 && a.start.IsZero() {
+		return errors.New("core: journal entries present but no segment has a start time")
+	}
+
+	for _, p := range ps {
+		sub := p.acc
+		a.total += sub.total
+		a.errors += sub.errors
+		for oi := 0; oi < 2; oi++ {
+			for ci := 0; ci < device.NClasses; ci++ {
+				a.refs[oi][ci] += sub.refs[oi][ci]
+				a.bytes[oi][ci] += sub.bytes[oi][ci]
+				a.latency[oi][ci].n += sub.latency[oi][ci].n
+				a.latency[oi][ci].micros += sub.latency[oi][ci].micros
+			}
+		}
+		a.foldLatCDF(sub)
+	}
+
+	// Merge-replay the journals. The heap orders by (start, segment
+	// index); within one segment the journal is already in record order,
+	// so only each segment's next entry competes. File IDs intern
+	// lazily, on first appearance in the merged order.
+	h := make(journalHeap, 0, len(ps))
+	for si, p := range ps {
+		if len(p.acc.journal) > 0 {
+			h = append(h, journalCursor{si: si, start: p.acc.journal[0].start})
+		}
+	}
+	heap.Init(&h)
+	remap := make([][]trace.FileID, len(ps))
+	seen := make([][]bool, len(ps))
+	for si, p := range ps {
+		remap[si] = make([]trace.FileID, p.acc.interner.Len())
+		seen[si] = make([]bool, p.acc.interner.Len())
+	}
+	for len(h) > 0 {
+		cur := &h[0]
+		sub := ps[cur.si].acc
+		e := &sub.journal[cur.k]
+		op := trace.Read
+		opIdx := 0
+		if e.write {
+			op, opIdx = trace.Write, 1
+		}
+		t := time.Unix(0, e.start).UTC()
+		id := remap[cur.si][e.id]
+		if !seen[cur.si][e.id] {
+			id = a.internFile(sub.interner.Path(e.id))
+			remap[cur.si][e.id] = id
+			seen[cur.si][e.id] = true
+		}
+		a.addDerived(t, opIdx, e.size)
+		a.addInterval(t)
+		a.addFileAccessID(id, op, t, units.Bytes(e.size))
+		if cur.k++; cur.k < len(sub.journal) {
+			cur.start = sub.journal[cur.k].start
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return nil
+}
+
+// journalCursor is one segment's replay position in the merge heap.
+type journalCursor struct {
+	start int64 // the segment's next entry's start, UnixNano
+	si    int   // segment index, the tie-break
+	k     int   // next journal index
+}
+
+// journalHeap is a min-heap of journal cursors by (start, segment).
+type journalHeap []journalCursor
+
+func (h journalHeap) Len() int { return len(h) }
+func (h journalHeap) Less(i, j int) bool {
+	if h[i].start != h[j].start {
+		return h[i].start < h[j].start
+	}
+	return h[i].si < h[j].si
+}
+func (h journalHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *journalHeap) Push(x any)   { *h = append(*h, x.(journalCursor)) }
+func (h *journalHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// foldLatCDF folds the segment's Figure 3 latency CDFs into the master.
+func (a *Accumulator) foldLatCDF(sub *Accumulator) {
+	for ci, c := range sub.latCDF {
+		if c == nil {
+			continue
+		}
+		m := a.latCDF[ci]
+		if m == nil {
+			m = &stats.CDF{}
+			a.latCDF[ci] = m
+		}
+		m.Merge(c)
+	}
+}
+
+// remapIDs interns a segment's path table into the master in table
+// order, returning the segment→master FileID translation. Table order
+// is first-seen order within the segment, so folding segments in time
+// order keeps the master's ID assignment identical to a single-process
+// run over the concatenated records.
+func (a *Accumulator) remapIDs(sub *Accumulator) []trace.FileID {
+	remap := make([]trace.FileID, sub.interner.Len())
+	for i := range remap {
+		remap[i] = a.internFile(sub.interner.Path(trace.FileID(i)))
+	}
+	return remap
+}

@@ -56,9 +56,11 @@ type Options struct {
 }
 
 // Analysis accumulates one streaming pass. Create with New, feed records
-// in time order with Add, then call Report. AnalyzeStream builds the same
-// Report from a trace.Stream by running per-shard Analyses in parallel
-// and merging them; to keep the two paths byte-identical, every
+// in time order with Add, then call Report. The incremental paths — the
+// stream and b2 shard mergers, the s1 snapshot codec, and the migd
+// daemon — use this same type under its Accumulator alias, cutting the
+// trace into Partial segments and folding them (see accum.go); to keep
+// all the paths byte-identical, every
 // accumulator below is either an exact integer sum, a sample list whose
 // queries are order-insensitive, or per-file state replayed in record
 // order at merge time.
@@ -319,8 +321,7 @@ func (a *Analysis) internFile(path string) trace.FileID {
 //filemig:hotpath
 func (a *Analysis) addFileAccessID(id trace.FileID, op trace.Op, start time.Time, size units.Bytes) {
 	if a.opts.Journal {
-		a.journal = append(a.journal, journalEntry{
-			start: start.UnixNano(), size: int64(size), id: id, write: op == trace.Write})
+		a.appendJournal(id, op, start, size)
 	}
 	f := &a.files[id]
 	f.size = size
@@ -346,6 +347,18 @@ func (a *Analysis) addFileAccessID(id trace.FileID, op trace.Op, start time.Time
 		}
 		f.lastDedup = start
 	}
+}
+
+// appendJournal records one good reference in the snapshot/replay
+// journal without advancing per-file dedup state — the capture half of
+// addFileAccessID. Segment accumulators (Partial) call it directly:
+// their per-file truth is replayed into a master at fold time, so
+// running the dedup transition locally would be wasted work.
+//
+//filemig:hotpath
+func (a *Analysis) appendJournal(id trace.FileID, op trace.Op, start time.Time, size units.Bytes) {
+	a.journal = append(a.journal, journalEntry{
+		start: start.UnixNano(), size: int64(size), id: id, write: op == trace.Write})
 }
 
 // AddAll feeds a whole slice.

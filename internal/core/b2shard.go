@@ -172,7 +172,7 @@ func accumulateB2Range(ctx context.Context, opts B2Options, f *trace.B2File, lo,
 			if err != nil {
 				return nil, err
 			}
-			master.merge(sh)
+			master.Fold(sh)
 		}
 		return master, nil
 	}
@@ -247,7 +247,7 @@ func b2Groups(opts B2Options, f *trace.B2File, lo, hi int) []blockGroup {
 
 // accumulateB2Group decodes one group's blocks into a single presized
 // record slice, applies the window filter, and accumulates the shard.
-func accumulateB2Group(opts B2Options, f *trace.B2File, d *trace.B2BlockDecoder, g blockGroup) (*shardAccum, error) {
+func accumulateB2Group(opts B2Options, f *trace.B2File, d *trace.B2BlockDecoder, g blockGroup) (*Partial, error) {
 	recs := make([]trace.Record, g.count)
 	at := int64(0)
 	for i := g.lo; i < g.hi; i++ {
@@ -266,7 +266,7 @@ func accumulateB2Group(opts B2Options, f *trace.B2File, d *trace.B2BlockDecoder,
 		}
 		recs = kept
 	}
-	return accumulateShard(opts.Options, recs), nil
+	return AccumulatePartial(opts.Options, recs), nil
 }
 
 // accumulateB2Parallel fans block groups over a worker pool, each
@@ -278,7 +278,7 @@ func accumulateB2Group(opts B2Options, f *trace.B2File, d *trace.B2BlockDecoder,
 func accumulateB2Parallel(ctx context.Context, opts B2Options, f *trace.B2File, master *Analysis, groups []blockGroup, workers int) (*Analysis, error) {
 	type result struct {
 		idx int
-		sh  *shardAccum
+		sh  *Partial
 		err error
 	}
 	jobs := make(chan int)
@@ -307,7 +307,7 @@ func accumulateB2Parallel(ctx context.Context, opts B2Options, f *trace.B2File, 
 	mergeDone := make(chan struct{})
 	go func() {
 		defer close(mergeDone)
-		pending := map[int]*shardAccum{}
+		pending := map[int]*Partial{}
 		next := 0
 		for res := range results {
 			if res.err != nil {
@@ -323,7 +323,7 @@ func accumulateB2Parallel(ctx context.Context, opts B2Options, f *trace.B2File, 
 			for sh, ok := pending[next]; ok; sh, ok = pending[next] {
 				delete(pending, next)
 				if next < errAt {
-					master.merge(sh)
+					master.Fold(sh)
 				}
 				next++
 				<-sem

@@ -248,3 +248,23 @@ func RenderPeriodicity(r *Report) string {
 	b.WriteString("\n")
 	return b.String()
 }
+
+// RenderReport concatenates every rendered table and figure — the whole
+// report as one string, in the paper's order. The CLI's full output and
+// the daemon's /v1/report endpoint both render through here, which is
+// what lets the equivalence tests compare whole reports byte for byte.
+func RenderReport(r *Report) string {
+	return RenderTable3(r.Table3) +
+		RenderTable4(r.Table4) +
+		RenderFigure3(r) +
+		RenderFigure4(r.Figure4) +
+		RenderFigure5(r.Figure5) +
+		RenderFigure6(r.Figure6) +
+		RenderFigure7(r.Figure7) +
+		RenderFigure8(r.Figure8) +
+		RenderFigure9(r.Figure9) +
+		RenderFigure10(r.Figure10) +
+		RenderFigure11(r.Figure11) +
+		RenderFigure12(r.Figure12) +
+		RenderPeriodicity(r)
+}

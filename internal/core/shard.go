@@ -4,12 +4,9 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"sort"
 	"sync"
 	"time"
 
-	"filemig/internal/device"
-	"filemig/internal/stats"
 	"filemig/internal/trace"
 )
 
@@ -29,8 +26,12 @@ import (
 //     record of shard k+1) are inserted between the shard-internal
 //     interval lists during the merge;
 //   - per-file dedup state, which depends only on each file's own access
-//     history, is advanced by replaying every shard's access log through
-//     the same addFileAccess the slice path uses.
+//     history, is advanced by replaying every shard's reference journal
+//     through the same addFileAccessID the slice path uses.
+//
+// Shards are core.Partial segments folded with Accumulator.Fold (see
+// accum.go) — the same segment type the b2, snapshot, and daemon paths
+// are built on.
 //
 // TestStreamEquivalence pins all of this down by comparing rendered
 // output from both paths.
@@ -55,125 +56,6 @@ type StreamOptions struct {
 	// explicitly (the facade and cmd/* use internal/host). The merged
 	// result is byte-identical for any worker count.
 	Workers int
-}
-
-// shardAccum is one shard's partial analysis: a shard-local Analysis for
-// everything that merges by sums and concatenation, the shard's first and
-// last good-reference times for Figure 7's boundary intervals, and the
-// shard's records themselves, replayed through the per-file dedup at
-// merge time.
-type shardAccum struct {
-	sub     *Analysis
-	firstOK time.Time
-	lastOK  time.Time
-	recs    []trace.Record
-}
-
-// accumulateShard runs one shard's records through a fresh Analysis.
-// Shard-local analyses never serialize, so the snapshot journal — fed by
-// the master during merge — is disabled whatever the caller asked for.
-func accumulateShard(opts Options, recs []trace.Record) *shardAccum {
-	opts.Journal = false
-	sh := &shardAccum{sub: New(opts), recs: recs}
-	// Pre-size the periodicity series to the shard's last hour so the
-	// grow-by-append loop in addShared allocates once per shard.
-	if len(recs) > 0 && !opts.Start.IsZero() {
-		if hi := int(recs[len(recs)-1].Start.Sub(opts.Start) / time.Hour); hi >= 0 {
-			sh.sub.hourlyReqs = make([]float64, 0, hi+1)
-			sh.sub.hourlyRead = make([]float64, 0, hi+1)
-		}
-	}
-	for i := range recs {
-		r := &recs[i]
-		if !sh.sub.addShared(r) {
-			continue
-		}
-		sh.sub.addInterval(r.Start)
-		if sh.firstOK.IsZero() {
-			sh.firstOK = r.Start
-		}
-		sh.lastOK = r.Start
-	}
-	return sh
-}
-
-// merge folds one shard into the master analysis. Shards must be merged
-// in time order.
-func (a *Analysis) merge(sh *shardAccum) {
-	sub := sh.sub
-	a.total += sub.total
-	a.errors += sub.errors
-	if sub.days > a.days {
-		a.days = sub.days
-	}
-	for oi := 0; oi < 2; oi++ {
-		for ci := 0; ci < device.NClasses; ci++ {
-			a.refs[oi][ci] += sub.refs[oi][ci]
-			a.bytes[oi][ci] += sub.bytes[oi][ci]
-			a.latency[oi][ci].n += sub.latency[oi][ci].n
-			a.latency[oi][ci].micros += sub.latency[oi][ci].micros
-		}
-		a.dynFiles[oi].Merge(sub.dynFiles[oi])
-		a.dynBytes[oi].Merge(sub.dynBytes[oi])
-	}
-	for ci, c := range sub.latCDF {
-		if c == nil {
-			continue
-		}
-		m := a.latCDF[ci]
-		if m == nil {
-			m = &stats.CDF{}
-			a.latCDF[ci] = m
-		}
-		m.Merge(c)
-	}
-	for h := range a.hourBytes {
-		a.hourBytes[h][0] += sub.hourBytes[h][0]
-		a.hourBytes[h][1] += sub.hourBytes[h][1]
-		a.hourCount[h][0] += sub.hourCount[h][0]
-		a.hourCount[h][1] += sub.hourCount[h][1]
-	}
-	for d := range a.dayBytes {
-		a.dayBytes[d][0] += sub.dayBytes[d][0]
-		a.dayBytes[d][1] += sub.dayBytes[d][1]
-	}
-	weeks := make([]int, 0, len(sub.weekBytes))
-	for w := range sub.weekBytes {
-		weeks = append(weeks, w)
-	}
-	sort.Ints(weeks)
-	for _, w := range weeks {
-		b := sub.weekBytes[w]
-		wb := a.weekBytes[w]
-		wb[0] += b[0]
-		wb[1] += b[1]
-		a.weekBytes[w] = wb
-	}
-	for len(a.hourlyReqs) < len(sub.hourlyReqs) {
-		a.hourlyReqs = append(a.hourlyReqs, 0)
-		a.hourlyRead = append(a.hourlyRead, 0)
-	}
-	for i, v := range sub.hourlyReqs {
-		//lint:floatsum-ok index-aligned sums of integer-valued counts, merged in fixed shard order and exact below 2^53
-		a.hourlyReqs[i] += v
-		a.hourlyRead[i] += sub.hourlyRead[i] //lint:floatsum-ok same integer-valued hourly counter as the line above
-	}
-
-	// Figure 7: the boundary interval precedes the shard's internal
-	// intervals, matching global record order.
-	if !sh.firstOK.IsZero() {
-		a.addInterval(sh.firstOK)
-		a.interCDF.Merge(sub.interCDF)
-		a.lastStart = sh.lastOK
-	}
-
-	// Part two: replay the shard's good references through the same dedup
-	// transition the slice path uses.
-	for i := range sh.recs {
-		if r := &sh.recs[i]; r.OK() {
-			a.addFileAccess(r.MSSPath, r.Op, r.Start, r.Size)
-		}
-	}
 }
 
 // AnalyzeStream computes the paper's full Report from a record stream by
@@ -278,7 +160,7 @@ func analyzeSerial(ctx context.Context, opts StreamOptions, master *Analysis, fi
 		if err != nil {
 			return nil, err
 		}
-		master.merge(accumulateShard(opts.Options, batch))
+		master.Fold(AccumulatePartial(opts.Options, batch))
 		if done {
 			return master, nil
 		}
@@ -298,7 +180,7 @@ func analyzeParallel(ctx context.Context, opts StreamOptions, master *Analysis, 
 	}
 	type result struct {
 		idx int
-		sh  *shardAccum
+		sh  *Partial
 	}
 	jobs := make(chan job)
 	results := make(chan result)
@@ -310,7 +192,7 @@ func analyzeParallel(ctx context.Context, opts StreamOptions, master *Analysis, 
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				results <- result{idx: j.idx, sh: accumulateShard(opts.Options, j.batch)}
+				results <- result{idx: j.idx, sh: AccumulatePartial(opts.Options, j.batch)}
 			}
 		}()
 	}
@@ -324,13 +206,13 @@ func analyzeParallel(ctx context.Context, opts StreamOptions, master *Analysis, 
 	mergeDone := make(chan struct{})
 	go func() {
 		defer close(mergeDone)
-		pending := map[int]*shardAccum{}
+		pending := map[int]*Partial{}
 		next := 0
 		for res := range results {
 			pending[res.idx] = res.sh
 			for sh, ok := pending[next]; ok; sh, ok = pending[next] {
 				delete(pending, next)
-				master.merge(sh)
+				master.Fold(sh)
 				next++
 				<-sem
 			}

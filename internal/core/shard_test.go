@@ -15,21 +15,7 @@ import (
 // renderAll concatenates every rendered table and figure the analysis
 // produces, so a single string comparison covers the whole Report.
 func renderAll(r *Report) string {
-	out := RenderTable3(r.Table3) +
-		RenderTable4(r.Table4) +
-		RenderFigure3(r) +
-		RenderFigure4(r.Figure4) +
-		RenderFigure5(r.Figure5) +
-		RenderFigure6(r.Figure6) +
-		RenderFigure7(r.Figure7) +
-		RenderFigure8(r.Figure8) +
-		RenderFigure9(r.Figure9) +
-		RenderFigure10(r.Figure10) +
-		RenderFigure11(r.Figure11) +
-		RenderFigure12(r.Figure12) +
-		RenderPeriodicity(r)
-	out += fmt.Sprintf("days=%d autocorr=%v\n", r.Days, r.ReadAutocorrelation(48)[:2])
-	return out
+	return RenderReport(r) + fmt.Sprintf("days=%d autocorr=%v\n", r.Days, r.ReadAutocorrelation(48)[:2])
 }
 
 func streamFixture(t *testing.T) *workload.Result {

@@ -10,7 +10,6 @@ import (
 	"filemig/internal/device"
 	"filemig/internal/stats"
 	"filemig/internal/trace"
-	"filemig/internal/units"
 )
 
 // The s1 analysis-snapshot codec: a serialized Analysis that any number
@@ -214,68 +213,87 @@ func (sm *SnapshotMerger) Analysis() (*Analysis, error) {
 	return sm.a, nil
 }
 
-// mergeSnapshot decodes one snapshot from r and folds it into m,
-// validating structure and cross-checking the serialized sums against
-// the replayed journal as it goes.
+// mergeSnapshot decodes one snapshot from r into a Partial and folds
+// it into m through FoldReplay — the same origin-free fold the daemon's
+// segments take. The master is untouched on any decode or validation
+// error.
 func (m *Analysis) mergeSnapshot(r io.Reader, first bool) error {
+	p, err := decodeSnapshot(r)
+	if err != nil {
+		return err
+	}
+	if first {
+		m.opts.DedupWindow = p.acc.opts.DedupWindow
+	} else if m.opts.DedupWindow != p.acc.opts.DedupWindow {
+		return fmt.Errorf("dedup window %v disagrees with first snapshot's %v",
+			p.acc.opts.DedupWindow, m.opts.DedupWindow)
+	}
+	return m.FoldReplay(p)
+}
+
+// decodeSnapshot decodes one s1 snapshot into a segment Partial,
+// validating structure and cross-checking the serialized sums against
+// the journal as it goes. Nothing is replayed here: the returned
+// segment holds the raw accumulators and the absolute-time journal, and
+// FoldReplay recomputes everything derivable when the segment folds
+// into a master.
+func decodeSnapshot(r io.Reader) (*Partial, error) {
 	wr := trace.NewWireReader(r)
 	line, err := wr.Line()
 	if err != nil {
-		return fmt.Errorf("header: %w", err)
+		return nil, fmt.Errorf("header: %w", err)
 	}
 	if line != trace.SnapshotHeader {
-		return fmt.Errorf("not an s1 snapshot header: %.60q", line)
+		return nil, fmt.Errorf("not an s1 snapshot header: %.60q", line)
 	}
 	flags, err := wr.ReadByte()
 	if err != nil {
-		return fmt.Errorf("flags: %w", unexpectEOF(err))
+		return nil, fmt.Errorf("flags: %w", unexpectEOF(err))
 	}
 	if flags&^byte(snapHasStart) != 0 {
-		return fmt.Errorf("reserved flag bits set (0x%02x)", flags)
+		return nil, fmt.Errorf("reserved flag bits set (0x%02x)", flags)
 	}
 	var start time.Time
 	if flags&snapHasStart != 0 {
 		ns, err := wr.Svarint("start time")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		start = time.Unix(0, ns).UTC()
 	}
 	dw, err := wr.Uvarint("dedup window", math.MaxInt64)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if dw == 0 {
-		return errors.New("dedup window must be positive")
-	}
-	if first {
-		m.opts.DedupWindow = time.Duration(dw)
-	} else if m.opts.DedupWindow != time.Duration(dw) {
-		return fmt.Errorf("dedup window %v disagrees with first snapshot's %v",
-			time.Duration(dw), m.opts.DedupWindow)
+		return nil, errors.New("dedup window must be positive")
 	}
 	nc, err := wr.Uvarint("device class count", 64)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if int(nc) != device.NClasses {
-		return fmt.Errorf("snapshot has %d device classes, this build has %d", nc, device.NClasses)
+		return nil, fmt.Errorf("snapshot has %d device classes, this build has %d", nc, device.NClasses)
 	}
 	total, err := wr.Uvarint("total references", math.MaxInt64)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	errRefs, err := wr.Uvarint("error references", math.MaxInt64)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if errRefs > total {
-		return fmt.Errorf("%d error references exceed %d total", errRefs, total)
+		return nil, fmt.Errorf("%d error references exceed %d total", errRefs, total)
 	}
 
-	// The op×class accumulators, decoded into locals first: they fold by
-	// addition, and their reference sum must match the journal length.
-	var refs, bytes, latN, latMicros [2][device.NClasses]int64
+	sub := New(Options{Journal: true, DedupWindow: time.Duration(dw)})
+	sub.start = start
+	sub.total = int64(total)
+	sub.errors = int64(errRefs)
+
+	// The op×class accumulators; their reference sum must match the
+	// journal length below.
 	var refsSum, latSum int64
 	for oi := 0; oi < 2; oi++ {
 		for ci := 0; ci < device.NClasses; ci++ {
@@ -283,97 +301,88 @@ func (m *Analysis) mergeSnapshot(r io.Reader, first bool) error {
 				dst   *int64
 				field string
 			}{
-				{&refs[oi][ci], "references"},
-				{&bytes[oi][ci], "byte total"},
-				{&latN[oi][ci], "latency count"},
-				{&latMicros[oi][ci], "latency total"},
+				{&sub.refs[oi][ci], "references"},
+				{&sub.bytes[oi][ci], "byte total"},
+				{&sub.latency[oi][ci].n, "latency count"},
+				{&sub.latency[oi][ci].micros, "latency total"},
 			} {
 				v, err := wr.Uvarint(f.field, math.MaxInt64)
 				if err != nil {
-					return err
+					return nil, err
 				}
 				*f.dst = int64(v)
 			}
-			refsSum += refs[oi][ci]
-			latSum += latN[oi][ci]
+			refsSum += sub.refs[oi][ci]
+			latSum += sub.latency[oi][ci].n
 		}
 	}
 
 	// Figure 3's per-class latency CDFs.
-	var latCDF [device.NClasses]*stats.CDF
 	var latSamples int64
-	for ci := range latCDF {
+	for ci := range sub.latCDF {
 		blob, err := readBlob(wr, "latency cdf")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if len(blob) == 0 {
 			continue
 		}
 		c := &stats.CDF{}
 		if err := c.UnmarshalBinary(blob); err != nil {
-			return fmt.Errorf("latency cdf class %d: %w", ci, err)
+			return nil, fmt.Errorf("latency cdf class %d: %w", ci, err)
 		}
 		if c.N() == 0 {
-			return fmt.Errorf("latency cdf class %d: present but empty", ci)
+			return nil, fmt.Errorf("latency cdf class %d: present but empty", ci)
 		}
-		latCDF[ci] = c
+		sub.latCDF[ci] = c
 		latSamples += int64(c.N())
 	}
 	if latSamples != latSum {
-		return fmt.Errorf("latency cdfs hold %d samples, op×class counts say %d", latSamples, latSum)
+		return nil, fmt.Errorf("latency cdfs hold %d samples, op×class counts say %d", latSamples, latSum)
 	}
 
-	// The interner table, pre-resolved to master FileIDs. Tables are
-	// written in first-seen order, so folding them in table order keeps
-	// the master's ID assignment identical to a single-process run.
+	// The interner table, in first-seen order, becomes the segment's own
+	// table; FoldReplay re-interns it into the master in this same order.
 	nPaths, err := wr.Uvarint("path count", 1<<32)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	remap := make([]trace.FileID, 0, capHint(nPaths))
 	for i := uint64(0); i < nPaths; i++ {
 		p, err := wr.Bytes("path", "path length", maxSnapshotPathLen)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if len(p) == 0 {
-			return fmt.Errorf("path %d is empty", i)
+			return nil, fmt.Errorf("path %d is empty", i)
 		}
-		remap = append(remap, m.internFile(string(p)))
+		sub.internFile(string(p))
 	}
 
-	if !start.IsZero() && m.start.IsZero() {
-		m.start = start
-	}
-
-	// The journal, replayed straight into the master as it decodes.
+	// The journal, decoded to absolute times for replay at fold time.
 	nEntries, err := wr.Uvarint("journal entry count", math.MaxInt64)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if int64(nEntries) != refsSum {
-		return fmt.Errorf("journal holds %d entries, op×class references sum to %d", nEntries, refsSum)
+		return nil, fmt.Errorf("journal holds %d entries, op×class references sum to %d", nEntries, refsSum)
 	}
 	if total != errRefs+uint64(refsSum) {
-		return fmt.Errorf("%d total references != %d errors + %d good", total, errRefs, refsSum)
+		return nil, fmt.Errorf("%d total references != %d errors + %d good", total, errRefs, refsSum)
 	}
-	if nEntries > 0 && m.start.IsZero() {
-		return errors.New("journal entries present but no snapshot so far has a start time")
-	}
+	sub.journal = make([]journalEntry, 0, capHint(nEntries))
 	var prev int64
 	seen := trace.FileID(0) // enforces dense first-seen ID order
 	for k := uint64(0); k < nEntries; k++ {
 		idOp, err := wr.Uvarint("journal file id", 1<<33-1)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		sid := trace.FileID(idOp >> 1)
 		if uint64(sid) >= nPaths {
-			return fmt.Errorf("journal entry %d references path %d of %d", k+1, sid, nPaths)
+			return nil, fmt.Errorf("journal entry %d references path %d of %d", k+1, sid, nPaths)
 		}
 		if sid > seen {
-			return fmt.Errorf("journal entry %d breaks first-seen id order (%d after %d ids)", k+1, sid, seen)
+			return nil, fmt.Errorf("journal entry %d breaks first-seen id order (%d after %d ids)", k+1, sid, seen)
 		}
 		if sid == seen {
 			seen++
@@ -382,64 +391,33 @@ func (m *Analysis) mergeSnapshot(r io.Reader, first bool) error {
 		if k == 0 {
 			at, err = wr.Svarint("journal start time")
 			if err != nil {
-				return err
+				return nil, err
 			}
 		} else {
 			dt, err := wr.Uvarint("journal time delta", math.MaxInt64)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if prev > 0 && int64(dt) > math.MaxInt64-prev {
-				return fmt.Errorf("journal entry %d time overflows", k+1)
+				return nil, fmt.Errorf("journal entry %d time overflows", k+1)
 			}
 			at = prev + int64(dt)
 		}
 		size, err := wr.Uvarint("journal size", math.MaxInt64)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		t := time.Unix(0, at).UTC()
-		if k == 0 && !m.lastStart.IsZero() && t.Before(m.lastStart) {
-			return fmt.Errorf("journal starts at %v, before already-merged data ending %v (snapshots must arrive in trace order)",
-				t, m.lastStart)
-		}
-		opIdx, op := 0, trace.Read
-		if idOp&1 != 0 {
-			opIdx, op = 1, trace.Write
-		}
-		m.addDerived(t, opIdx, int64(size))
-		m.addInterval(t)
-		m.addFileAccessID(remap[sid], op, t, units.Bytes(size))
+		sub.journal = append(sub.journal, journalEntry{
+			start: at, size: int64(size), id: sid, write: idOp&1 != 0})
 		prev = at
 	}
 	if uint64(seen) != nPaths {
-		return fmt.Errorf("interner table has %d paths but the journal references only %d", nPaths, seen)
+		return nil, fmt.Errorf("interner table has %d paths but the journal references only %d", nPaths, seen)
 	}
 	if err := wr.ExpectEOF(); err != nil {
-		return err
+		return nil, err
 	}
-
-	// All validation passed: fold the serialized accumulators.
-	m.total += int64(total)
-	m.errors += int64(errRefs)
-	for oi := 0; oi < 2; oi++ {
-		for ci := 0; ci < device.NClasses; ci++ {
-			m.refs[oi][ci] += refs[oi][ci]
-			m.bytes[oi][ci] += bytes[oi][ci]
-			m.latency[oi][ci].n += latN[oi][ci]
-			m.latency[oi][ci].micros += latMicros[oi][ci]
-		}
-	}
-	for ci, c := range latCDF {
-		if c == nil {
-			continue
-		}
-		if m.latCDF[ci] == nil {
-			m.latCDF[ci] = &stats.CDF{}
-		}
-		m.latCDF[ci].Merge(c)
-	}
-	return nil
+	return PartialFromSnapshot(sub, time.Time{}, time.Time{})
 }
 
 // readBlob reads one length-prefixed binary section in window-sized

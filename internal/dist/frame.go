@@ -46,27 +46,39 @@ func EncodeFrame(payload []byte) []byte {
 // checksum. The returned slice aliases b. Trailing bytes after the
 // frame are an error: a frame is a whole body, not a stream element.
 func DecodeFrame(b []byte) ([]byte, error) {
-	if len(b) < len(frameMagic)+8 {
-		return nil, fmt.Errorf("%w: %d bytes is shorter than any frame", ErrFrame, len(b))
+	payload, rest, err := NextFrame(b)
+	if err != nil {
+		return nil, err
 	}
-	if string(b[:len(frameMagic)]) != frameMagic {
-		return nil, fmt.Errorf("%w: missing magic", ErrFrame)
-	}
-	rest := b[len(frameMagic):]
-	n := binary.BigEndian.Uint32(rest[:4])
-	if n > maxFramePayload {
-		return nil, fmt.Errorf("%w: declared payload %d exceeds %d", ErrFrame, n, maxFramePayload)
-	}
-	rest = rest[4:]
-	if uint32(len(rest)) < n+4 {
-		return nil, fmt.Errorf("%w: truncated (want %d payload+crc bytes, have %d)", ErrFrame, n+4, len(rest))
-	}
-	if uint32(len(rest)) > n+4 {
-		return nil, fmt.Errorf("%w: %d trailing bytes after frame", ErrFrame, uint32(len(rest))-(n+4))
-	}
-	payload := rest[:n]
-	if got, want := crc32.Checksum(payload, crcTable), binary.BigEndian.Uint32(rest[n:]); got != want {
-		return nil, fmt.Errorf("%w: payload crc 0x%08x != stored 0x%08x", ErrFrame, got, want)
+	if len(rest) > 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after frame", ErrFrame, len(rest))
 	}
 	return payload, nil
+}
+
+// NextFrame unwraps the first frame in b, verifying magic, length, and
+// checksum, and returns the bytes after it — the stream-element sibling
+// of DecodeFrame, for concatenated-frame files such as the migd
+// checkpoint. Both returned slices alias b.
+func NextFrame(b []byte) (payload, rest []byte, err error) {
+	if len(b) < len(frameMagic)+8 {
+		return nil, nil, fmt.Errorf("%w: %d bytes is shorter than any frame", ErrFrame, len(b))
+	}
+	if string(b[:len(frameMagic)]) != frameMagic {
+		return nil, nil, fmt.Errorf("%w: missing magic", ErrFrame)
+	}
+	body := b[len(frameMagic):]
+	n := binary.BigEndian.Uint32(body[:4])
+	if n > maxFramePayload {
+		return nil, nil, fmt.Errorf("%w: declared payload %d exceeds %d", ErrFrame, n, maxFramePayload)
+	}
+	body = body[4:]
+	if uint64(len(body)) < uint64(n)+4 {
+		return nil, nil, fmt.Errorf("%w: truncated (want %d payload+crc bytes, have %d)", ErrFrame, n+4, len(body))
+	}
+	payload = body[:n]
+	if got, want := crc32.Checksum(payload, crcTable), binary.BigEndian.Uint32(body[n:n+4]); got != want {
+		return nil, nil, fmt.Errorf("%w: payload crc 0x%08x != stored 0x%08x", ErrFrame, got, want)
+	}
+	return payload, body[n+4:], nil
 }

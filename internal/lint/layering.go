@@ -37,6 +37,7 @@ var allowedImports = map[string][]string{
 	"migration":  {"trace", "units"},
 	"experiment": {"migration", "trace", "units", "workload"},
 	"dist":       {"core", "experiment", "trace"},
+	"serve":      {"core", "dist", "migration", "trace", "units"},
 	"dist/chaos": {},
 	"host":       {},
 	"lint":       {},

@@ -35,6 +35,7 @@ var deterministicPkgs = map[string]bool{
 	ModulePath + "/internal/stats":      true,
 	ModulePath + "/internal/mss":        true,
 	ModulePath + "/internal/dist":       true,
+	ModulePath + "/internal/serve":      true,
 }
 
 // IsDeterministic reports whether pkgPath is one of the packages the

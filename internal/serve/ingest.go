@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"filemig/internal/core"
+	"filemig/internal/dist"
+	"filemig/internal/trace"
+	"filemig/internal/units"
+)
+
+// maxIngestBody bounds an ingest request body, matching the dist
+// frame's own payload ceiling.
+const maxIngestBody = 1 << 30
+
+// DecodeIngest decodes an ingest body — a complete trace stream in any
+// format the codec sniffs (ASCII v1, binary b1, columnar b2) — into
+// records, enforcing the non-decreasing start order every accumulation
+// path requires. It decodes and validates the whole body before
+// returning, so a caller applies either every record or none; decode
+// errors carry the offending record index and byte offset.
+func DecodeIngest(body []byte) ([]trace.Record, error) {
+	st, err := trace.OpenStream(bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	var recs []trace.Record
+	for {
+		r, err := st.Next()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if n := len(recs); n > 0 && r.Start.Before(recs[n-1].Start) {
+			return nil, fmt.Errorf("serve: record %d starts at %v, before record %d at %v (ingest bodies must be in trace order)",
+				n+1, r.Start, n, recs[n-1].Start)
+		}
+		recs = append(recs, r)
+	}
+}
+
+// DecodeIngestFrame unwraps one dist wire frame and decodes its payload
+// with DecodeIngest — the batch ingest body format. The CRC check means
+// a truncated or bit-flipped batch is rejected whole, never partially
+// applied.
+func DecodeIngestFrame(body []byte) ([]trace.Record, error) {
+	payload, err := dist.DecodeFrame(body)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeIngest(payload)
+}
+
+// Ingest validates and applies one already-decoded batch of records.
+// The batch must be internally ordered (DecodeIngest enforces this for
+// HTTP bodies); batches from different clients may arrive in any order
+// relative to each other.
+func (s *Server) Ingest(recs []trace.Record) {
+	if len(recs) == 0 {
+		return
+	}
+	s.mu.RLock()
+	for i := 0; i < len(recs); {
+		k := s.shardKey(recs[i].Start)
+		j := i + 1
+		for j < len(recs) && s.shardKey(recs[j].Start) == k {
+			j++
+		}
+		s.applyRun(k, recs[i:j])
+		i = j
+	}
+	s.mu.RUnlock()
+	s.updateFiles(recs)
+	s.records.Add(int64(len(recs)))
+	s.maybeCheckpoint(int64(len(recs)))
+}
+
+// applyRun observes one run of records that share a shard stripe,
+// appending to the stripe's newest segment when the run continues it in
+// time order and opening a fresh segment otherwise. The caller holds mu
+// shared; the stripe mutex serializes concurrent runs.
+func (s *Server) applyRun(k int64, recs []trace.Record) {
+	sh := s.getShard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	var sg *segment
+	if sh.lastSeg != nil && !recs[0].Start.Before(sh.maxLast) {
+		sg = sh.lastSeg
+	} else {
+		sg = &segment{p: core.NewPartial(s.cfg.Opts), seq: s.segSeq.Add(1)}
+		sh.segs = append(sh.segs, sg)
+		s.segCount.Add(1)
+	}
+	for i := range recs {
+		if !recs[i].OK() {
+			s.errRecords.Add(1)
+		}
+		sg.p.Observe(&recs[i])
+	}
+	sg.dirty = true
+	sg.enc = nil
+	sh.noteBounds(sg)
+}
+
+// updateFiles folds a batch's good references into the live per-file
+// table behind /v1/file.
+func (s *Server) updateFiles(recs []trace.Record) {
+	s.filesMu.Lock()
+	defer s.filesMu.Unlock()
+	for i := range recs {
+		r := &recs[i]
+		if !r.OK() {
+			continue
+		}
+		s.observeFile(r.MSSPath, r.Op, r.Start, r.Size)
+	}
+}
+
+// observeFile applies one good reference to the per-file table. The
+// caller holds filesMu exclusively.
+func (s *Server) observeFile(path string, op trace.Op, start time.Time, size units.Bytes) {
+	f := s.files[path]
+	if f == nil {
+		f = &fileState{first: start}
+		s.files[path] = f
+	}
+	if start.Before(f.first) {
+		f.first = start
+	}
+	if !start.Before(f.last) {
+		f.last = start
+		f.size = size
+	}
+	if op == trace.Write {
+		f.writes++
+	} else {
+		f.reads++
+	}
+}
+
+// handleIngest serves POST /v1/ingest: a bare trace-stream body.
+func (s *Server) handleIngest(w http.ResponseWriter, req *http.Request) {
+	s.ingestHTTP(w, req, DecodeIngest)
+}
+
+// handleIngestBatch serves POST /v1/ingest/batch: a dist-framed
+// trace-stream body.
+func (s *Server) handleIngestBatch(w http.ResponseWriter, req *http.Request) {
+	s.ingestHTTP(w, req, DecodeIngestFrame)
+}
+
+// ingestHTTP reads, decodes, and applies one ingest body.
+func (s *Server) ingestHTTP(w http.ResponseWriter, req *http.Request, decode func([]byte) ([]trace.Record, error)) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxIngestBody))
+	if err != nil {
+		http.Error(w, "serve: reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	recs, err := decode(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.Ingest(recs)
+	writeJSON(w, map[string]int64{
+		"records": int64(len(recs)),
+		"total":   s.records.Load(),
+	})
+}
+
+// writeJSON writes v as a JSON response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,501 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"filemig/internal/core"
+	"filemig/internal/device"
+	"filemig/internal/dist"
+	"filemig/internal/trace"
+	"filemig/internal/workload"
+)
+
+// The migd acceptance suite: the daemon is correct exactly when its
+// live answers are byte-identical to the offline pipeline over the same
+// records — however the records were cut into batches, whatever order
+// concurrent clients delivered them in, and across a kill/restore in
+// the middle.
+
+// daemonFixture generates the golden workload trace the daemon tests
+// ingest, canonicalized through the b1 codec: the generator emits
+// nanosecond instants, the wire formats carry seconds, and the daemon
+// only ever sees what crossed the wire — so the offline baseline must
+// analyze the same round-tripped records.
+func daemonFixture(t testing.TB) *workload.Result {
+	t.Helper()
+	cfg := workload.DefaultConfig(0.004, 77)
+	cfg.Days = 120
+	res, err := workload.Generate(cfg)
+	if err != nil {
+		t.Fatalf("workload.Generate: %v", err)
+	}
+	if len(res.Records) < 1000 {
+		t.Fatalf("fixture too small: %d records", len(res.Records))
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteAllFormat(&buf, res.Records, trace.FormatBinary); err != nil {
+		t.Fatalf("canonicalizing fixture: %v", err)
+	}
+	res.Records, err = DecodeIngest(buf.Bytes())
+	if err != nil {
+		t.Fatalf("canonicalizing fixture: %v", err)
+	}
+	return res
+}
+
+// fixedClock returns a Config.Now pinned after the fixture's trace.
+func fixedClock(res *workload.Result) func() time.Time {
+	end := res.Config.Start.AddDate(0, 0, res.Config.Days)
+	return func() time.Time { return end }
+}
+
+// cutBatches splits the records into contiguous runs of roughly the
+// given time width — the ingest batches clients will post.
+func cutBatches(recs []trace.Record, width time.Duration) [][]trace.Record {
+	var batches [][]trace.Record
+	for i := 0; i < len(recs); {
+		cut := recs[i].Start.Add(width)
+		j := i + 1
+		for j < len(recs) && recs[j].Start.Before(cut) {
+			j++
+		}
+		batches = append(batches, recs[i:j])
+		i = j
+	}
+	return batches
+}
+
+// frameBatch encodes one batch as a b1 trace stream inside a dist wire
+// frame — the /v1/ingest/batch body format.
+func frameBatch(t testing.TB, recs []trace.Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteAllFormat(&buf, recs, trace.FormatBinary); err != nil {
+		t.Fatalf("encoding batch: %v", err)
+	}
+	return dist.EncodeFrame(buf.Bytes())
+}
+
+// postBatch posts one framed batch to a running daemon and fails the
+// test on any non-200 outcome.
+func postBatch(t testing.TB, url string, body []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/ingest/batch", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/ingest/batch: %v", err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/ingest/batch: status %d: %s", resp.StatusCode, out)
+	}
+}
+
+// getBody GETs a daemon URL and returns the body, failing on non-200.
+func getBody(t testing.TB, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// sliceBaseline renders the offline slice-path report for the records.
+func sliceBaseline(recs []trace.Record, opts core.Options) string {
+	m := core.New(opts)
+	m.AddAll(recs)
+	return core.RenderReport(m.Report())
+}
+
+// TestMigdIngestEquivalence is the daemon's acceptance test: the golden
+// trace is cut into batches, the batches are shuffled and posted by
+// concurrent clients in interleaved order, and /v1/report must come
+// back byte-identical to the offline slice path over the same records —
+// for one, two, and eight clients, with and without a pinned calendar
+// origin.
+func TestMigdIngestEquivalence(t *testing.T) {
+	res := daemonFixture(t)
+	for _, tc := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"pinned-origin", core.Options{Start: res.Config.Start, Days: res.Config.Days}},
+		{"derived-origin", core.Options{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := sliceBaseline(res.Records, tc.opts)
+			for _, clients := range []int{1, 2, 8} {
+				t.Run(fmt.Sprintf("clients=%d", clients), func(t *testing.T) {
+					s, err := NewServer(Config{
+						Opts:          tc.opts,
+						ShardDuration: 5 * 24 * time.Hour,
+						Now:           fixedClock(res),
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					hs := httptest.NewServer(s)
+					defer hs.Close()
+
+					batches := cutBatches(res.Records, 3*24*time.Hour)
+					rng := rand.New(rand.NewSource(int64(clients)))
+					rng.Shuffle(len(batches), func(i, j int) {
+						batches[i], batches[j] = batches[j], batches[i]
+					})
+					var wg sync.WaitGroup
+					for c := 0; c < clients; c++ {
+						wg.Add(1)
+						go func(c int) {
+							defer wg.Done()
+							for i := c; i < len(batches); i += clients {
+								postBatch(t, hs.URL, frameBatch(t, batches[i]))
+							}
+						}(c)
+					}
+					wg.Wait()
+
+					got := string(getBody(t, hs.URL+"/v1/report"))
+					if got != want {
+						t.Fatalf("live report diverges from the slice path (%d vs %d bytes)", len(got), len(want))
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestMigdSingleIngest covers the unframed /v1/ingest body, the live
+// per-file verdicts, and the stats counters on a tiny hand-posted
+// trace.
+func TestMigdSingleIngest(t *testing.T) {
+	res := daemonFixture(t)
+	s, err := NewServer(Config{Now: fixedClock(res)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s)
+	defer hs.Close()
+
+	recs := res.Records[:25]
+	var buf bytes.Buffer
+	if err := trace.WriteAllFormat(&buf, recs, trace.FormatBinary); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(hs.URL+"/v1/ingest", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/ingest: status %d", resp.StatusCode)
+	}
+
+	st := s.StatsNow()
+	if st.Records != int64(len(recs)) {
+		t.Fatalf("stats records = %d, want %d", st.Records, len(recs))
+	}
+	var path string
+	for i := range recs {
+		if recs[i].OK() {
+			path = recs[i].MSSPath
+			break
+		}
+	}
+	fs, ok := s.FileStatusAt(path, fixedClock(res)())
+	if !ok {
+		t.Fatalf("file %q missing from the live table", path)
+	}
+	if fs.Reads+fs.Writes == 0 || fs.Verdict == "" {
+		t.Fatalf("degenerate file status: %+v", fs)
+	}
+	body := getBody(t, hs.URL+"/v1/file"+path)
+	if !bytes.Contains(body, []byte(`"verdict"`)) {
+		t.Fatalf("/v1/file answer lacks a verdict: %s", body)
+	}
+	if got := getBody(t, hs.URL+"/v1/stats"); !bytes.Contains(got, []byte(`"records"`)) {
+		t.Fatalf("/v1/stats answer lacks counters: %s", got)
+	}
+}
+
+// TestMigdIngestRejectsCorruptBatch proves a damaged batch is rejected
+// whole: a truncated or bit-flipped frame changes nothing, and the
+// error names the problem.
+func TestMigdIngestRejectsCorruptBatch(t *testing.T) {
+	res := daemonFixture(t)
+	s, err := NewServer(Config{Now: fixedClock(res)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s)
+	defer hs.Close()
+
+	frame := frameBatch(t, res.Records[:100])
+	for name, bad := range map[string][]byte{
+		"truncated": frame[:len(frame)-7],
+		"bitflip":   append(append([]byte(nil), frame[:60]...), frame[60:]...),
+	} {
+		if name == "bitflip" {
+			bad[60] ^= 0x01
+		}
+		resp, err := http.Post(hs.URL+"/v1/ingest/batch", "application/octet-stream", bytes.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s batch: status %d, want 400", name, resp.StatusCode)
+		}
+		if !bytes.Contains(msg, []byte("frame")) {
+			t.Fatalf("%s batch: error does not name the frame: %s", name, msg)
+		}
+	}
+	if st := s.StatsNow(); st.Records != 0 {
+		t.Fatalf("corrupt batches must apply nothing, but %d records landed", st.Records)
+	}
+}
+
+// TestMigdCheckpointResume kills a daemon mid-ingest and proves the
+// checkpoint resumes it exactly: a new daemon restored from the latest
+// checkpoint plus the replayed tail renders the same report — and the
+// same per-file answers — as one that never died. The restored state
+// must also re-checkpoint byte-identically before new ingest touches
+// it.
+func TestMigdCheckpointResume(t *testing.T) {
+	res := daemonFixture(t)
+	opts := core.Options{Start: res.Config.Start, Days: res.Config.Days}
+	want := sliceBaseline(res.Records, opts)
+	now := fixedClock(res)
+	ckpt := filepath.Join(t.TempDir(), "migd.ckpt")
+
+	batches := cutBatches(res.Records, 4*24*time.Hour)
+	if len(batches) < 6 {
+		t.Fatalf("fixture cut into only %d batches", len(batches))
+	}
+	cut := len(batches) / 2
+
+	cfg := Config{Opts: opts, ShardDuration: 6 * 24 * time.Hour, CheckpointPath: ckpt, Now: now}
+	s1, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := httptest.NewServer(s1)
+	for _, b := range batches[:cut] {
+		postBatch(t, hs1.URL, frameBatch(t, b))
+	}
+	if err := s1.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	probe := res.Records[0].MSSPath
+	beforeKill, okBefore := s1.FileStatusAt(probe, now())
+	hs1.Close() // the daemon dies here; batches[cut:] were never delivered
+
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.RestoreCheckpoint(data); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+
+	// Resumed state is the checkpointed state, exactly: same counters,
+	// same per-file answer, and a byte-identical re-checkpoint.
+	if got, wantN := s2.StatsNow().Records, s1.StatsNow().Records; got != wantN {
+		t.Fatalf("restored %d records, checkpoint covered %d", got, wantN)
+	}
+	if afterKill, ok := s2.FileStatusAt(probe, now()); ok != okBefore || afterKill != beforeKill {
+		t.Fatalf("per-file answer changed across restore:\n before %+v\n after  %+v", beforeKill, afterKill)
+	}
+	resaved, err := s2.EncodeCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resaved, data) {
+		t.Fatal("restored state does not re-checkpoint byte-identically")
+	}
+
+	// The client replays the undelivered tail; the final report must be
+	// the uninterrupted run's.
+	hs2 := httptest.NewServer(s2)
+	defer hs2.Close()
+	for _, b := range batches[cut:] {
+		postBatch(t, hs2.URL, frameBatch(t, b))
+	}
+	if got := string(getBody(t, hs2.URL+"/v1/report")); got != want {
+		t.Fatalf("post-resume report diverges from the uninterrupted run (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestMigdCheckpointCadence proves Config.CheckpointEvery writes
+// checkpoints on its own as records flow.
+func TestMigdCheckpointCadence(t *testing.T) {
+	res := daemonFixture(t)
+	ckpt := filepath.Join(t.TempDir(), "migd.ckpt")
+	s, err := NewServer(Config{
+		CheckpointPath:  ckpt,
+		CheckpointEvery: 200,
+		Now:             fixedClock(res),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range cutBatches(res.Records[:600], 24*time.Hour) {
+		s.Ingest(b)
+	}
+	if n := s.StatsNow().Checkpoints; n == 0 {
+		t.Fatal("no cadence checkpoint was written")
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("checkpoint file missing: %v", err)
+	}
+}
+
+// TestMigdConcurrentQueries is the race stress test: ingest clients,
+// report readers, and per-file/stat readers all hammer one daemon at
+// once. Run under -race this proves the locking; the final report must
+// still be exact.
+func TestMigdConcurrentQueries(t *testing.T) {
+	res := daemonFixture(t)
+	opts := core.Options{Start: res.Config.Start, Days: res.Config.Days}
+	want := sliceBaseline(res.Records, opts)
+	s, err := NewServer(Config{Opts: opts, ShardDuration: 3 * 24 * time.Hour, Now: fixedClock(res)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s)
+	defer hs.Close()
+
+	batches := cutBatches(res.Records, 2*24*time.Hour)
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(hs.URL + "/v1/report")
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			path := res.Records[r].MSSPath
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s.FileStatusAt(path, fixedClock(res)())
+				s.StatsNow()
+			}
+		}(r)
+	}
+
+	clients := 4
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < len(batches); i += clients {
+				postBatch(t, hs.URL, frameBatch(t, batches[i]))
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(done)
+	readers.Wait()
+
+	if got := string(getBody(t, hs.URL+"/v1/report")); got != want {
+		t.Fatalf("report after concurrent load diverges (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// FuzzMigdIngestFrame fuzzes the batch ingest body decoder end to end
+// through the HTTP handler: arbitrary bodies must produce a clean 200
+// or 400, never a panic, and a non-200 must leave the daemon empty.
+func FuzzMigdIngestFrame(f *testing.F) {
+	base := time.Date(1992, 1, 6, 9, 0, 0, 0, time.UTC)
+	mk := func(n int) []byte {
+		recs := make([]trace.Record, n)
+		for i := range recs {
+			recs[i] = trace.Record{
+				Start:     base.Add(time.Duration(i) * time.Minute),
+				Op:        trace.Read,
+				Device:    device.ClassDisk,
+				Size:      4096,
+				MSSPath:   fmt.Sprintf("/mss/u/f%d", i%3),
+				LocalPath: fmt.Sprintf("/tmp/f%d", i%3),
+			}
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteAllFormat(&buf, recs, trace.FormatBinary); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	good := dist.EncodeFrame(mk(5))
+	f.Add(good)
+	f.Add(good[:len(good)-3])
+	f.Add([]byte("#dist-frame f1\n"))
+	f.Add(mk(2)) // unframed stream on the framed endpoint
+	f.Add([]byte{})
+	flip := append([]byte(nil), good...)
+	flip[len(flip)/2] ^= 0x40
+	f.Add(flip)
+
+	now := func() time.Time { return base.AddDate(0, 0, 30) }
+	f.Fuzz(func(t *testing.T, body []byte) {
+		s, err := NewServer(Config{Now: now})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req := httptest.NewRequest(http.MethodPost, "/v1/ingest/batch", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, req)
+		switch w.Code {
+		case http.StatusOK:
+			if _, err := s.Report(); err != nil {
+				t.Fatalf("accepted body, broken report: %v", err)
+			}
+		case http.StatusBadRequest:
+			if n := s.StatsNow().Records; n != 0 {
+				t.Fatalf("rejected body left %d records behind", n)
+			}
+		default:
+			t.Fatalf("unexpected status %d", w.Code)
+		}
+	})
+}

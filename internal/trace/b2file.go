@@ -232,23 +232,23 @@ func (d *B2BlockDecoder) DecodeInto(i int, dst []Record) error {
 	}
 	frame := d.body[:e.frameLen]
 	if _, err := d.f.r.ReadAt(frame, e.offset); err != nil {
-		return fmt.Errorf("trace: b2: block %d: %v", i, err)
+		return fmt.Errorf("trace: b2: block %d at byte offset %d: %v", i, e.offset, err)
 	}
 	body, err := openB2Frame(frame, b2BlockTag)
 	if err != nil {
-		return fmt.Errorf("trace: b2: block %d: %v", i, err)
+		return fmt.Errorf("trace: b2: block %d at byte offset %d: %v", i, e.offset, err)
 	}
 	d.f.mu.Lock()
 	err = parseB2Block(body, d.f.in.Canonical, d.f.local.canonical, &d.blk)
 	d.f.mu.Unlock()
 	if err != nil {
-		return fmt.Errorf("trace: b2: block %d: %v", i, err)
+		return fmt.Errorf("trace: b2: block %d at byte offset %d: %v", i, e.offset, err)
 	}
 	if err := checkB2Block(i, &d.blk, e); err != nil {
-		return fmt.Errorf("trace: b2: %v", err)
+		return fmt.Errorf("trace: b2: at byte offset %d: %v", e.offset, err)
 	}
 	if err := decodeB2Columns(&d.blk, d.f.epoch, dst); err != nil {
-		return fmt.Errorf("trace: b2: block %d: %v", i, err)
+		return fmt.Errorf("trace: b2: block %d at byte offset %d: %v", i, e.offset, err)
 	}
 	d.f.decodes.Add(1)
 	return nil

@@ -181,6 +181,9 @@ func NewBinaryReaderInterned(r io.Reader, in *Interner) *BinaryReader {
 
 // Next decodes the next record. It returns io.EOF when the stream ends
 // cleanly and io.ErrUnexpectedEOF (wrapped) when it ends mid-record.
+// Decode errors name both the record index and the byte offset the
+// record begins at, so corruption in a long stream is diagnosable
+// without bisecting the file.
 func (r *BinaryReader) Next() (Record, error) {
 	if !r.started {
 		line, err := r.wire.Line()
@@ -200,16 +203,17 @@ func (r *BinaryReader) Next() (Record, error) {
 		r.prevStart = time.Unix(sec, 0).UTC()
 		r.started = true
 	}
+	off := r.wire.Offset()
 	flags, err := r.wire.ReadByte()
 	if err == io.EOF {
 		return Record{}, io.EOF
 	}
 	if err != nil {
-		return Record{}, fmt.Errorf("trace: record %d: %v", r.rec+1, err)
+		return Record{}, fmt.Errorf("trace: record %d at byte offset %d: %v", r.rec+1, off, err)
 	}
 	rec, err := r.decodeBody(flags)
 	if err != nil {
-		return Record{}, fmt.Errorf("trace: record %d: %w", r.rec+1, err)
+		return Record{}, fmt.Errorf("trace: record %d at byte offset %d: %w", r.rec+1, off, err)
 	}
 	r.rec++
 	return rec, nil

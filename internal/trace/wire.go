@@ -26,6 +26,7 @@ type WireReader struct {
 	pos, end int    // unread bytes are buf[pos:end]
 	srcErr   error  // sticky source error, surfaced once the window drains
 	scratch  []byte // spill for byte fields straddling a window edge
+	fetched  int64  // total bytes read from src into the window
 }
 
 // NewWireReader returns a WireReader over r with a 64 KiB window.
@@ -51,6 +52,7 @@ func (r *WireReader) fill() bool {
 		}
 		n, err := r.src.Read(r.buf[r.end:])
 		r.end += n
+		r.fetched += int64(n)
 		if err != nil {
 			r.srcErr = err
 		}
@@ -59,6 +61,14 @@ func (r *WireReader) fill() bool {
 		}
 	}
 	return false
+}
+
+// Offset reports the stream position of the next unread byte — how many
+// bytes of the source have been consumed so far. Codec readers capture
+// it at record boundaries so corruption errors can name the offending
+// byte offset, not just a record index.
+func (r *WireReader) Offset() int64 {
+	return r.fetched - int64(r.end-r.pos)
 }
 
 // ReadByte returns the next stream byte; at the end of the stream it
