@@ -16,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-BENCHES='BenchmarkMigdIngest|BenchmarkStreamAnalyze|BenchmarkB2Decode|BenchmarkPolicyComparison$|BenchmarkCoalescingSavings|BenchmarkSnapshotRoundTrip|BenchmarkDistributedGrid'
+BENCHES='BenchmarkMigdIngest|BenchmarkStreamAnalyze|BenchmarkB2Decode|BenchmarkPolicyComparison$|BenchmarkPolicyComparisonModern/|BenchmarkCoalescingSavings|BenchmarkSnapshotRoundTrip|BenchmarkDistributedGrid'
 OUT=${1:-${BENCH_OUT:-BENCH.json}}
 export GOMAXPROCS=${GOMAXPROCS:-4}
 

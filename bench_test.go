@@ -656,6 +656,33 @@ func BenchmarkPolicyComparison(b *testing.B) {
 	b.ReportMetric(100*stpMiss, "stpMiss%")
 }
 
+// BenchmarkPolicyComparisonModern races the paper's nine-policy set
+// against the five post-1993 policies on the same fixture and capacity:
+// the modern set's stateful bookkeeping (ARC ghost lists, LRU-K
+// histories, greedy-dual clocks, STP fits) must hold the same
+// ~0 allocs/record steady state as the classic set.
+func BenchmarkPolicyComparisonModern(b *testing.B) {
+	_, accs := fixture(b)
+	capacity := migration.TotalReferencedBytes(accs) / 50
+	sets := []struct {
+		name  string
+		build func([]migration.Access) []migration.Policy
+	}{
+		{"classic", StandardPolicies},
+		{"modern", ModernPolicies},
+	}
+	for _, set := range sets {
+		b.Run(set.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := migration.ComparePolicies(accs, capacity, set.build(accs)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPolicyComparisonSerialScan is the pre-refactor baseline for
 // BenchmarkPolicyComparison: one worker and every policy forced onto the
 // scan path.

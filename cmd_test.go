@@ -353,6 +353,33 @@ func TestMigexpGoldenManifest(t *testing.T) {
 	}
 }
 
+// TestMigexpModernGolden pins the modern policy frontier end to end:
+// running the committed moderngrid spec (the five post-1993 policies
+// against STP^1.4 and LRU) reproduces the committed golden manifest
+// byte-for-byte at every worker count. Regenerate the golden with
+//
+//	go run ./cmd/migexp run testdata/moderngrid.json -o testdata/moderngrid_manifest.json
+func TestMigexpModernGolden(t *testing.T) {
+	bin := buildTools(t)
+	spec := filepath.Join("testdata", "moderngrid.json")
+	golden, err := os.ReadFile(filepath.Join("testdata", "moderngrid_manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []string{"1", "2", "8"} {
+		cmd := exec.Command(filepath.Join(bin, "migexp"), "run", spec, "-workers", workers, "-json")
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("migexp run -workers %s: %v\nstderr: %s", workers, err, stderr.String())
+		}
+		if !bytes.Equal(stdout.Bytes(), golden) {
+			t.Errorf("-workers %s manifest differs from testdata/moderngrid_manifest.json", workers)
+		}
+	}
+}
+
 // TestMssanalyzeMergeHardening covers the merge subcommand's input
 // surface: directories and globs expand to their .s1 files, zero inputs
 // is a hard error rather than an empty report, and a corrupt snapshot

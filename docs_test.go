@@ -8,6 +8,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/hex"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -20,6 +21,7 @@ import (
 	"filemig/internal/device"
 	"filemig/internal/dist"
 	"filemig/internal/experiment"
+	"filemig/internal/migration"
 	"filemig/internal/serve"
 	"filemig/internal/trace"
 	"filemig/internal/units"
@@ -216,6 +218,80 @@ func TestDocsDistributedExample(t *testing.T) {
 	want := strings.TrimRight(docFence(t, doc, "<!-- test:dist-output -->"), "\n")
 	if got != want {
 		t.Errorf("docs/distributed.md worked example is stale.\n--- documented ---\n%s\n--- actual ---\n%s",
+			want, got)
+	}
+}
+
+// TestDocsPoliciesExample replays docs/policies.md's ten-access worked
+// trace under the modern policies plus STP^1.4 and LRU at the
+// documented 50 MB capacity and compares the documented comparison
+// table byte for byte.
+func TestDocsPoliciesExample(t *testing.T) {
+	raw, err := os.ReadFile("docs/policies.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+
+	recs, err := trace.ReadAll(strings.NewReader(docFence(t, doc, "<!-- test:policies-trace -->")))
+	if err != nil {
+		t.Fatalf("worked example trace does not parse: %v", err)
+	}
+	accs := migration.AccessesFromRecords(recs)
+	policies := append(filemig.ModernPolicies(accs),
+		migration.STP{K: 1.4}, migration.LRU{})
+	results, err := migration.ComparePolicies(accs, units.Bytes(50_000_000), policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %6s %6s %8s %11s\n", "policy", "reads", "hits", "misses", "evictions")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-10s %6d %6d %8d %11d\n", r.Policy, r.Reads, r.ReadHits, r.ReadMisses, r.Evictions)
+	}
+	got := strings.TrimRight(b.String(), "\n")
+	want := strings.TrimRight(docFence(t, doc, "<!-- test:policies-table -->"), "\n")
+	if got != want {
+		t.Errorf("docs/policies.md worked example is stale.\n--- documented ---\n%s\n--- actual ---\n%s",
+			want, got)
+	}
+}
+
+// TestDocsTournament runs docs/tournament.md's full 168-cell grid —
+// every scenario × every policy (classic six + modern five) × three
+// capacities — and compares the documented tables byte for byte. The
+// committed testdata/tournament.json must also match the spec fence,
+// so the documented reproduce command runs the documented spec.
+func TestDocsTournament(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a 168-cell experiment grid")
+	}
+	raw, err := os.ReadFile("docs/tournament.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(raw)
+
+	fence := docFence(t, doc, "<!-- test:tournament-spec -->")
+	committed, err := os.ReadFile("testdata/tournament.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimRight(fence, "\n") != strings.TrimRight(string(committed), "\n") {
+		t.Errorf("testdata/tournament.json differs from the docs/tournament.md spec fence")
+	}
+	spec, err := experiment.Parse(strings.NewReader(fence))
+	if err != nil {
+		t.Fatalf("tournament spec does not parse: %v", err)
+	}
+	m, err := filemig.RunExperiment(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimRight(filemig.RenderExperiment(m), "\n")
+	want := strings.TrimRight(docFence(t, doc, "<!-- test:tournament-tables -->"), "\n")
+	if got != want {
+		t.Errorf("docs/tournament.md tables are stale.\n--- documented ---\n%s\n--- actual ---\n%s",
 			want, got)
 	}
 }

@@ -303,6 +303,22 @@ func StandardPolicies(accs []migration.Access) []migration.Policy {
 	}
 }
 
+// ModernPolicies returns fresh instances of the post-1993 policy
+// frontier — ARC, LRU-2, GDSF, the §2.3-priced cost-aware policy, and
+// adaptive STP. All five carry per-replay state (histories, ghost
+// lists, priority clocks), so every replay needs its own set; the accs
+// parameter mirrors StandardPolicies for symmetry and future policies
+// that precompute over the access string. See docs/policies.md.
+func ModernPolicies(accs []migration.Access) []migration.Policy {
+	return []migration.Policy{
+		migration.NewARC(),
+		migration.NewLRUK(2),
+		migration.NewGDSF(),
+		migration.NewCostAware(migration.DefaultTapeRateMBps),
+		migration.NewAdaptiveSTP(),
+	}
+}
+
 // Experiment identifies one reproducible table or figure.
 type Experiment struct {
 	ID     string // "table3", "figure7", ...

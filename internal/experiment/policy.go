@@ -89,10 +89,55 @@ func parsePolicy(spec string) (policyEntry, error) {
 					return migration.NewOPT(migration.NewFutureIndex(accs))
 				}
 			}})
+	case "arc":
+		// ARC carries ghost lists and an adaptive target; NewCache hands
+		// it the cell's capacity, so each cell needs a fresh instance.
+		return noArg(spec, hasArg, statefulEntry("ARC",
+			func() migration.Policy { return migration.NewARC() }))
+	case "lruk":
+		k := 2
+		if hasArg {
+			var err error
+			if k, err = strconv.Atoi(arg); err != nil || k < 1 {
+				return policyEntry{}, fmt.Errorf(
+					"experiment: bad LRU-K depth %q in %q (want integer >= 1)", arg, spec)
+			}
+		}
+		return statefulEntry("LRU-"+strconv.Itoa(k),
+			func() migration.Policy { return migration.NewLRUK(k) }), nil
+	case "gdsf":
+		return noArg(spec, hasArg, statefulEntry("GDSF",
+			func() migration.Policy { return migration.NewGDSF() }))
+	case "cost":
+		rate := migration.DefaultTapeRateMBps
+		if hasArg {
+			var err error
+			if rate, err = strconv.Atoi(arg); err != nil || rate < 1 {
+				return policyEntry{}, fmt.Errorf(
+					"experiment: bad cost transfer rate %q in %q (want MB/s integer >= 1)", arg, spec)
+			}
+		}
+		// The display name carries the rate (like random carries its
+		// seed), so two rates can share a grid.
+		return statefulEntry("cost:"+strconv.Itoa(rate),
+			func() migration.Policy { return migration.NewCostAware(rate) }), nil
+	case "stp-adapt":
+		return noArg(spec, hasArg, statefulEntry("STP-adapt",
+			func() migration.Policy { return migration.NewAdaptiveSTP() }))
 	default:
 		return policyEntry{}, fmt.Errorf("experiment: unknown policy %q (known: %s)",
 			spec, strings.Join(PolicyNames(), ", "))
 	}
+}
+
+// statefulEntry wraps a fresh-instance factory as a policyEntry: the
+// modern policies (ARC, LRU-K, GDSF, cost, STP-adapt) all carry
+// per-replay state — histories, ghost lists, clocks — so instances must
+// never be shared between cells.
+func statefulEntry(name string, mk func() migration.Policy) policyEntry {
+	return policyEntry{name: name, build: func([]migration.Access) func() migration.Policy {
+		return mk
+	}}
 }
 
 // noArg rejects an argument on policies that take none.
@@ -106,7 +151,8 @@ func noArg(spec string, hasArg bool, e policyEntry) (policyEntry, error) {
 // PolicyNames lists the accepted policy spec names, in grammar order.
 func PolicyNames() []string {
 	return []string{"stp[:K]", "lru", "fifo", "saac", "largest-first",
-		"smallest-first", "random[:seed]", "opt"}
+		"smallest-first", "random[:seed]", "opt",
+		"arc", "lruk[:K]", "gdsf", "cost[:K]", "stp-adapt"}
 }
 
 // policySet resolves the spec's policy axis: the explicit policies in

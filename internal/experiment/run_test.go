@@ -54,6 +54,51 @@ func TestManifestDeterminism(t *testing.T) {
 	}
 }
 
+// TestModernManifestDeterminism extends the worker-count guarantee to
+// the five stateful modern policies: every cell builds its own ARC
+// ghost lists, LRU-K histories, greedy-dual clocks, and STP fits, so
+// the manifest must stay byte-identical at workers 1, 2, and 8.
+func TestModernManifestDeterminism(t *testing.T) {
+	var first []byte
+	for _, workers := range []int{1, 2, 8} {
+		spec := &Spec{
+			Name:       "modern",
+			Scenarios:  []string{"paper-1993", "checkpoint-restart"},
+			Scale:      0.002,
+			Seed:       5,
+			Days:       45,
+			Policies:   []string{"arc", "lruk:2", "gdsf", "cost", "stp-adapt"},
+			Capacities: []float64{0.01, 0.05, 0.10},
+			Workers:    workers,
+		}
+		m, err := Run(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sr := range m.Scenarios {
+			for _, row := range sr.Policies {
+				for _, c := range row.Cells {
+					if c.Evictions == 0 && c.CapacityFraction < 0.1 {
+						t.Errorf("%s/%s@%v: no evictions; the grid exercises nothing",
+							sr.Name, row.Policy, c.CapacityFraction)
+					}
+				}
+			}
+		}
+		b, err := m.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = b
+			continue
+		}
+		if !bytes.Equal(first, b) {
+			t.Fatalf("modern manifest differs between workers=1 and workers=%d", workers)
+		}
+	}
+}
+
 func TestManifestShape(t *testing.T) {
 	m, err := Run(context.Background(), testSpec())
 	if err != nil {

@@ -37,8 +37,15 @@ func TestParseAndNormalize(t *testing.T) {
 }
 
 func TestParseRejectsUnknownFields(t *testing.T) {
+	// "polices" is a deliberate misspelling of "policies": the point of
+	// DisallowUnknownFields is exactly that a typo'd field name fails
+	// loudly instead of silently running the default policy set.
 	if _, err := Parse(strings.NewReader(`{"name":"t","polices":["lru"]}`)); err == nil {
 		t.Fatal("typo'd field accepted")
+	}
+	// A field that was never close to valid is rejected the same way.
+	if _, err := Parse(strings.NewReader(`{"name":"t","frobnicate":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
 	}
 	if _, err := Parse(strings.NewReader(`{"name":"t"}{"name":"u"}`)); err == nil {
 		t.Fatal("trailing document accepted")
@@ -100,9 +107,19 @@ func TestValidateRejections(t *testing.T) {
 
 func TestPolicyGrammar(t *testing.T) {
 	for _, good := range []string{"stp", "stp:0.5", "lru", "fifo", "saac",
-		"largest-first", "smallest-first", "random", "random:42", "opt"} {
+		"largest-first", "smallest-first", "random", "random:42", "opt",
+		"arc", "lruk", "lruk:1", "lruk:3", "gdsf", "cost", "cost:4", "stp-adapt"} {
 		if _, err := parsePolicy(good); err != nil {
 			t.Errorf("%s rejected: %v", good, err)
+		}
+	}
+	// The modern defaults carry their argument in the display name.
+	for spec, want := range map[string]string{
+		"arc": "ARC", "lruk": "LRU-2", "lruk:3": "LRU-3", "gdsf": "GDSF",
+		"cost": "cost:2", "cost:40": "cost:40", "stp-adapt": "STP-adapt",
+	} {
+		if e, err := parsePolicy(spec); err != nil || e.name != want {
+			t.Errorf("parsePolicy(%q) = %q, %v; want %q", spec, e.name, err, want)
 		}
 	}
 	// Two random seeds are distinct grid columns.
@@ -126,7 +143,9 @@ func TestPolicyGrammar(t *testing.T) {
 	if len(names) != 3 {
 		t.Errorf("policy set %v, want 3 distinct lossless STP names", names)
 	}
-	for _, bad := range []string{"", "stp:", "stp:-1", "random:x", "opt:1", "clock"} {
+	for _, bad := range []string{"", "stp:", "stp:-1", "random:x", "opt:1", "clock",
+		"arc:1", "lruk:0", "lruk:-2", "lruk:1.5", "lruk:x", "gdsf:2",
+		"cost:0", "cost:-1", "cost:2.5", "stp-adapt:1.4"} {
 		if _, err := parsePolicy(bad); err == nil {
 			t.Errorf("%q accepted", bad)
 		}

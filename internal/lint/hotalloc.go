@@ -47,6 +47,12 @@ var requiredHotpath = map[string][]string{
 	},
 	ModulePath + "/internal/migration": {
 		"(*Cache).Step",
+		"(*ARC).FileAccessed",
+		"(*ARC).FileEvicted",
+		"(*LRUK).FileAccessed",
+		"(*GreedyDual).FileAccessed",
+		"(*GreedyDual).FileEvicted",
+		"(*AdaptiveSTP).FileAccessed",
 	},
 }
 

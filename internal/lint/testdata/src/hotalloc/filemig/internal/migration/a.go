@@ -1,5 +1,6 @@
 // Package migration is a hotalloc fixture for the required-annotation
-// rule: (*Cache).Step exists but lacks the //filemig:hotpath directive.
+// rule: (*Cache).Step exists but lacks the //filemig:hotpath directive,
+// while the modern policies' observer hooks carry it and stay clean.
 package migration
 
 type Cache struct{ n int }
@@ -8,3 +9,41 @@ type Cache struct{ n int }
 func (c *Cache) Step(x int) { // want `\(\*Cache\)\.Step is a proven hot path and must be annotated`
 	c.n += x
 }
+
+type ARC struct{ n int }
+
+// FileAccessed is annotated and allocation-free: no diagnostic.
+//
+//filemig:hotpath
+func (a *ARC) FileAccessed(x int) { a.n += x }
+
+// FileEvicted is annotated and allocation-free: no diagnostic.
+//
+//filemig:hotpath
+func (a *ARC) FileEvicted(x int) { a.n -= x }
+
+type LRUK struct{ n int }
+
+// FileAccessed is annotated and allocation-free: no diagnostic.
+//
+//filemig:hotpath
+func (l *LRUK) FileAccessed(x int) { l.n += x }
+
+type GreedyDual struct{ n int }
+
+// FileAccessed is annotated and allocation-free: no diagnostic.
+//
+//filemig:hotpath
+func (g *GreedyDual) FileAccessed(x int) { g.n += x }
+
+// FileEvicted is annotated and allocation-free: no diagnostic.
+//
+//filemig:hotpath
+func (g *GreedyDual) FileEvicted(x int) { g.n -= x }
+
+type AdaptiveSTP struct{ n int }
+
+// FileAccessed is annotated and allocation-free: no diagnostic.
+//
+//filemig:hotpath
+func (s *AdaptiveSTP) FileAccessed(x int) { s.n += x }

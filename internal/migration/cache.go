@@ -181,10 +181,13 @@ func (h *evictHeap) Pop() any {
 // out dense IDs), so the per-access lookup is one bounds check and one
 // load; evicted residentFile slots are recycled through a free list, so
 // a steady-state replay allocates nothing per access. Victim selection
-// is O(log R) when the policy implements KeyedPolicy (its order is
-// maintained in an indexed heap, updated on insert and touch); otherwise
-// each eviction scans the residents in ascending file ID order, so
-// rank-crossing policies stay correct and deterministic.
+// is the policy's own NextVictim when it implements VictimPolicy (ARC's
+// structural dual-list choice), O(log R) when it implements KeyedPolicy
+// (its order is maintained in an indexed heap, updated on insert and
+// touch), and otherwise a deterministic scan of the residents in
+// ascending file ID order, so rank-crossing policies stay correct.
+// Policies implementing AccessObserver are fed every insert, touch, and
+// removal, in replay order.
 type Cache struct {
 	cfg      CacheConfig
 	resident []*residentFile // FileID-indexed; nil when absent
@@ -192,7 +195,9 @@ type Cache struct {
 	used     units.Bytes
 	res      CacheResult
 
-	keyed  KeyedPolicy // non-nil when cfg.Policy supports heap ordering
+	keyed  KeyedPolicy    // non-nil when cfg.Policy supports heap ordering
+	obs    AccessObserver // non-nil when the policy observes accesses
+	victim VictimPolicy   // non-nil when the policy picks victims itself
 	order  evictHeap
 	live   liveSet         // scan path only: resident IDs
 	free   []*residentFile // recycled slots
@@ -213,6 +218,19 @@ func NewCache(cfg CacheConfig) (*Cache, error) {
 	}
 	if kp, ok := cfg.Policy.(KeyedPolicy); ok {
 		c.keyed = kp
+	}
+	// Observer, victim, and capacity capabilities survive a ScanOnly
+	// wrapper: ScanOnly exists to disable the keyed fast path, not to
+	// cut a stateful policy off from the accesses it must see.
+	core := policyCore(cfg.Policy)
+	if o, ok := core.(AccessObserver); ok {
+		c.obs = o
+	}
+	if v, ok := core.(VictimPolicy); ok {
+		c.victim = v
+	}
+	if ca, ok := core.(CapacityAware); ok {
+		ca.SetCapacity(cfg.Capacity)
 	}
 	return c, nil
 }
@@ -364,6 +382,9 @@ func (c *Cache) Step(a Access) {
 func (c *Cache) touch(f *residentFile, now time.Time) {
 	f.LastRef = now
 	f.Refs++
+	if c.obs != nil {
+		c.obs.FileAccessed(&f.CachedFile, now)
+	}
 	if c.keyed != nil {
 		if k := c.keyed.Key(&f.CachedFile); k != f.key {
 			f.key = k
@@ -404,6 +425,9 @@ func (c *Cache) insert(a Access, now time.Time, prefetched bool) {
 	c.resident[a.FileID] = f
 	c.nres++
 	c.used += size
+	if c.obs != nil {
+		c.obs.FileAccessed(&f.CachedFile, now)
+	}
 	if c.keyed != nil {
 		f.key = c.keyed.Key(&f.CachedFile)
 		heap.Push(&c.order, f)
@@ -415,6 +439,9 @@ func (c *Cache) insert(a Access, now time.Time, prefetched bool) {
 // remove drops a file from the cache without counting an eviction,
 // recycling its slot through the free list.
 func (c *Cache) remove(f *residentFile) {
+	if c.obs != nil {
+		c.obs.FileEvicted(&f.CachedFile)
+	}
 	c.used -= f.CachedFile.Size
 	c.resident[f.ID] = nil
 	c.nres--
@@ -432,6 +459,21 @@ func (c *Cache) remove(f *residentFile) {
 // (the one being accessed) is never evicted.
 func (c *Cache) shrinkTo(target units.Bytes, now time.Time, protect int) {
 	if c.used <= target {
+		return
+	}
+	if c.victim != nil {
+		for c.used > target {
+			id, ok := c.victim.NextVictim(protect)
+			if !ok {
+				return // nothing evictable
+			}
+			f := c.lookup(id)
+			if f == nil {
+				panic("migration: victim policy chose a non-resident file")
+			}
+			c.remove(f)
+			c.res.Evictions++
+		}
 		return
 	}
 	if c.keyed != nil {

@@ -47,7 +47,10 @@ type KeyedPolicy interface {
 
 // ScanOnly wraps a policy and hides any KeyedPolicy capability, forcing
 // the cache onto the scan path — used by the equivalence tests and
-// benchmarks to compare heap and scan victim selection.
+// benchmarks to compare heap and scan victim selection. Only the keyed
+// fast path is hidden: the cache still resolves AccessObserver,
+// VictimPolicy, and CapacityAware through the wrapper, so stateful
+// policies keep seeing their accesses.
 type ScanOnly struct{ P Policy }
 
 // Name implements Policy.

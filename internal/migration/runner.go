@@ -16,13 +16,15 @@ import (
 // and each job's replay stays single-threaded and deterministic.
 
 // forEachJob runs fn(0..jobs-1) on at most workers goroutines and
-// returns the first error by job order among the jobs that ran. The
-// first failing job cancels the pool, so in-flight siblings finish but
-// no further jobs start; cancelling ctx stops dispatch the same way and
-// is reported as ctx's error. workers <= 1 runs serially on the calling
-// goroutine; this package never reads the host CPU count, so callers
-// wanting one worker per CPU resolve the count explicitly (cmd/* use
-// internal/host).
+// returns the lowest-indexed job's error. A failing job cancels the
+// pool so no further jobs dispatch, but jobs already dispatched still
+// run — dispatch is in index order, so every job below the failing
+// index has been dispatched and the lowest-indexed failure is always
+// the one reported, at any worker count. Cancelling ctx stops dispatch
+// and drains dispatched jobs unrun; it is reported as ctx's error.
+// workers <= 1 runs serially on the calling goroutine; this package
+// never reads the host CPU count, so callers wanting one worker per
+// CPU resolve the count explicitly (cmd/* use internal/host).
 func forEachJob(ctx context.Context, jobs, workers int, fn func(i int) error) error {
 	if workers > jobs {
 		workers = jobs
@@ -48,8 +50,8 @@ func forEachJob(ctx context.Context, jobs, workers int, fn func(i int) error) er
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				if pool.Err() != nil {
-					continue // drain: a sibling failed or the caller cancelled
+				if ctx.Err() != nil {
+					continue // drain: the caller cancelled
 				}
 				if errs[i] = fn(i); errs[i] != nil {
 					cancel()
